@@ -1,0 +1,191 @@
+package adaptrm
+
+import (
+	"io"
+
+	"adaptrm/internal/core"
+	"adaptrm/internal/dse"
+	"adaptrm/internal/exmem"
+	"adaptrm/internal/fixedmap"
+	"adaptrm/internal/greedy"
+	"adaptrm/internal/job"
+	"adaptrm/internal/kpn"
+	"adaptrm/internal/lagrange"
+	"adaptrm/internal/opset"
+	"adaptrm/internal/platform"
+	"adaptrm/internal/predict"
+	"adaptrm/internal/rm"
+	"adaptrm/internal/sched"
+	"adaptrm/internal/schedule"
+	"adaptrm/internal/workload"
+)
+
+// Core model types, re-exported for downstream users.
+type (
+	// Platform describes a heterogeneous multi-core device.
+	Platform = platform.Platform
+	// CoreType is one homogeneous resource type of a platform.
+	CoreType = platform.CoreType
+	// Alloc is a per-type core-count vector θ.
+	Alloc = platform.Alloc
+	// OperatingPoint is one Pareto point ⟨θ, τ, ξ⟩ of an application.
+	OperatingPoint = opset.Point
+	// Table is an application variant's operating-point table.
+	Table = opset.Table
+	// Library is a named collection of tables.
+	Library = opset.Library
+	// Job is one admitted, unfinished request σ = ⟨α, δ, λ, ρ⟩.
+	Job = job.Job
+	// JobSet is a scheduling problem.
+	JobSet = job.Set
+	// Schedule is a list of mapping segments κ = {μ_i × Δ_i}.
+	Schedule = schedule.Schedule
+	// Segment is one mapping over a time interval.
+	Segment = schedule.Segment
+	// Placement maps a job to an operating point within a segment.
+	Placement = schedule.Placement
+	// Scheduler turns a job set into a schedule.
+	Scheduler = sched.Scheduler
+	// Manager is the online runtime manager.
+	Manager = rm.Manager
+	// ManagerOptions tunes the runtime manager.
+	ManagerOptions = rm.Options
+	// ManagerStats aggregates runtime-manager activity.
+	ManagerStats = rm.Stats
+	// Completion describes one finished job.
+	Completion = rm.Completion
+	// WorkloadCase is one static scheduling problem of the test suite.
+	WorkloadCase = workload.Case
+	// WorkloadParams tunes suite generation.
+	WorkloadParams = workload.Params
+	// WorkloadLevel is the deadline tightness of a test case.
+	WorkloadLevel = workload.Level
+	// TraceRequest is one arrival of a dynamic workload trace.
+	TraceRequest = workload.Request
+	// TraceParams tunes dynamic trace generation.
+	TraceParams = workload.TraceParams
+)
+
+// ErrInfeasible is returned by schedulers when no feasible schedule
+// exists; the runtime manager then rejects the request.
+var ErrInfeasible = sched.ErrInfeasible
+
+// Deadline tightness levels of the evaluation workload (Table III).
+const (
+	// Weak deadlines scale a random point's remaining time by 2–6.
+	Weak = workload.Weak
+	// Tight deadlines scale by 0.6–2.
+	Tight = workload.Tight
+)
+
+// OdroidXU4 returns the paper's evaluation platform: 4 Cortex-A7 little
+// cores at 1.5 GHz and 4 Cortex-A15 big cores at 1.8 GHz.
+func OdroidXU4() Platform { return platform.OdroidXU4() }
+
+// Motivational2L2B returns the 2-little/2-big example device of the
+// paper's Section III.
+func Motivational2L2B() Platform { return platform.Motivational2L2B() }
+
+// NewMMKPMDF returns the paper's MMKP-MDF scheduler (Algorithm 1).
+func NewMMKPMDF() Scheduler { return core.New() }
+
+// NewMMKPLR returns the MMKP-LR baseline (Lagrangian relaxation,
+// single-segment scope).
+func NewMMKPLR() Scheduler { return lagrange.New() }
+
+// NewEXMEM returns the EX-MEM exact reference scheduler (memoized
+// exhaustive search within the cut-at-completion class).
+func NewEXMEM() Scheduler { return exmem.New() }
+
+// NewFixedMapper returns a fixed-mapping baseline: remapOnFinish=false
+// reproduces Fig. 1(a) (map once at arrival), true reproduces Fig. 1(b)
+// (remap at every completion).
+func NewFixedMapper(remapOnFinish bool) Scheduler {
+	if remapOnFinish {
+		return fixedmap.New(fixedmap.Remap)
+	}
+	return fixedmap.New(fixedmap.OnArrival)
+}
+
+// NewMMKPGreedy returns the MMKP-GR baseline: a per-segment greedy in the
+// spirit of the Ykman-Couvreur aggregate-resource heuristic the paper's
+// related work builds on.
+func NewMMKPGreedy() Scheduler { return greedy.New() }
+
+// Predictor forecasts request arrivals for proactive admission.
+type Predictor = predict.Predictor
+
+// NewInterArrivalPredictor returns an online per-application
+// inter-arrival predictor (EMA-smoothed).
+func NewInterArrivalPredictor() *predict.InterArrival { return predict.NewInterArrival() }
+
+// NewProactive wraps a scheduler with prediction-gated admission: a
+// request is admitted only if the schedule leaves room for arrivals the
+// predictor forecasts within the horizon (the Niknafs-style extension of
+// the paper's related work). When protect is non-empty, only forecasts
+// of the listed applications gate admission.
+func NewProactive(inner Scheduler, pred Predictor, lib *Library, horizonSec float64, protect ...string) Scheduler {
+	return &predict.Scheduler{Inner: inner, Pred: pred, Lib: lib, Horizon: horizonSec, Protect: protect}
+}
+
+// OdroidXU4DVFS returns the evaluation platform with additional DVFS
+// levels per cluster; use it with ExploreDVFS to fold frequency
+// selection into the operating points.
+func OdroidXU4DVFS() Platform { return platform.OdroidXU4DVFS() }
+
+// ExploreDVFS runs the design-time DSE over allocations and frequency
+// levels, producing richer Pareto fronts (thinned to maxPoints per
+// table; 0 keeps everything).
+func ExploreDVFS(plat Platform, maxPoints int) (*Library, error) {
+	return dse.ExploreSuite(kpn.BenchmarkSuite(), plat, dse.Options{DVFS: true, MaxPointsPerTable: maxPoints})
+}
+
+// StandardLibrary runs the design-time flow (virtual benchmarking + DSE +
+// Pareto filtering) for the paper's three applications and returns the
+// operating-point library with the paper's Pareto counts (28/36/35).
+func StandardLibrary(plat Platform) (*Library, error) {
+	return dse.StandardLibrary(plat)
+}
+
+// NewManager creates an online runtime manager on the platform, serving
+// requests against the library with the given scheduler.
+func NewManager(plat Platform, lib *Library, s Scheduler, opt ManagerOptions) (*Manager, error) {
+	return rm.New(plat, lib, s, opt)
+}
+
+// ScheduleJobs runs a scheduler on a static job set at instant t,
+// validating the result. This is the one-shot entry point mirroring the
+// paper's evaluation setting.
+func ScheduleJobs(s Scheduler, jobs JobSet, plat Platform, t float64) (*Schedule, error) {
+	k, err := s.Schedule(jobs, plat, t)
+	if err != nil {
+		return nil, err
+	}
+	if err := k.Validate(plat, jobs, t); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// RenderGantt draws a schedule as an ASCII chart in the style of the
+// paper's Fig. 1 (big cores on top, one symbol per job).
+func RenderGantt(w io.Writer, k *Schedule, jobs JobSet, plat Platform, width int) error {
+	s, err := schedule.RenderGantt(k, jobs, plat, width)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, s)
+	return err
+}
+
+// GenerateSuite builds the paper's 1676-case evaluation suite (Table III)
+// from a library; see WorkloadParams for the generation rules.
+func GenerateSuite(lib *Library, p WorkloadParams) ([]WorkloadCase, error) {
+	return workload.Suite(lib, p)
+}
+
+// GenerateTrace samples a dynamic Poisson request trace over the library
+// for online runtime-manager experiments.
+func GenerateTrace(lib *Library, p TraceParams) ([]TraceRequest, error) {
+	return workload.Trace(lib, p)
+}

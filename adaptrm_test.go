@@ -1,0 +1,124 @@
+package adaptrm
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"adaptrm/internal/motiv"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	plat := OdroidXU4()
+	lib, err := StandardLibrary(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Len() != 9 {
+		t.Fatalf("library has %d tables", lib.Len())
+	}
+	mgr, err := NewManager(plat, lib, NewMMKPMDF(), ManagerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, accepted, _, err := mgr.Submit(0, "audio-filter/medium", 30)
+	if err != nil || !accepted || id == 0 {
+		t.Fatalf("submit: id=%d accepted=%v err=%v", id, accepted, err)
+	}
+	if _, err := mgr.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	st := mgr.Stats()
+	if st.Completed != 1 || st.DeadlineMisses != 0 || st.Energy <= 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFacadeSchedulers(t *testing.T) {
+	names := map[string]Scheduler{
+		"MMKP-MDF":    NewMMKPMDF(),
+		"MMKP-LR":     NewMMKPLR(),
+		"EX-MEM":      NewEXMEM(),
+		"FIXED":       NewFixedMapper(false),
+		"FIXED-REMAP": NewFixedMapper(true),
+	}
+	plat := Motivational2L2B()
+	jobs := JobSet(motiv.ScenarioS1AtT1())
+	for want, s := range names {
+		if s.Name() != want {
+			t.Errorf("scheduler name %q, want %q", s.Name(), want)
+		}
+		k, err := ScheduleJobs(s, jobs, plat, 1)
+		if err != nil {
+			t.Errorf("%s on S1: %v", want, err)
+			continue
+		}
+		if k.IsEmpty() {
+			t.Errorf("%s produced empty schedule", want)
+		}
+	}
+	// The three Fig. 1 energies, through the public API.
+	fig := map[string]float64{"FIXED": 16.96, "FIXED-REMAP": 15.49, "MMKP-MDF": 14.63}
+	for name, want := range fig {
+		k, err := ScheduleJobs(names[name], jobs, plat, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := k.Energy(jobs) + motiv.EnergyBeforeT1
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("%s energy = %.3f, want %.2f", name, got, want)
+		}
+	}
+}
+
+func TestFacadeS2Rejection(t *testing.T) {
+	plat := Motivational2L2B()
+	jobs := JobSet(motiv.ScenarioS2AtT1())
+	if _, err := ScheduleJobs(NewFixedMapper(false), jobs, plat, 1); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("fixed mapper on S2: %v, want ErrInfeasible", err)
+	}
+	if _, err := ScheduleJobs(NewMMKPMDF(), jobs, plat, 1); err != nil {
+		t.Errorf("MMKP-MDF on S2: %v", err)
+	}
+}
+
+func TestFacadeGantt(t *testing.T) {
+	plat := Motivational2L2B()
+	jobs := JobSet(motiv.ScenarioS1AtT1())
+	k, err := ScheduleJobs(NewMMKPMDF(), jobs, plat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderGantt(&buf, k, jobs, plat, 60); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "B2") || !strings.Contains(buf.String(), "L1") {
+		t.Errorf("gantt:\n%s", buf.String())
+	}
+}
+
+func TestFacadeWorkload(t *testing.T) {
+	lib, err := StandardLibrary(OdroidXU4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases, err := GenerateSuite(lib, WorkloadParams{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 1676 {
+		t.Errorf("suite has %d cases, want 1676", len(cases))
+	}
+	trace, err := GenerateTrace(lib, TraceParams{Rate: 0.2, Horizon: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range trace {
+		if lib.Get(r.App) == nil {
+			t.Errorf("trace references unknown app %q", r.App)
+		}
+	}
+}

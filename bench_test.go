@@ -1,0 +1,338 @@
+// Benchmarks regenerating the paper's tables and figures. Each bench
+// exercises the code path behind one table or figure and reports the
+// headline quantity as a custom metric; the full-scale reproduction (all
+// 1676 cases) is produced by cmd/rmeval, whose output EXPERIMENTS.md
+// records.
+package adaptrm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"adaptrm/internal/core"
+	"adaptrm/internal/dse"
+	"adaptrm/internal/eval"
+	"adaptrm/internal/exmem"
+	"adaptrm/internal/job"
+	"adaptrm/internal/kpn"
+	"adaptrm/internal/lagrange"
+	"adaptrm/internal/motiv"
+	"adaptrm/internal/opset"
+	"adaptrm/internal/platform"
+	"adaptrm/internal/rm"
+	"adaptrm/internal/sched"
+	"adaptrm/internal/workload"
+)
+
+var (
+	fixOnce  sync.Once
+	fixPlat  platform.Platform
+	fixLib   *opset.Library
+	fixSuite []workload.Case
+	// fixByJobs[level][j] holds up to benchCasesPerGroup case indices.
+	fixByJobs map[workload.Level][4][]int
+)
+
+const benchCasesPerGroup = 8
+
+func fixtures(b *testing.B) {
+	b.Helper()
+	fixOnce.Do(func() {
+		fixPlat = platform.OdroidXU4()
+		var err error
+		fixLib, err = dse.StandardLibrary(fixPlat)
+		if err != nil {
+			panic(err)
+		}
+		fixSuite, err = workload.Suite(fixLib, workload.Params{Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		fixByJobs = map[workload.Level][4][]int{}
+		for ci := range fixSuite {
+			c := &fixSuite[ci]
+			arr := fixByJobs[c.Level]
+			j := len(c.Jobs) - 1
+			if len(arr[j]) < benchCasesPerGroup {
+				arr[j] = append(arr[j], ci)
+			}
+			fixByJobs[c.Level] = arr
+		}
+	})
+}
+
+// BenchmarkTable2DesignTimeDSE regenerates the operating-point tables
+// (the paper's Table II is the per-application analogue): full virtual
+// benchmarking + DSE + Pareto filtering for the three applications.
+func BenchmarkTable2DesignTimeDSE(b *testing.B) {
+	plat := platform.OdroidXU4()
+	for i := 0; i < b.N; i++ {
+		lib, err := dse.StandardLibrary(plat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if lib.Len() != 9 {
+			b.Fatal("wrong library")
+		}
+	}
+}
+
+// BenchmarkFig1Motivational schedules scenario S1 with the three policies
+// of Fig. 1 and reports their energies as metrics (16.96/15.49/14.63 J in
+// the paper).
+func BenchmarkFig1Motivational(b *testing.B) {
+	plat := motiv.Platform()
+	policies := []sched.Scheduler{
+		NewFixedMapper(false), NewFixedMapper(true), NewMMKPMDF(),
+	}
+	energies := make([]float64, len(policies))
+	for i := 0; i < b.N; i++ {
+		jobs := job.Set(motiv.ScenarioS1AtT1())
+		for pi, s := range policies {
+			k, err := s.Schedule(jobs, plat, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			energies[pi] = k.Energy(jobs) + motiv.EnergyBeforeT1
+		}
+	}
+	b.ReportMetric(energies[0], "J-fixed")
+	b.ReportMetric(energies[1], "J-fixed-remap")
+	b.ReportMetric(energies[2], "J-adaptive")
+}
+
+// BenchmarkTable3WorkloadGeneration regenerates the 1676-case suite.
+func BenchmarkTable3WorkloadGeneration(b *testing.B) {
+	fixtures(b)
+	for i := 0; i < b.N; i++ {
+		cases, err := workload.Suite(fixLib, workload.Params{Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cases) != 1676 {
+			b.Fatalf("%d cases", len(cases))
+		}
+	}
+}
+
+// benchSubSuite assembles the per-group bench sample as a suite.
+func benchSubSuite(b *testing.B) []workload.Case {
+	fixtures(b)
+	var cases []workload.Case
+	for _, level := range []workload.Level{workload.Weak, workload.Tight} {
+		for j := 0; j < 4; j++ {
+			for _, ci := range fixByJobs[level][j] {
+				cases = append(cases, fixSuite[ci])
+			}
+		}
+	}
+	return cases
+}
+
+// BenchmarkFig2SchedulingRate runs the three schedulers over a fixed
+// sample of the suite and reports tight-deadline scheduling rates.
+func BenchmarkFig2SchedulingRate(b *testing.B) {
+	cases := benchSubSuite(b)
+	var rate *eval.RateReport
+	for i := 0; i < b.N; i++ {
+		res, err := eval.Run(cases, []sched.Scheduler{exmem.New(), lagrange.New(), core.New()},
+			fixPlat, eval.RunOptions{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = eval.NewRateReport(res, workload.Tight)
+	}
+	b.ReportMetric(rate.Rate["EX-MEM"][3]*100, "%rate-exmem-4j")
+	b.ReportMetric(rate.Rate["MMKP-LR"][3]*100, "%rate-lr-4j")
+	b.ReportMetric(rate.Rate["MMKP-MDF"][3]*100, "%rate-mdf-4j")
+}
+
+// BenchmarkTable4RelativeEnergy computes geomean relative energies vs
+// EX-MEM over the fixed sample (the paper's Table IV aggregation).
+func BenchmarkTable4RelativeEnergy(b *testing.B) {
+	cases := benchSubSuite(b)
+	var er *eval.EnergyReport
+	for i := 0; i < b.N; i++ {
+		res, err := eval.Run(cases, []sched.Scheduler{exmem.New(), lagrange.New(), core.New()},
+			fixPlat, eval.RunOptions{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		er, err = eval.NewEnergyReport(res, "EX-MEM")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(er.AllLevels["MMKP-MDF"], "relE-mdf")
+	b.ReportMetric(er.AllLevels["MMKP-LR"], "relE-lr")
+}
+
+// BenchmarkFig3SCurve derives the S-curves and reports the share of
+// optimally scheduled cases (paper: MDF 69.6%, LR 9.0%).
+func BenchmarkFig3SCurve(b *testing.B) {
+	cases := benchSubSuite(b)
+	res, err := eval.Run(cases, []sched.Scheduler{exmem.New(), lagrange.New(), core.New()},
+		fixPlat, eval.RunOptions{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	er, err := eval.NewEnergyReport(res, "EX-MEM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sc *eval.SCurveReport
+	for i := 0; i < b.N; i++ {
+		sc = eval.NewSCurveReport(er)
+	}
+	for _, s := range []string{"MMKP-MDF", "MMKP-LR"} {
+		if n := len(sc.Curves[s]); n > 0 {
+			b.ReportMetric(100*float64(sc.OptimalCount[s])/float64(n), "%opt-"+s)
+		}
+	}
+}
+
+// Fig. 4: per-scheduler scheduling latency by job count. These are the
+// benches whose ns/op directly regenerate the boxplot medians.
+func benchScheduler(b *testing.B, s sched.Scheduler, jobs int, level workload.Level) {
+	fixtures(b)
+	idxs := fixByJobs[level][jobs-1]
+	if len(idxs) == 0 {
+		b.Skip("no cases")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := &fixSuite[idxs[i%len(idxs)]]
+		_, err := s.Schedule(c.Jobs, fixPlat, c.T0)
+		if err != nil && err != sched.ErrInfeasible && err != exmem.ErrBudget {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4SearchTimeMDF1Job(b *testing.B)  { benchScheduler(b, core.New(), 1, workload.Tight) }
+func BenchmarkFig4SearchTimeMDF2Jobs(b *testing.B) { benchScheduler(b, core.New(), 2, workload.Tight) }
+func BenchmarkFig4SearchTimeMDF3Jobs(b *testing.B) { benchScheduler(b, core.New(), 3, workload.Tight) }
+func BenchmarkFig4SearchTimeMDF4Jobs(b *testing.B) { benchScheduler(b, core.New(), 4, workload.Tight) }
+
+func BenchmarkFig4SearchTimeLR1Job(b *testing.B) {
+	benchScheduler(b, lagrange.New(), 1, workload.Tight)
+}
+func BenchmarkFig4SearchTimeLR2Jobs(b *testing.B) {
+	benchScheduler(b, lagrange.New(), 2, workload.Tight)
+}
+func BenchmarkFig4SearchTimeLR3Jobs(b *testing.B) {
+	benchScheduler(b, lagrange.New(), 3, workload.Tight)
+}
+func BenchmarkFig4SearchTimeLR4Jobs(b *testing.B) {
+	benchScheduler(b, lagrange.New(), 4, workload.Tight)
+}
+
+func BenchmarkFig4SearchTimeEXMEM1Job(b *testing.B) {
+	benchScheduler(b, exmem.New(), 1, workload.Tight)
+}
+func BenchmarkFig4SearchTimeEXMEM2Jobs(b *testing.B) {
+	benchScheduler(b, exmem.New(), 2, workload.Tight)
+}
+func BenchmarkFig4SearchTimeEXMEM3Jobs(b *testing.B) {
+	benchScheduler(b, exmem.New(), 3, workload.Tight)
+}
+func BenchmarkFig4SearchTimeEXMEM4Jobs(b *testing.B) {
+	benchScheduler(b, exmem.New(), 4, workload.Tight)
+}
+
+// Ablation: MDF job selection vs EDF and arrival order (DESIGN.md calls
+// out the selection policy as the heuristic's key design choice).
+func benchSelection(b *testing.B, sel core.Selection) {
+	fixtures(b)
+	s := core.NewWithOptions(core.Options{Selection: sel})
+	idxs := fixByJobs[workload.Tight][3]
+	ok := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := &fixSuite[idxs[i%len(idxs)]]
+		if _, err := s.Schedule(c.Jobs, fixPlat, c.T0); err == nil {
+			ok++
+		}
+	}
+	b.ReportMetric(float64(ok)/float64(b.N)*100, "%scheduled")
+}
+
+func BenchmarkAblationSelectMDF(b *testing.B)     { benchSelection(b, core.SelectMDF) }
+func BenchmarkAblationSelectEDF(b *testing.B)     { benchSelection(b, core.SelectEDF) }
+func BenchmarkAblationSelectArrival(b *testing.B) { benchSelection(b, core.SelectArrival) }
+
+// Ablation: operating-point table size. Larger tables give schedulers
+// more choices (better energy) at higher search cost; the paper bounds
+// them via Pareto filtering and the DSE thins them further.
+func BenchmarkAblationTableSize(b *testing.B) {
+	plat := platform.OdroidXU4()
+	for _, size := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("%02dpts", size), func(b *testing.B) {
+			lib, err := dse.ExploreSuite(kpn.BenchmarkSuite(), plat,
+				dse.Options{MaxPointsPerTable: size})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cases, err := workload.Suite(lib, workload.Params{
+				Seed:   5,
+				Counts: map[workload.Level][4]int{workload.Tight: {0, 0, 4, 4}},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := core.New()
+			energy := 0.0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := &cases[i%len(cases)]
+				if k, err := s.Schedule(c.Jobs, plat, c.T0); err == nil {
+					energy = k.Energy(c.Jobs)
+				}
+			}
+			_ = energy
+		})
+	}
+}
+
+// Ablation: Algorithm 2 (EDF packing) in isolation, the inner loop of
+// MMKP-MDF.
+func BenchmarkAblationPackEDF(b *testing.B) {
+	jobs := job.Set(motiv.ScenarioS1AtT1())
+	plat := motiv.Platform()
+	p1 := jobs.ByID(1).Table.ByAlloc(platform.Alloc{2, 1})[0]
+	p2 := jobs.ByID(2).Table.ByAlloc(platform.Alloc{2, 1})[0]
+	asg := sched.Assignment{1: p1, 2: p2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.PackEDF(jobs, asg, plat, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: the online runtime manager on a dynamic trace (throughput of
+// the full activation path: advance, schedule, commit).
+func BenchmarkOnlineManagerTrace(b *testing.B) {
+	fixtures(b)
+	trace, err := workload.Trace(fixLib, workload.TraceParams{Rate: 0.2, Horizon: 120, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mgr, err := rm.New(fixPlat, fixLib, core.New(), rm.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, req := range trace {
+			if _, _, _, err := mgr.Submit(req.At, req.App, req.Deadline); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := mgr.Drain(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Command rmdse runs the design-time half of the hybrid mapping flow:
+// virtual benchmarking of the three dataflow applications on the modeled
+// Odroid XU4, exhaustive design-space exploration over core allocations,
+// and Pareto filtering. It prints the resulting operating-point tables
+// and optionally writes them as JSON for the runtime tools.
+//
+// Usage:
+//
+//	rmdse [-out tables.json] [-points N] [-reps N] [-seed S] [-raw]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adaptrm/internal/dse"
+	"adaptrm/internal/kpn"
+	"adaptrm/internal/opset"
+	"adaptrm/internal/platform"
+)
+
+func main() {
+	out := flag.String("out", "", "write the library as JSON to this file")
+	points := flag.Int("points", 0, "thin each table to at most N points (0 = paper defaults)")
+	reps := flag.Int("reps", 0, "average N noisy measurements per allocation (0 = deterministic)")
+	seed := flag.Int64("seed", 1, "measurement noise seed")
+	raw := flag.Bool("raw", false, "keep full Pareto fronts (ignore the paper's per-app counts)")
+	dvfs := flag.Bool("dvfs", false, "explore DVFS levels (implies the odroid-xu4-dvfs preset unless -platform is given)")
+	platPath := flag.String("platform", "", "platform description JSON (default: odroid-xu4)")
+	flag.Parse()
+
+	plat := platform.OdroidXU4()
+	if *dvfs {
+		plat = platform.OdroidXU4DVFS()
+	}
+	if *platPath != "" {
+		f, err := os.Open(*platPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rmdse:", err)
+			os.Exit(1)
+		}
+		plat, err = platform.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rmdse:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("platform: %s\n\n", plat)
+
+	var lib *opset.Library
+	var err error
+	switch {
+	case *raw || *points > 0 || *reps > 0 || *dvfs || *platPath != "":
+		lib, err = dse.ExploreSuite(kpn.BenchmarkSuite(), plat, dse.Options{
+			MaxPointsPerTable: *points,
+			Reps:              *reps,
+			Seed:              *seed,
+			DVFS:              *dvfs,
+		})
+	default:
+		lib, err = dse.StandardLibrary(plat)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmdse:", err)
+		os.Exit(1)
+	}
+
+	totals := map[string]int{}
+	for _, tbl := range lib.Tables() {
+		totals[tbl.App] += tbl.Len()
+		fmt.Print(tbl)
+		fmt.Println()
+	}
+	fmt.Println("Pareto configurations per application (paper: speaker 28, audio 36, pedestrian 35):")
+	for _, app := range []string{"speaker-recognition", "audio-filter", "pedestrian-recognition"} {
+		fmt.Printf("  %-24s %d\n", app, totals[app])
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rmdse:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := lib.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rmdse:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+}

@@ -1,0 +1,75 @@
+// Command rmgen generates the evaluation workload: either the 1676-case
+// static suite of Table III (default) or a dynamic Poisson arrival trace.
+// Workloads are printed as a census plus, optionally, written to JSON in
+// the format cmd/rmeval and cmd/rmsim consume.
+//
+// Usage:
+//
+//	rmgen [-seed S] [-out suite.json]
+//	rmgen -trace -rate 0.2 -horizon 600 [-seed S] [-out trace.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adaptrm/internal/dse"
+	"adaptrm/internal/eval"
+	"adaptrm/internal/platform"
+	"adaptrm/internal/workload"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "generation seed")
+	out := flag.String("out", "", "write the workload as JSON to this file")
+	trace := flag.Bool("trace", false, "generate a dynamic arrival trace instead of the static suite")
+	rate := flag.Float64("rate", 0.2, "trace: mean arrivals per second")
+	horizon := flag.Float64("horizon", 600, "trace: duration in seconds")
+	flag.Parse()
+
+	plat := platform.OdroidXU4()
+	lib, err := dse.StandardLibrary(plat)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *trace {
+		reqs, err := workload.Trace(lib, workload.TraceParams{Rate: *rate, Horizon: *horizon, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("generated %d requests over %.0fs (rate %.2f/s, seed %d)\n",
+			len(reqs), *horizon, *rate, *seed)
+		if *out != "" {
+			writeFile(*out, func(f *os.File) error { return workload.WriteTraceJSON(f, reqs) })
+		}
+		return
+	}
+
+	cases, err := workload.Suite(lib, workload.Params{Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	eval.NewTable3Report(cases).Render(os.Stdout)
+	if *out != "" {
+		writeFile(*out, func(f *os.File) error { return workload.WriteSuiteJSON(f, cases) })
+	}
+}
+
+func writeFile(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rmgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,29 @@
+// Package adaptrm is an energy-efficient runtime resource manager for
+// adaptable multi-application mapping on heterogeneous multi-core
+// platforms, reproducing Khasanov & Castrillon, "Energy-efficient Runtime
+// Resource Management for Adaptable Multi-application Mapping" (DATE
+// 2020).
+//
+// The library implements the full hybrid mapping flow of the paper:
+//
+//   - design time: dataflow application models (package kpn), a virtual
+//     big.LITTLE platform with a power model (vplat), and exhaustive
+//     design-space exploration with Pareto filtering (dse) that produces
+//     per-application operating-point tables ⟨θ, τ, ξ⟩;
+//   - runtime: the MMKP-MDF scheduling heuristic (the paper's
+//     contribution), the EX-MEM exact reference and the MMKP-LR baseline,
+//     fixed-mapping baselines, and an online runtime manager with
+//     admission control, progress tracking and energy accounting;
+//   - evaluation: the 1676-case workload generator of Table III and the
+//     harness regenerating Table IV and Figures 2–4.
+//
+// # Quickstart
+//
+//	plat := adaptrm.OdroidXU4()
+//	lib, _ := adaptrm.StandardLibrary(plat)
+//	mgr, _ := adaptrm.NewManager(plat, lib, adaptrm.NewMMKPMDF(), adaptrm.ManagerOptions{})
+//	id, accepted, _, _ := mgr.Submit(0, "audio-filter/medium", 25.0)
+//
+// See the examples/ directory for runnable programs and cmd/ for the
+// evaluation tools.
+package adaptrm

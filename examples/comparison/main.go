@@ -1,0 +1,92 @@
+// Comparison runs a reduced version of the paper's evaluation through the
+// public API: it generates a subsample of the Table III suite, runs
+// EX-MEM, MMKP-LR and MMKP-MDF on every case, and reports scheduling
+// rates and energy ratios — a small-scale preview of Fig. 2 and Table IV
+// (use cmd/rmeval for the full reproduction).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"adaptrm"
+)
+
+func main() {
+	plat := adaptrm.OdroidXU4()
+	lib, err := adaptrm.StandardLibrary(plat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cases, err := adaptrm.GenerateSuite(lib, adaptrm.WorkloadParams{
+		Seed: 7,
+		Counts: map[adaptrm.WorkloadLevel][4]int{
+			adaptrm.Weak:  {4, 10, 10, 8},
+			adaptrm.Tight: {4, 12, 12, 8},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("running %d cases on %s\n\n", len(cases), plat)
+
+	schedulers := []adaptrm.Scheduler{
+		adaptrm.NewEXMEM(),
+		adaptrm.NewMMKPLR(),
+		adaptrm.NewMMKPMDF(),
+	}
+	type outcome struct {
+		ok     bool
+		energy float64
+	}
+	results := map[string][]outcome{}
+	for _, s := range schedulers {
+		outs := make([]outcome, len(cases))
+		start := time.Now()
+		for ci, c := range cases {
+			k, err := s.Schedule(c.Jobs, plat, c.T0)
+			switch {
+			case err == nil:
+				outs[ci] = outcome{ok: true, energy: k.Energy(c.Jobs)}
+			case errors.Is(err, adaptrm.ErrInfeasible):
+				// rejected
+			default:
+				log.Fatalf("%s on %s: %v", s.Name(), c.Name, err)
+			}
+		}
+		results[s.Name()] = outs
+		ok := 0
+		for _, o := range outs {
+			if o.ok {
+				ok++
+			}
+		}
+		fmt.Printf("%-10s scheduled %3d/%3d cases in %v\n",
+			s.Name(), ok, len(cases), time.Since(start).Round(time.Millisecond))
+	}
+
+	// Geomean relative energy vs EX-MEM over commonly scheduled cases.
+	fmt.Println()
+	base := results["EX-MEM"]
+	for _, name := range []string{"MMKP-LR", "MMKP-MDF"} {
+		logSum, n, optimal := 0.0, 0, 0
+		for ci, o := range results[name] {
+			if o.ok && base[ci].ok && base[ci].energy > 0 {
+				r := o.energy / base[ci].energy
+				logSum += math.Log(r)
+				n++
+				if r <= 1+1e-9 {
+					optimal++
+				}
+			}
+		}
+		if n > 0 {
+			fmt.Printf("%-10s geomean rel. energy vs EX-MEM: %.4f  (optimal on %d/%d cases)\n",
+				name, math.Exp(logSum/float64(n)), optimal, n)
+		}
+	}
+	fmt.Println("\npaper (full suite): MMKP-MDF ≈ 1.036, MMKP-LR ≈ 1.167 — run cmd/rmeval for the full numbers")
+}

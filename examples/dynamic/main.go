@@ -1,0 +1,56 @@
+// Dynamic runs the online runtime manager against a bursty Poisson
+// request trace — the workload the paper's introduction motivates — and
+// compares the adaptive MMKP-MDF manager against the MMKP-LR baseline on
+// acceptance rate, energy and scheduling overhead.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adaptrm"
+)
+
+func main() {
+	plat := adaptrm.OdroidXU4()
+	lib, err := adaptrm.StandardLibrary(plat)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	trace, err := adaptrm.GenerateTrace(lib, adaptrm.TraceParams{
+		Rate:    0.25, // one request every 4 s on average: contended
+		Horizon: 400,
+		Factor:  [2]float64{1.1, 2.5}, // fairly tight deadlines
+		Seed:    42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d requests over 400 s on %s\n\n", len(trace), plat)
+
+	for _, s := range []adaptrm.Scheduler{adaptrm.NewMMKPMDF(), adaptrm.NewMMKPLR()} {
+		mgr, err := adaptrm.NewManager(plat, lib, s, adaptrm.ManagerOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, req := range trace {
+			// Completions between arrivals happen implicitly inside
+			// Submit's time advance; explicit stepping is only needed
+			// for completion-triggered rescheduling (see package desim).
+			if _, _, _, err := mgr.Submit(req.At, req.App, req.Deadline); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if _, err := mgr.Drain(); err != nil {
+			log.Fatal(err)
+		}
+		st := mgr.Stats()
+		fmt.Printf("%-10s accepted %3d/%3d (%.0f%%)  energy %8.1f J  misses %d  sched time %v\n",
+			s.Name(), st.Accepted, st.Submitted,
+			100*float64(st.Accepted)/float64(st.Submitted),
+			st.Energy, st.DeadlineMisses, st.SchedulingTime)
+	}
+	fmt.Println("\nBoth managers guarantee zero deadline misses by admission control;")
+	fmt.Println("the adaptive global-scope MMKP-MDF spends less energy per accepted job.")
+}

@@ -1,0 +1,101 @@
+// Proactive demonstrates the workload-prediction extension: an online
+// inter-arrival predictor learns the request pattern, and a
+// prediction-gated scheduler declines requests that would starve the
+// arrivals it forecasts. The example compares reactive and proactive
+// admission on a trace with a strongly periodic component, reporting the
+// downstream effect: the proactive manager sacrifices a little acceptance
+// on aperiodic traffic to protect the periodic application's admission.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"adaptrm"
+	"adaptrm/internal/desim"
+	"adaptrm/internal/predict"
+	"adaptrm/internal/rm"
+	"adaptrm/internal/workload"
+)
+
+func main() {
+	plat := adaptrm.OdroidXU4()
+	lib, err := adaptrm.StandardLibrary(plat)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A strictly periodic pedestrian-recognition stream with firm, tight
+	// deadlines, interleaved with contending tight-deadline traffic that
+	// can starve it.
+	var trace []workload.Request
+	periodic := "pedestrian-recognition/medium"
+	pTime := lib.Get(periodic).FastestTime()
+	nPeriodic := 0
+	for t := 5.0; t < 500; t += 25 {
+		trace = append(trace, workload.Request{At: t, App: periodic, Deadline: t + pTime*1.3})
+		nPeriodic++
+	}
+	raw, err := adaptrm.GenerateTrace(lib, adaptrm.TraceParams{
+		Rate: 0.22, Horizon: 500, Factor: [2]float64{1.05, 1.5}, Seed: 17,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Keep the periodic application exclusively periodic so the
+	// predictor sees a clean pattern.
+	bursty := raw[:0]
+	for _, r := range raw {
+		if r.App != periodic {
+			bursty = append(bursty, r)
+		}
+	}
+	trace = append(trace, bursty...)
+	sort.SliceStable(trace, func(i, j int) bool { return trace[i].At < trace[j].At })
+	fmt.Printf("trace: %d requests (%d strictly periodic, %d bursty)\n\n",
+		len(trace), nPeriodic, len(bursty))
+
+	run := func(label string, s adaptrm.Scheduler, pred adaptrm.Predictor) {
+		res, err := desim.Simulate(trace, lib, plat, s, desim.Options{
+			Manager:   rm.Options{},
+			Predictor: pred,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		perApp := map[string][2]int{} // accepted, total
+		for _, e := range res.Events {
+			if e.Kind != desim.Arrival {
+				continue
+			}
+			c := perApp[e.App]
+			if e.Accepted {
+				c[0]++
+			}
+			c[1]++
+			perApp[e.App] = c
+		}
+		p := perApp[periodic]
+		fmt.Printf("%-22s accepted %3d/%3d overall, periodic %2d/%2d, energy %7.1f J, misses %d\n",
+			label, res.Stats.Accepted, res.Stats.Submitted, p[0], p[1],
+			res.Stats.Energy, res.Stats.DeadlineMisses)
+	}
+
+	run("reactive MMKP-MDF", adaptrm.NewMMKPMDF(), nil)
+
+	pred := adaptrm.NewInterArrivalPredictor()
+	pro := &predict.Scheduler{
+		Inner:          adaptrm.NewMMKPMDF(),
+		Pred:           pred,
+		Lib:            lib,
+		Horizon:        30,
+		Protect:        []string{periodic},
+		DeadlineFactor: 1.3, // match the stream's real deadline factor
+	}
+	run("proactive MMKP-MDF", pro, pred)
+
+	fmt.Println("\nThe proactive gate trades a little bursty acceptance for markedly")
+	fmt.Println("better admission of the protected periodic stream (and lower energy,")
+	fmt.Println("since protected slots displace energy-hungry tight bursts).")
+}

@@ -1,0 +1,66 @@
+// Quickstart: build the platform and operating-point library, submit two
+// applications to the runtime manager, and inspect the adaptive schedule.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"adaptrm"
+)
+
+func main() {
+	// The modeled Odroid XU4: 4 little + 4 big cores.
+	plat := adaptrm.OdroidXU4()
+
+	// Design time: virtual benchmarking + DSE + Pareto filtering for the
+	// three dataflow applications (speaker recognition, audio filter,
+	// pedestrian recognition) at three input sizes each.
+	lib, err := adaptrm.StandardLibrary(plat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("library: %d application variants\n", lib.Len())
+	for _, name := range lib.Names() {
+		fmt.Printf("  %-32s %2d operating points\n", name, lib.Get(name).Len())
+	}
+
+	// Runtime: an online manager with the paper's MMKP-MDF heuristic.
+	mgr, err := adaptrm.NewManager(plat, lib, adaptrm.NewMMKPMDF(), adaptrm.ManagerOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two requests arrive: an audio filter at t=0 with a 20 s deadline,
+	// a pedestrian recognition at t=2 with a 30 s deadline.
+	for _, req := range []struct {
+		at, deadline float64
+		app          string
+	}{
+		{0, 20, "audio-filter/medium"},
+		{2, 30, "pedestrian-recognition/medium"},
+	} {
+		id, accepted, _, err := mgr.Submit(req.at, req.app, req.deadline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nt=%.0f: %s → accepted=%v (job %d)\n", req.at, req.app, accepted, id)
+	}
+
+	// Show the plan the manager committed to.
+	fmt.Println("\nplanned schedule (segments with per-job operating points):")
+	fmt.Print(mgr.CurrentSchedule())
+	fmt.Println("\nGantt:")
+	if err := adaptrm.RenderGantt(os.Stdout, mgr.CurrentSchedule(), mgr.ActiveJobs(), plat, 90); err != nil {
+		log.Fatal(err)
+	}
+
+	// Run to completion and report.
+	if _, err := mgr.Drain(); err != nil {
+		log.Fatal(err)
+	}
+	st := mgr.Stats()
+	fmt.Printf("\ncompleted %d jobs, %.2f J, %d deadline misses, scheduling took %v\n",
+		st.Completed, st.Energy, st.DeadlineMisses, st.SchedulingTime)
+}

@@ -1,0 +1,65 @@
+package adaptrm
+
+import (
+	"testing"
+
+	"adaptrm/internal/motiv"
+)
+
+func TestFacadeGreedyScheduler(t *testing.T) {
+	s := NewMMKPGreedy()
+	if s.Name() != "MMKP-GR" {
+		t.Errorf("name = %q", s.Name())
+	}
+	jobs := JobSet(motiv.ScenarioS1AtT1())
+	k, err := ScheduleJobs(s, jobs, Motivational2L2B(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.IsEmpty() {
+		t.Error("empty schedule")
+	}
+}
+
+func TestFacadeProactive(t *testing.T) {
+	lib := motiv.Library()
+	pred := NewInterArrivalPredictor()
+	pro := NewProactive(NewMMKPMDF(), pred, lib, 20, "lambda2")
+	if pro.Name() != "MMKP-MDF+predict" {
+		t.Errorf("name = %q", pro.Name())
+	}
+	// With no observations the wrapper passes through.
+	jobs := JobSet(motiv.ScenarioS1AtT1())
+	if _, err := ScheduleJobs(pro, jobs, Motivational2L2B(), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeDVFS(t *testing.T) {
+	plat := OdroidXU4DVFS()
+	if err := plat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lib, err := ExploreDVFS(plat, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Len() != 9 {
+		t.Fatalf("library has %d tables", lib.Len())
+	}
+	// A DVFS library schedules through the normal runtime path.
+	mgr, err := NewManager(plat, lib, NewMMKPMDF(), ManagerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := lib.Names()[0]
+	if _, ok, _, err := mgr.Submit(0, name, 1e6); err != nil || !ok {
+		t.Fatalf("submit: ok=%v err=%v", ok, err)
+	}
+	if _, err := mgr.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Stats().DeadlineMisses != 0 {
+		t.Error("misses")
+	}
+}

@@ -1,0 +1,193 @@
+// Package core implements the paper's primary contribution: the MMKP-MDF
+// mapping heuristic (Algorithm 1) for firm real-time multi-threaded
+// applications on heterogeneous multi-cores.
+//
+// The heuristic views core types as knapsacks whose capacities are
+// processing time (core-seconds) up to the largest deadline, and job
+// configurations as items weighing θ·τ·ρ. Jobs are selected by
+// Maximum-Difference-First (MDF): the job whose energy penalty for losing
+// its best feasible configuration is largest is placed first. Each
+// candidate configuration is committed only if Algorithm 2 (EDF packing
+// with segment splitting, sched.PackEDF) finds a feasible segmented
+// schedule for all committed jobs.
+package core
+
+import (
+	"math"
+	"sort"
+
+	"adaptrm/internal/job"
+	"adaptrm/internal/platform"
+	"adaptrm/internal/sched"
+	"adaptrm/internal/schedule"
+)
+
+// Selection chooses the job-ordering policy of Algorithm 1's outer loop.
+// MDF is the paper's policy; the others exist for ablation studies.
+type Selection int
+
+const (
+	// SelectMDF picks the unmapped job with the maximum energy
+	// difference between its best and second-best feasible points.
+	SelectMDF Selection = iota
+	// SelectEDF picks the unmapped job with the earliest deadline.
+	SelectEDF
+	// SelectArrival picks unmapped jobs in arrival order (FCFS).
+	SelectArrival
+)
+
+// String returns the ablation label of the policy.
+func (s Selection) String() string {
+	switch s {
+	case SelectMDF:
+		return "MDF"
+	case SelectEDF:
+		return "EDF"
+	case SelectArrival:
+		return "FCFS"
+	default:
+		return "?"
+	}
+}
+
+// Options tunes the heuristic. The zero value reproduces the paper.
+type Options struct {
+	// Selection is the job-ordering policy (default MDF).
+	Selection Selection
+}
+
+// Scheduler is the MMKP-MDF scheduler.
+type Scheduler struct {
+	opt Options
+}
+
+// New returns the paper's MMKP-MDF scheduler.
+func New() *Scheduler { return &Scheduler{} }
+
+// NewWithOptions returns a scheduler with ablation options.
+func NewWithOptions(opt Options) *Scheduler { return &Scheduler{opt: opt} }
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string {
+	if s.opt.Selection == SelectMDF {
+		return "MMKP-MDF"
+	}
+	return "MMKP-" + s.opt.Selection.String()
+}
+
+// candidate describes one unmapped job's filtered configuration list.
+type candidate struct {
+	j    *job.Job
+	pts  []int   // feasible point indices, ascending energy
+	diff float64 // MDF difference; +Inf when only one point is feasible
+}
+
+// Schedule implements Algorithm 1. It returns sched.ErrInfeasible when no
+// feasible schedule exists for the job set under the heuristic.
+func (s *Scheduler) Schedule(jobs job.Set, plat platform.Platform, t float64) (*schedule.Schedule, error) {
+	if err := jobs.Validate(t); err != nil {
+		return nil, err
+	}
+	m := plat.NumTypes()
+	// Line 1: containers J ← Θ × (max deadline − t).
+	horizon := jobs.MaxDeadline() - t
+	containers := platform.NewTimeVec(m)
+	for i, c := range plat.Capacity() {
+		containers[i] = float64(c) * horizon
+	}
+	// Line 2: no configurations chosen yet.
+	asg := make(sched.Assignment, len(jobs))
+	var best *schedule.Schedule
+	// Line 3: iterate until every job has a configuration.
+	for len(asg) < len(jobs) {
+		cand := s.nextJob(jobs, asg, containers, t)
+		if cand == nil {
+			// No unmapped job left (defensive; loop condition covers it).
+			break
+		}
+		// Lines 5–14: try configurations in ascending energy order.
+		placed := false
+		for _, ptIdx := range cand.pts {
+			trial := asg.Clone()
+			trial[cand.j.ID] = ptIdx
+			k, err := sched.PackEDF(jobs, trial, plat, t)
+			if err != nil {
+				continue // line 14: drop this configuration
+			}
+			// Lines 11–12: commit and update containers.
+			asg = trial
+			best = k
+			pt := cand.j.Table.Points[ptIdx]
+			containers.SubUsage(pt.Alloc, pt.RemainingTime(cand.j.Remaining))
+			placed = true
+			break
+		}
+		if !placed {
+			// Line 6: configuration list exhausted.
+			return nil, sched.ErrInfeasible
+		}
+	}
+	if best == nil {
+		return nil, sched.ErrInfeasible
+	}
+	best.Normalize()
+	return best, nil
+}
+
+// nextJob implements NEXTJOBMDF (and the ablation policies): it filters
+// each unmapped job's points against deadlines and containers, and picks
+// the next job to place. It returns nil when every job is mapped.
+//
+// A job with no feasible configuration is returned immediately (with an
+// empty point list) so that Schedule can reject the request without
+// wasting work on the other jobs.
+func (s *Scheduler) nextJob(jobs job.Set, asg sched.Assignment, containers platform.TimeVec, t float64) *candidate {
+	var cands []*candidate
+	for _, j := range jobs {
+		if _, done := asg[j.ID]; done {
+			continue
+		}
+		pts := sched.FeasiblePoints(j, t, containers)
+		if len(pts) == 0 {
+			return &candidate{j: j} // fail fast upstream
+		}
+		c := &candidate{j: j, pts: pts}
+		if len(pts) == 1 {
+			c.diff = math.Inf(1)
+		} else {
+			// Points are table-ordered by ascending full-run energy, and
+			// remaining energy preserves that order (common factor ρ).
+			best := j.Table.Points[pts[0]].RemainingEnergy(j.Remaining)
+			second := j.Table.Points[pts[1]].RemainingEnergy(j.Remaining)
+			c.diff = second - best
+		}
+		cands = append(cands, c)
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	switch s.opt.Selection {
+	case SelectEDF:
+		sort.SliceStable(cands, func(a, b int) bool {
+			if cands[a].j.Deadline != cands[b].j.Deadline {
+				return cands[a].j.Deadline < cands[b].j.Deadline
+			}
+			return cands[a].j.ID < cands[b].j.ID
+		})
+	case SelectArrival:
+		sort.SliceStable(cands, func(a, b int) bool {
+			if cands[a].j.Arrival != cands[b].j.Arrival {
+				return cands[a].j.Arrival < cands[b].j.Arrival
+			}
+			return cands[a].j.ID < cands[b].j.ID
+		})
+	default: // MDF
+		sort.SliceStable(cands, func(a, b int) bool {
+			if cands[a].diff != cands[b].diff {
+				return cands[a].diff > cands[b].diff
+			}
+			return cands[a].j.ID < cands[b].j.ID
+		})
+	}
+	return cands[0]
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"adaptrm/internal/job"
+	"adaptrm/internal/motiv"
+	"adaptrm/internal/opset"
+	"adaptrm/internal/platform"
+	"adaptrm/internal/sched"
+)
+
+func TestName(t *testing.T) {
+	if got := New().Name(); got != "MMKP-MDF" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := NewWithOptions(Options{Selection: SelectEDF}).Name(); got != "MMKP-EDF" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := NewWithOptions(Options{Selection: SelectArrival}).Name(); got != "MMKP-FCFS" {
+		t.Errorf("Name = %q", got)
+	}
+	if Selection(99).String() != "?" {
+		t.Error("unknown selection label")
+	}
+}
+
+// Single job σ1 at t=0 with deadline 9: the energy-optimal feasible point
+// is 2L1B (ξ=8.90, underlined in Table II).
+func TestSingleJobPicksUnderlinedPoint(t *testing.T) {
+	jobs := job.Set{{ID: 1, Table: motiv.Lambda1(), Deadline: 9, Remaining: 1}}
+	plat := motiv.Platform()
+	k, err := New().Schedule(jobs, plat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Validate(plat, jobs, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Energy(jobs); math.Abs(got-8.90) > 1e-9 {
+		t.Errorf("energy = %v, want 8.90", got)
+	}
+	if len(k.Segments) != 1 {
+		t.Fatalf("segments = %d", len(k.Segments))
+	}
+	pt := jobs[0].Table.Points[k.Segments[0].Placements[0].Point]
+	if !pt.Alloc.Equal(platform.Alloc{2, 1}) {
+		t.Errorf("picked %v, want 2L1B", pt.Alloc)
+	}
+}
+
+// Scenario S1 at t=1: MMKP-MDF must reproduce the adaptive schedule of
+// Fig. 1(c): σ2 on 2L1B during [1,4), σ1 suspended, then σ1 on 2L1B;
+// total energy 14.63 J including σ1's first second.
+func TestScenarioS1ReproducesFig1c(t *testing.T) {
+	jobs := job.Set(motiv.ScenarioS1AtT1())
+	plat := motiv.Platform()
+	k, err := New().Schedule(jobs, plat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Validate(plat, jobs, 1); err != nil {
+		t.Fatal(err)
+	}
+	total := k.Energy(jobs) + motiv.EnergyBeforeT1
+	if math.Abs(total-14.63) > 0.01 {
+		t.Errorf("S1 energy = %.3f, want 14.63", total)
+	}
+	if got := k.FinishTime(2); math.Abs(got-4.0) > 1e-6 {
+		t.Errorf("σ2 finishes at %v, want 4.0", got)
+	}
+	if got := k.FinishTime(1); got > 9+1e-9 {
+		t.Errorf("σ1 finishes at %v after deadline", got)
+	}
+}
+
+// Scenario S2 (σ2 deadline 4): fixed mappers reject it, the adaptive
+// MMKP-MDF must still find the Fig. 1(c) schedule.
+func TestScenarioS2Schedulable(t *testing.T) {
+	jobs := job.Set(motiv.ScenarioS2AtT1())
+	plat := motiv.Platform()
+	k, err := New().Schedule(jobs, plat, 1)
+	if err != nil {
+		t.Fatalf("S2 rejected by MMKP-MDF: %v", err)
+	}
+	if err := k.Validate(plat, jobs, 1); err != nil {
+		t.Fatal(err)
+	}
+	total := k.Energy(jobs) + motiv.EnergyBeforeT1
+	if math.Abs(total-14.63) > 0.01 {
+		t.Errorf("S2 energy = %.3f, want 14.63", total)
+	}
+}
+
+// An impossible job set must yield ErrInfeasible.
+func TestInfeasibleRejected(t *testing.T) {
+	jobs := job.Set{
+		{ID: 1, Table: motiv.Lambda1(), Deadline: 1, Remaining: 1}, // fastest needs 4.7s
+	}
+	_, err := New().Schedule(jobs, motiv.Platform(), 0)
+	if !errors.Is(err, sched.ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+	// Two copies of λ2 with deadlines only one can make.
+	jobs = job.Set{
+		{ID: 1, Table: motiv.Lambda2(), Deadline: 2, Remaining: 1},
+		{ID: 2, Table: motiv.Lambda2(), Deadline: 2, Remaining: 1},
+	}
+	_, err = New().Schedule(jobs, motiv.Platform(), 0)
+	if !errors.Is(err, sched.ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+// Invalid inputs are reported, not scheduled.
+func TestInvalidJobs(t *testing.T) {
+	jobs := job.Set{{ID: 1, Table: motiv.Lambda1(), Deadline: 9, Remaining: 2}}
+	if _, err := New().Schedule(jobs, motiv.Platform(), 0); err == nil {
+		t.Error("invalid ρ accepted")
+	}
+	if _, err := New().Schedule(nil, motiv.Platform(), 0); err == nil {
+		t.Error("empty set accepted")
+	}
+}
+
+// All selection policies must produce valid (if different) schedules on a
+// feasible 3-job workload.
+func TestSelectionPoliciesValid(t *testing.T) {
+	jobs := job.Set{
+		{ID: 1, Table: motiv.Lambda1(), Arrival: 0, Deadline: 30, Remaining: 1},
+		{ID: 2, Table: motiv.Lambda2(), Arrival: 0.5, Deadline: 18, Remaining: 0.7},
+		{ID: 3, Table: motiv.Lambda2(), Arrival: 1, Deadline: 25, Remaining: 1},
+	}
+	plat := motiv.Platform()
+	for _, sel := range []Selection{SelectMDF, SelectEDF, SelectArrival} {
+		s := NewWithOptions(Options{Selection: sel})
+		k, err := s.Schedule(jobs.Clone(), plat, 2)
+		if err != nil {
+			t.Errorf("%v: %v", sel, err)
+			continue
+		}
+		if err := k.Validate(plat, jobs, 2); err != nil {
+			t.Errorf("%v: invalid schedule: %v", sel, err)
+		}
+	}
+}
+
+// MDF must prefer the job with the larger best-to-second-best gap: with
+// both jobs wanting 2L1B, λ1 (gap 1.38 J) is placed before λ2 (gap
+// 0.71 J) and wins the point, which is what makes Fig. 1(c) possible.
+func TestMDFOrdering(t *testing.T) {
+	jobs := job.Set(motiv.ScenarioS1AtT1())
+	plat := motiv.Platform()
+	k, err := New().Schedule(jobs, plat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// σ1 must hold 2L1B in its segments (it won the contested point).
+	for _, seg := range k.Segments {
+		for _, p := range seg.Placements {
+			if p.JobID == 1 {
+				pt := jobs.ByID(1).Table.Points[p.Point]
+				if !pt.Alloc.Equal(platform.Alloc{2, 1}) {
+					t.Errorf("σ1 runs on %v, want 2L1B", pt.Alloc)
+				}
+			}
+		}
+	}
+}
+
+// The schedule must never mutate the caller's job set.
+func TestDoesNotMutateJobs(t *testing.T) {
+	jobs := job.Set(motiv.ScenarioS1AtT1())
+	before := jobs.Clone()
+	if _, err := New().Schedule(jobs, motiv.Platform(), 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if jobs[i].Remaining != before[i].Remaining || jobs[i].Deadline != before[i].Deadline {
+			t.Errorf("job %d mutated", jobs[i].ID)
+		}
+	}
+}
+
+// Jobs with equal MDF difference are selected deterministically (by ID).
+func TestDeterminism(t *testing.T) {
+	tbl := func() *opset.Table { return motiv.Lambda2() }
+	jobs := job.Set{
+		{ID: 1, Table: tbl(), Deadline: 40, Remaining: 1},
+		{ID: 2, Table: tbl(), Deadline: 40, Remaining: 1},
+	}
+	plat := motiv.Platform()
+	k1, err1 := New().Schedule(jobs, plat, 0)
+	k2, err2 := New().Schedule(jobs, plat, 0)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if k1.String() != k2.String() {
+		t.Errorf("non-deterministic schedules:\n%s\nvs\n%s", k1, k2)
+	}
+}

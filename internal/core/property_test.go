@@ -1,0 +1,140 @@
+package core_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"adaptrm/internal/core"
+	"adaptrm/internal/exmem"
+	"adaptrm/internal/job"
+	"adaptrm/internal/lagrange"
+	"adaptrm/internal/motiv"
+	"adaptrm/internal/opset"
+	"adaptrm/internal/sched"
+	"adaptrm/internal/schedule"
+)
+
+// randomJobs draws a random job set over the motivational tables with a
+// mix of tight and loose deadlines.
+func randomJobs(rng *rand.Rand) job.Set {
+	n := 1 + rng.Intn(4)
+	tables := []*opset.Table{motiv.Lambda1(), motiv.Lambda2()}
+	jobs := make(job.Set, 0, n)
+	for i := 0; i < n; i++ {
+		tbl := tables[rng.Intn(len(tables))]
+		rho := 1.0
+		if i > 0 && rng.Float64() < 0.7 {
+			rho = 1 - rng.Float64()*0.9
+		}
+		pt := tbl.Points[rng.Intn(tbl.Len())]
+		factor := 0.6 + rng.Float64()*3
+		jobs = append(jobs, &job.Job{
+			ID:        i + 1,
+			Table:     tbl,
+			Arrival:   0,
+			Deadline:  pt.RemainingTime(rho)*factor + 1e-6,
+			Remaining: rho,
+		})
+	}
+	return jobs
+}
+
+// Randomized cross-check of the paper's ordering invariants:
+//   - every produced schedule satisfies (2b)–(2e);
+//   - EX-MEM succeeds whenever any heuristic succeeds;
+//   - no heuristic beats EX-MEM's energy;
+//   - schedulers never mutate the input jobs.
+func TestRandomizedCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	plat := motiv.Platform()
+	mdf := core.New()
+	lr := lagrange.New()
+	ex := exmem.New()
+	rounds := 120
+	if testing.Short() {
+		rounds = 25
+	}
+	for round := 0; round < rounds; round++ {
+		jobs := randomJobs(rng)
+		before := jobs.Clone()
+
+		type res struct {
+			k   *schedule.Schedule
+			err error
+		}
+		outs := map[string]res{}
+		for _, s := range []sched.Scheduler{mdf, lr, ex} {
+			k, err := s.Schedule(jobs, plat, 0)
+			if err == nil {
+				if verr := k.Validate(plat, jobs, 0); verr != nil {
+					t.Fatalf("round %d: %s invalid: %v\njobs: %v", round, s.Name(), verr, jobs)
+				}
+			} else if !errors.Is(err, sched.ErrInfeasible) && !errors.Is(err, exmem.ErrBudget) {
+				t.Fatalf("round %d: %s unexpected error: %v", round, s.Name(), err)
+			}
+			outs[s.Name()] = res{k, err}
+		}
+		for i := range jobs {
+			if jobs[i].Remaining != before[i].Remaining || jobs[i].Deadline != before[i].Deadline {
+				t.Fatalf("round %d: job %d mutated", round, jobs[i].ID)
+			}
+		}
+		exOut := outs["EX-MEM"]
+		for _, name := range []string{"MMKP-MDF", "MMKP-LR"} {
+			o := outs[name]
+			if o.err == nil && exOut.err != nil {
+				t.Fatalf("round %d: %s scheduled a case EX-MEM rejected (%v)", round, name, exOut.err)
+			}
+			if o.err == nil && exOut.err == nil {
+				if o.k.Energy(jobs) < exOut.k.Energy(jobs)-1e-6 {
+					t.Fatalf("round %d: %s energy %v beats EX-MEM %v",
+						round, name, o.k.Energy(jobs), exOut.k.Energy(jobs))
+				}
+			}
+		}
+	}
+}
+
+// Single-threaded compatibility: the paper notes MMKP-MDF degenerates to
+// the Niknafs-style single-threaded algorithm when every operating point
+// uses exactly one core. Verify schedules stay valid and energy-ordered
+// in that regime.
+func TestSingleThreadedCompatibility(t *testing.T) {
+	mk := func(name string, tE, tT float64) *opset.Table {
+		tb := &opset.Table{App: name, Points: []opset.Point{
+			{Alloc: []int{1, 0}, Time: tT * 2.2, Energy: tE}, // little: slow, cheap
+			{Alloc: []int{0, 1}, Time: tT, Energy: tE * 2.4}, // big: fast, hungry
+		}}
+		tb.SortByEnergy()
+		return tb
+	}
+	plat := motiv.Platform()
+	jobs := job.Set{
+		{ID: 1, Table: mk("st-a", 2, 4), Deadline: 10, Remaining: 1},
+		{ID: 2, Table: mk("st-b", 3, 5), Deadline: 8, Remaining: 1},
+		{ID: 3, Table: mk("st-c", 1, 3), Deadline: 12, Remaining: 0.5},
+	}
+	mdfK, err := core.New().Schedule(jobs, plat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mdfK.Validate(plat, jobs, 0); err != nil {
+		t.Fatal(err)
+	}
+	exK, err := exmem.New().Schedule(jobs, plat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mdfK.Energy(jobs) < exK.Energy(jobs)-1e-9 {
+		t.Error("MDF beats exact reference on single-threaded workload")
+	}
+	// Every placement uses exactly one core.
+	for _, seg := range mdfK.Segments {
+		for _, p := range seg.Placements {
+			if jobs.ByID(p.JobID).Table.Points[p.Point].Alloc.Total() != 1 {
+				t.Error("multi-core point in single-threaded regime")
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package desim
+
+import (
+	"testing"
+
+	"adaptrm/internal/core"
+	"adaptrm/internal/dse"
+	"adaptrm/internal/platform"
+	"adaptrm/internal/predict"
+	"adaptrm/internal/workload"
+)
+
+// The Predictor option must be fed by the simulation and the proactive
+// scheduler must run end to end with zero deadline misses.
+func TestSimulateWithPredictor(t *testing.T) {
+	plat := platform.OdroidXU4()
+	lib, err := dse.StandardLibrary(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Periodic stream plus light background noise.
+	app := "audio-filter/small"
+	var trace []workload.Request
+	rel := lib.Get(app).FastestTime() * 1.5
+	for ti := 0; ti < 12; ti++ {
+		at := float64(ti) * 20
+		trace = append(trace, workload.Request{At: at, App: app, Deadline: at + rel})
+	}
+	pred := predict.NewInterArrival()
+	pro := &predict.Scheduler{
+		Inner:   core.New(),
+		Pred:    pred,
+		Lib:     lib,
+		Horizon: 25,
+		Protect: []string{app},
+	}
+	res, err := Simulate(trace, lib, plat, pro, Options{Predictor: pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DeadlineMisses != 0 {
+		t.Errorf("misses = %d", res.Stats.DeadlineMisses)
+	}
+	// An uncontended periodic stream must be fully admitted even with
+	// its own forecasts gating admission.
+	if res.Stats.Accepted != len(trace) {
+		t.Errorf("accepted %d of %d", res.Stats.Accepted, len(trace))
+	}
+	// The predictor must have learned the 20 s period.
+	fc := pred.Forecast(230, 25)
+	if len(fc) == 0 {
+		t.Fatal("predictor learned nothing")
+	}
+	if fc[0].App != app || fc[0].At < 230 || fc[0].At > 255 {
+		t.Errorf("forecast = %+v", fc[0])
+	}
+}

@@ -1,0 +1,188 @@
+// Package dse implements the design-time half of the paper's hybrid
+// mapping flow: exhaustive design-space exploration of core allocations
+// per application and input size on the virtual platform, followed by
+// Pareto filtering over [θ…, τ, ξ]. The result is the operating-point
+// library the runtime manager consumes.
+//
+// This substitutes for the paper's exhaustive benchmarking of the three
+// Silexica applications on the Odroid XU4 (which yielded 36, 35 and 28
+// Pareto configurations across input sizes).
+package dse
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adaptrm/internal/kpn"
+	"adaptrm/internal/opset"
+	"adaptrm/internal/platform"
+	"adaptrm/internal/vplat"
+)
+
+// Options tunes the exploration.
+type Options struct {
+	// Variants lists the input sizes to benchmark; nil means
+	// kpn.DefaultVariants().
+	Variants []kpn.Variant
+	// Reps is the number of averaged noisy measurements per allocation;
+	// 0 means deterministic benchmarking (the default for reproducible
+	// experiments).
+	Reps int
+	// Seed seeds the measurement noise when Reps > 0.
+	Seed int64
+	// MaxPointsPerTable thins each variant's Pareto front to at most
+	// this many operating points (0 = keep all). Runtime managers bound
+	// table sizes; the paper's applications carry ≈9–12 points per
+	// input size.
+	MaxPointsPerTable int
+	// DVFS additionally explores the platform's declared frequency
+	// levels per cluster, folding frequency selection into the
+	// operating points (the paper pins frequencies; this implements the
+	// natural extension its related work optimizes over). Points gain a
+	// Label naming their setting.
+	DVFS bool
+}
+
+// ExploreGraph benchmarks every allocation (0..Θ1)×…, drops the empty
+// one, and returns one Pareto-filtered table per variant.
+func ExploreGraph(g kpn.Graph, plat platform.Platform, opt Options) ([]*opset.Table, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	variants := opt.Variants
+	if variants == nil {
+		variants = kpn.DefaultVariants()
+	}
+	var rng *rand.Rand
+	if opt.Reps > 0 {
+		rng = rand.New(rand.NewSource(opt.Seed))
+	}
+	cap := plat.Capacity()
+	// Platform settings to benchmark under: the base (pinned)
+	// configuration, plus every DVFS level combination when requested.
+	type setting struct {
+		plat  platform.Platform
+		label string
+	}
+	settings := []setting{{plat: plat}}
+	if opt.DVFS {
+		settings = settings[:0]
+		levels := make([]int, plat.NumTypes())
+		var combos func(t int) error
+		combos = func(t int) error {
+			if t == plat.NumTypes() {
+				p, label, err := plat.WithLevels(levels)
+				if err != nil {
+					return err
+				}
+				settings = append(settings, setting{plat: p, label: label})
+				return nil
+			}
+			for li := -1; li < len(plat.Types[t].Levels); li++ {
+				levels[t] = li
+				if err := combos(t + 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := combos(0); err != nil {
+			return nil, err
+		}
+	}
+	var tables []*opset.Table
+	for _, v := range variants {
+		tbl := &opset.Table{App: g.Name, Variant: v.Name}
+		for _, st := range settings {
+			var enumerate func(prefix platform.Alloc, t int) error
+			enumerate = func(prefix platform.Alloc, t int) error {
+				if t == len(cap) {
+					if prefix.IsZero() {
+						return nil
+					}
+					res, err := vplat.Measure(&g, v, st.plat, prefix.Clone(), opt.Reps, rng)
+					if err != nil {
+						return err
+					}
+					tbl.Points = append(tbl.Points, opset.Point{
+						Alloc:  prefix.Clone(),
+						Time:   res.TimeSec,
+						Energy: res.EnergyJ,
+						Label:  st.label,
+					})
+					return nil
+				}
+				for n := 0; n <= cap[t]; n++ {
+					prefix[t] = n
+					if err := enumerate(prefix, t+1); err != nil {
+						return err
+					}
+				}
+				prefix[t] = 0
+				return nil
+			}
+			if err := enumerate(platform.NewAlloc(len(cap)), 0); err != nil {
+				return nil, err
+			}
+		}
+		tbl.FilterPareto()
+		if opt.MaxPointsPerTable > 0 {
+			tbl.Thin(opt.MaxPointsPerTable)
+		}
+		if err := tbl.Validate(plat); err != nil {
+			return nil, fmt.Errorf("dse: %s/%s: %w", g.Name, v.Name, err)
+		}
+		tables = append(tables, tbl)
+	}
+	return tables, nil
+}
+
+// ExploreSuite explores every graph and returns the combined library.
+func ExploreSuite(graphs []kpn.Graph, plat platform.Platform, opt Options) (*opset.Library, error) {
+	lib := opset.NewLibrary()
+	for _, g := range graphs {
+		tables, err := ExploreGraph(g, plat, opt)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range tables {
+			if err := lib.Add(t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return lib, nil
+}
+
+// standardCaps bounds the per-variant table sizes so that the library
+// carries the paper's Pareto-configuration counts per application:
+// speaker recognition 28, audio filter 36, pedestrian recognition 35.
+var standardCaps = map[string][]int{
+	"speaker-recognition":    {9, 9, 10},
+	"audio-filter":           {12, 12, 12},
+	"pedestrian-recognition": {12, 12, 11},
+}
+
+// StandardLibrary explores the paper's three-application benchmark suite
+// on the given platform with deterministic measurements, thinned to the
+// paper's per-application Pareto counts (28/36/35). This is the library
+// the evaluation harness uses.
+func StandardLibrary(plat platform.Platform) (*opset.Library, error) {
+	lib := opset.NewLibrary()
+	for _, g := range kpn.BenchmarkSuite() {
+		tables, err := ExploreGraph(g, plat, Options{})
+		if err != nil {
+			return nil, err
+		}
+		caps := standardCaps[g.Name]
+		for i, t := range tables {
+			if caps != nil && i < len(caps) {
+				t.Thin(caps[i])
+			}
+			if err := lib.Add(t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return lib, nil
+}

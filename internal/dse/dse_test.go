@@ -1,0 +1,122 @@
+package dse
+
+import (
+	"testing"
+
+	"adaptrm/internal/kpn"
+	"adaptrm/internal/platform"
+)
+
+func TestExploreGraph(t *testing.T) {
+	plat := platform.OdroidXU4()
+	tables, err := ExploreGraph(kpn.AudioFilter(), plat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("%d tables, want 3 variants", len(tables))
+	}
+	for _, tbl := range tables {
+		if err := tbl.Validate(plat); err != nil {
+			t.Errorf("%s: %v", tbl.Name(), err)
+		}
+		if tbl.Len() < 5 {
+			t.Errorf("%s: suspiciously sparse front (%d points)", tbl.Name(), tbl.Len())
+		}
+		// The front must include a little-only point (energy extreme)
+		// and a point using big cores (time extreme).
+		fastest := tbl.FastestTime()
+		cheapest := tbl.Points[0]
+		if cheapest.Alloc[1] != 0 {
+			t.Errorf("%s: cheapest point %v uses big cores", tbl.Name(), cheapest.Alloc)
+		}
+		var hasBigFast bool
+		for _, p := range tbl.Points {
+			if p.Time == fastest && p.Alloc[1] > 0 {
+				hasBigFast = true
+			}
+		}
+		if !hasBigFast {
+			t.Errorf("%s: fastest point does not use big cores", tbl.Name())
+		}
+	}
+}
+
+func TestExploreGraphInvalid(t *testing.T) {
+	plat := platform.OdroidXU4()
+	if _, err := ExploreGraph(kpn.Graph{}, plat, Options{}); err == nil {
+		t.Error("invalid graph accepted")
+	}
+}
+
+func TestMaxPointsPerTable(t *testing.T) {
+	plat := platform.OdroidXU4()
+	tables, err := ExploreGraph(kpn.AudioFilter(), plat, Options{MaxPointsPerTable: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range tables {
+		if tbl.Len() > 7 {
+			t.Errorf("%s: %d points after thinning to 7", tbl.Name(), tbl.Len())
+		}
+		if err := tbl.Validate(plat); err != nil {
+			t.Errorf("%s: thinned table invalid: %v", tbl.Name(), err)
+		}
+	}
+}
+
+// The standard library reproduces the paper's Pareto-configuration
+// counts: 28 for speaker recognition, 36 for audio filter, 35 for
+// pedestrian recognition.
+func TestStandardLibraryPaperCounts(t *testing.T) {
+	plat := platform.OdroidXU4()
+	lib, err := StandardLibrary(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Validate(plat); err != nil {
+		t.Fatal(err)
+	}
+	if lib.Len() != 9 {
+		t.Fatalf("library has %d tables, want 9 (3 apps × 3 sizes)", lib.Len())
+	}
+	counts := map[string]int{}
+	for _, tbl := range lib.Tables() {
+		counts[tbl.App] += tbl.Len()
+	}
+	want := map[string]int{
+		"speaker-recognition":    28,
+		"audio-filter":           36,
+		"pedestrian-recognition": 35,
+	}
+	for app, n := range want {
+		if counts[app] != n {
+			t.Errorf("%s: %d Pareto points, want %d (paper)", app, counts[app], n)
+		}
+	}
+}
+
+// Noisy exploration still yields valid Pareto tables.
+func TestExploreWithNoise(t *testing.T) {
+	plat := platform.OdroidXU4()
+	tables, err := ExploreGraph(kpn.PedestrianRecognition(), plat, Options{Reps: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range tables {
+		if err := tbl.Validate(plat); err != nil {
+			t.Errorf("%s: %v", tbl.Name(), err)
+		}
+	}
+}
+
+func TestExploreSuite(t *testing.T) {
+	plat := platform.OdroidXU4()
+	lib, err := ExploreSuite(kpn.BenchmarkSuite(), plat, Options{MaxPointsPerTable: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Len() != 9 {
+		t.Fatalf("library has %d tables", lib.Len())
+	}
+}

@@ -1,0 +1,61 @@
+package dse
+
+import (
+	"testing"
+
+	"adaptrm/internal/kpn"
+	"adaptrm/internal/platform"
+)
+
+// DVFS exploration must produce richer Pareto fronts whose extra points
+// come from reduced frequency levels, and every resulting table must
+// still validate against the base platform (allocations are unchanged).
+func TestExploreWithDVFS(t *testing.T) {
+	plat := platform.OdroidXU4DVFS()
+	pinned, err := ExploreGraph(kpn.AudioFilter(), plat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dvfs, err := ExploreGraph(kpn.AudioFilter(), plat, Options{DVFS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dvfs {
+		if err := dvfs[i].Validate(plat); err != nil {
+			t.Fatalf("%s: %v", dvfs[i].Name(), err)
+		}
+		if dvfs[i].Len() <= pinned[i].Len() {
+			t.Errorf("%s: DVFS front (%d) not richer than pinned (%d)",
+				dvfs[i].Name(), dvfs[i].Len(), pinned[i].Len())
+		}
+		// The most energy-efficient point must come from a reduced
+		// level (that is what DVFS buys), and its energy must beat the
+		// pinned optimum.
+		if dvfs[i].Points[0].Energy >= pinned[i].Points[0].Energy {
+			t.Errorf("%s: DVFS min energy %.2f not below pinned %.2f",
+				dvfs[i].Name(), dvfs[i].Points[0].Energy, pinned[i].Points[0].Energy)
+		}
+		if dvfs[i].Points[0].Label == "" {
+			t.Errorf("%s: cheapest DVFS point has no level label", dvfs[i].Name())
+		}
+		// The fastest point stays the pinned-frequency one.
+		if dvfs[i].FastestTime() > pinned[i].FastestTime()+1e-9 {
+			t.Errorf("%s: DVFS lost the fast extreme", dvfs[i].Name())
+		}
+	}
+}
+
+// A DVFS library remains fully schedulable end to end.
+func TestDVFSLibrarySchedules(t *testing.T) {
+	plat := platform.OdroidXU4DVFS()
+	lib, err := ExploreSuite(kpn.BenchmarkSuite(), plat, Options{DVFS: true, MaxPointsPerTable: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Validate(plat); err != nil {
+		t.Fatal(err)
+	}
+	if lib.Len() != 9 {
+		t.Fatalf("library has %d tables", lib.Len())
+	}
+}

@@ -1,0 +1,51 @@
+package dse
+
+import (
+	"testing"
+
+	"adaptrm/internal/core"
+	"adaptrm/internal/exmem"
+	"adaptrm/internal/job"
+	"adaptrm/internal/kpn"
+	"adaptrm/internal/lagrange"
+	"adaptrm/internal/platform"
+	"adaptrm/internal/sched"
+)
+
+// The whole stack — DSE, Pareto filtering, all three schedulers, EDF
+// packing, validation — must work for m=3 resource types, since the
+// paper's formulation is generic in m.
+func TestTriClusterEndToEnd(t *testing.T) {
+	plat := platform.TriCluster()
+	if err := plat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tables, err := ExploreGraph(kpn.AudioFilter(), plat, Options{MaxPointsPerTable: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := tables[1] // medium variant
+	if err := tbl.Validate(plat); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range tbl.Points {
+		if len(p.Alloc) != 3 {
+			t.Fatalf("point arity %d", len(p.Alloc))
+		}
+	}
+	jobs := job.Set{
+		{ID: 1, Table: tbl, Deadline: tbl.FastestTime() * 4, Remaining: 1},
+		{ID: 2, Table: tbl, Deadline: tbl.FastestTime() * 6, Remaining: 0.8},
+		{ID: 3, Table: tables[0], Deadline: tables[0].FastestTime() * 5, Remaining: 1},
+	}
+	for _, s := range []sched.Scheduler{core.New(), lagrange.New(), exmem.New()} {
+		k, err := s.Schedule(jobs, plat, 0)
+		if err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+			continue
+		}
+		if err := k.Validate(plat, jobs, 0); err != nil {
+			t.Errorf("%s: invalid: %v", s.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"adaptrm/internal/platform"
+	"adaptrm/internal/sched"
+	"adaptrm/internal/schedule"
+	"adaptrm/internal/stats"
+	"adaptrm/internal/workload"
+)
+
+// AdaptivityReport quantifies how much schedulers actually use the
+// mapping-segment machinery the paper introduces: per scheduler, the
+// distribution of segment counts, point reconfigurations and mid-run
+// suspensions over the successfully scheduled cases, plus the share of
+// cases needing any adaptation at all.
+type AdaptivityReport struct {
+	// Schedulers lists scheduler names in run order.
+	Schedulers []string
+	// Segments, Reconfigs and Suspensions summarize the per-case
+	// metric distributions.
+	Segments, Reconfigs, Suspensions map[string]stats.Boxplot
+	// AdaptiveShare is the fraction of scheduled cases whose schedule
+	// contains at least one reconfiguration or suspension.
+	AdaptiveShare map[string]float64
+	// Scheduled counts successfully scheduled cases per scheduler.
+	Scheduled map[string]int
+}
+
+// NewAdaptivityReport re-runs the schedulers on the cases to inspect the
+// schedules themselves (the timing harness only keeps aggregates). It is
+// intended for moderate case counts.
+func NewAdaptivityReport(cases []workload.Case, scheds []sched.Scheduler, plat platform.Platform) (*AdaptivityReport, error) {
+	rep := &AdaptivityReport{
+		Segments:      map[string]stats.Boxplot{},
+		Reconfigs:     map[string]stats.Boxplot{},
+		Suspensions:   map[string]stats.Boxplot{},
+		AdaptiveShare: map[string]float64{},
+		Scheduled:     map[string]int{},
+	}
+	for _, s := range scheds {
+		rep.Schedulers = append(rep.Schedulers, s.Name())
+		var segs, recs, susps []float64
+		adaptive := 0
+		for ci := range cases {
+			c := &cases[ci]
+			k, err := s.Schedule(c.Jobs, plat, c.T0)
+			if err != nil {
+				continue
+			}
+			m := schedule.ComputeMetrics(k, c.Jobs)
+			segs = append(segs, float64(m.Segments))
+			recs = append(recs, float64(m.Reconfigurations))
+			susps = append(susps, float64(m.Suspensions))
+			if m.Reconfigurations > 0 || m.Suspensions > 0 {
+				adaptive++
+			}
+		}
+		rep.Scheduled[s.Name()] = len(segs)
+		rep.Segments[s.Name()] = stats.NewBoxplot(segs)
+		rep.Reconfigs[s.Name()] = stats.NewBoxplot(recs)
+		rep.Suspensions[s.Name()] = stats.NewBoxplot(susps)
+		if len(segs) > 0 {
+			rep.AdaptiveShare[s.Name()] = float64(adaptive) / float64(len(segs))
+		}
+	}
+	return rep, nil
+}
+
+// Render writes the report as a text table.
+func (rep *AdaptivityReport) Render(w io.Writer) {
+	fmt.Fprintln(w, "Adaptivity of produced schedules (reconfigurations / suspensions per case)")
+	fmt.Fprintf(w, "%-12s %9s %10s %12s %12s %10s\n",
+		"scheduler", "scheduled", "segments", "reconfigs", "suspensions", "adaptive")
+	for _, s := range rep.Schedulers {
+		fmt.Fprintf(w, "%-12s %9d %10.2f %12.2f %12.2f %9.1f%%\n",
+			s, rep.Scheduled[s],
+			rep.Segments[s].Mean, rep.Reconfigs[s].Mean, rep.Suspensions[s].Mean,
+			100*rep.AdaptiveShare[s])
+	}
+	fmt.Fprintln(w, "(means over successfully scheduled cases; 'adaptive' = any reconfig or suspension)")
+}

@@ -1,0 +1,53 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"adaptrm/internal/core"
+	"adaptrm/internal/exmem"
+	"adaptrm/internal/fixedmap"
+	"adaptrm/internal/sched"
+	"adaptrm/internal/workload"
+)
+
+func TestAdaptivityReport(t *testing.T) {
+	cases, plat := miniSuite(t)
+	// Reduce to a manageable subset: all tight cases.
+	var sub []workload.Case
+	for _, c := range cases {
+		if c.Level == workload.Tight {
+			sub = append(sub, c)
+		}
+	}
+	scheds := []sched.Scheduler{exmem.New(), core.New(), fixedmap.New(fixedmap.OnArrival)}
+	rep, err := NewAdaptivityReport(sub, scheds, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fixed mapper never reconfigures nor suspends by construction.
+	if rep.Reconfigs["FIXED"].Mean != 0 || rep.Suspensions["FIXED"].Mean != 0 {
+		t.Errorf("fixed mapper shows adaptation: %+v / %+v",
+			rep.Reconfigs["FIXED"], rep.Suspensions["FIXED"])
+	}
+	if rep.AdaptiveShare["FIXED"] != 0 {
+		t.Errorf("fixed mapper adaptive share = %v", rep.AdaptiveShare["FIXED"])
+	}
+	// EX-MEM explores adaptation freely: on a tight multi-job suite it
+	// must use it somewhere.
+	if rep.AdaptiveShare["EX-MEM"] == 0 {
+		t.Error("EX-MEM never adapts on tight cases — implausible")
+	}
+	// EX-MEM schedules at least as many cases as the others.
+	for _, s := range rep.Schedulers {
+		if rep.Scheduled[s] > rep.Scheduled["EX-MEM"] {
+			t.Errorf("%s scheduled more cases than EX-MEM", s)
+		}
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	if !strings.Contains(buf.String(), "Adaptivity") || !strings.Contains(buf.String(), "FIXED") {
+		t.Errorf("render:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,22 @@
+package eval
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFormatDuration(t *testing.T) {
+	tests := []struct {
+		d    time.Duration
+		want string
+	}{
+		{250 * time.Microsecond, "250µs"},
+		{12345 * time.Microsecond, "12.3ms"},
+		{2345 * time.Millisecond, "2.345s"},
+	}
+	for _, tc := range tests {
+		if got := FormatDuration(tc.d); got != tc.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}

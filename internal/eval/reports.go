@@ -1,0 +1,348 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"adaptrm/internal/stats"
+	"adaptrm/internal/workload"
+)
+
+// RateReport is the Fig. 2 aggregation: scheduling success rate per
+// scheduler and job count for one deadline level.
+type RateReport struct {
+	// Level is the deadline tightness the report covers.
+	Level workload.Level
+	// Schedulers lists scheduler names in run order.
+	Schedulers []string
+	// Rate[s][j] is the success fraction (0–1) of scheduler s on
+	// (j+1)-job cases.
+	Rate map[string][4]float64
+	// Cases[j] is the group size.
+	Cases [4]int
+}
+
+// NewRateReport computes the success-rate table for a deadline level.
+func NewRateReport(r *Results, level workload.Level) *RateReport {
+	groups := r.groupIndex()[level]
+	rep := &RateReport{Level: level, Schedulers: r.Schedulers, Rate: map[string][4]float64{}}
+	for j, idxs := range groups {
+		rep.Cases[j] = len(idxs)
+	}
+	for _, s := range r.Schedulers {
+		var rates [4]float64
+		for j, idxs := range groups {
+			if len(idxs) == 0 {
+				rates[j] = math.NaN()
+				continue
+			}
+			ok := 0
+			for _, ci := range idxs {
+				if r.PerCase[s][ci].OK {
+					ok++
+				}
+			}
+			rates[j] = float64(ok) / float64(len(idxs))
+		}
+		rep.Rate[s] = rates
+	}
+	return rep
+}
+
+// Render writes the report as a text table (the rows of Fig. 2).
+func (rep *RateReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "Scheduling rate [%%], %s deadlines (Fig. 2 uses tight)\n", rep.Level)
+	fmt.Fprintf(w, "%-12s %8s %8s %8s %8s\n", "scheduler", "1 job", "2 jobs", "3 jobs", "4 jobs")
+	for _, s := range rep.Schedulers {
+		fmt.Fprintf(w, "%-12s", s)
+		for j := 0; j < 4; j++ {
+			fmt.Fprintf(w, " %7.1f%%", rep.Rate[s][j]*100)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-12s %8d %8d %8d %8d\n", "(cases)", rep.Cases[0], rep.Cases[1], rep.Cases[2], rep.Cases[3])
+}
+
+// WriteCSV emits scheduler,jobs,rate rows.
+func (rep *RateReport) WriteCSV(w io.Writer) {
+	fmt.Fprintln(w, "scheduler,jobs,level,rate")
+	for _, s := range rep.Schedulers {
+		for j := 0; j < 4; j++ {
+			fmt.Fprintf(w, "%s,%d,%s,%.6f\n", s, j+1, rep.Level, rep.Rate[s][j])
+		}
+	}
+}
+
+// EnergyReport is the Table IV aggregation: geometric means of relative
+// energy versus a baseline scheduler, per deadline level and job count.
+type EnergyReport struct {
+	// Baseline is the reference scheduler (EX-MEM in the paper).
+	Baseline string
+	// Schedulers lists the compared schedulers (baseline excluded).
+	Schedulers []string
+	// Geo[s][level][j] is the geomean relative energy of scheduler s in
+	// the (level, j+1 jobs) group; NaN when the group is empty.
+	Geo map[string]map[workload.Level][4]float64
+	// Overall[s][level] is the geomean over the level.
+	Overall map[string]map[workload.Level]float64
+	// AllLevels[s] is the geomean over everything (the "(all levels)"
+	// row of Table IV).
+	AllLevels map[string]float64
+	// Ratios[s] holds every individual relative energy (the Fig. 3
+	// S-curve input), in case order over cases where both s and the
+	// baseline succeeded.
+	Ratios map[string][]float64
+}
+
+// NewEnergyReport computes Table IV against the given baseline. Cases
+// count only when both the baseline and the compared scheduler produced
+// a valid schedule, matching the paper's "for each successfully
+// scheduled test case".
+func NewEnergyReport(r *Results, baseline string) (*EnergyReport, error) {
+	base, ok := r.PerCase[baseline]
+	if !ok {
+		return nil, fmt.Errorf("eval: baseline %q not in results", baseline)
+	}
+	rep := &EnergyReport{
+		Baseline:  baseline,
+		Geo:       map[string]map[workload.Level][4]float64{},
+		Overall:   map[string]map[workload.Level]float64{},
+		AllLevels: map[string]float64{},
+		Ratios:    map[string][]float64{},
+	}
+	groups := r.groupIndex()
+	for _, s := range r.Schedulers {
+		if s == baseline {
+			continue
+		}
+		rep.Schedulers = append(rep.Schedulers, s)
+		rep.Geo[s] = map[workload.Level][4]float64{}
+		rep.Overall[s] = map[workload.Level]float64{}
+		var all []float64
+		for _, level := range []workload.Level{workload.Weak, workload.Tight} {
+			var geos [4]float64
+			var levelRatios []float64
+			for j, idxs := range groups[level] {
+				var ratios []float64
+				for _, ci := range idxs {
+					b, m := base[ci], r.PerCase[s][ci]
+					if b.OK && m.OK && b.Energy > 0 {
+						ratios = append(ratios, m.Energy/b.Energy)
+					}
+				}
+				geos[j] = stats.GeoMean(ratios)
+				levelRatios = append(levelRatios, ratios...)
+			}
+			rep.Geo[s][level] = geos
+			rep.Overall[s][level] = stats.GeoMean(levelRatios)
+			all = append(all, levelRatios...)
+		}
+		rep.AllLevels[s] = stats.GeoMean(all)
+		rep.Ratios[s] = stats.SCurve(all)
+	}
+	return rep, nil
+}
+
+// Render writes the Table IV layout.
+func (rep *EnergyReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "Geomean relative energy vs %s (Table IV)\n", rep.Baseline)
+	fmt.Fprintf(w, "%-8s", "# Jobs")
+	for _, s := range rep.Schedulers {
+		fmt.Fprintf(w, " %10s-W %10s-T", trunc(s, 10), trunc(s, 10))
+	}
+	fmt.Fprintln(w)
+	for j := 0; j < 4; j++ {
+		fmt.Fprintf(w, "%-8d", j+1)
+		for _, s := range rep.Schedulers {
+			fmt.Fprintf(w, " %12.4f %12.4f", rep.Geo[s][workload.Weak][j], rep.Geo[s][workload.Tight][j])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-8s", "Overall")
+	for _, s := range rep.Schedulers {
+		fmt.Fprintf(w, " %12.4f %12.4f", rep.Overall[s][workload.Weak], rep.Overall[s][workload.Tight])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-8s", "(all)")
+	for _, s := range rep.Schedulers {
+		fmt.Fprintf(w, " %25.4f", rep.AllLevels[s])
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV emits scheduler,level,jobs,geomean rows.
+func (rep *EnergyReport) WriteCSV(w io.Writer) {
+	fmt.Fprintln(w, "scheduler,level,jobs,geomean_rel_energy")
+	for _, s := range rep.Schedulers {
+		for _, level := range []workload.Level{workload.Weak, workload.Tight} {
+			for j := 0; j < 4; j++ {
+				fmt.Fprintf(w, "%s,%s,%d,%.6f\n", s, level, j+1, rep.Geo[s][level][j])
+			}
+			fmt.Fprintf(w, "%s,%s,overall,%.6f\n", s, level, rep.Overall[s][level])
+		}
+		fmt.Fprintf(w, "%s,all,all,%.6f\n", s, rep.AllLevels[s])
+	}
+}
+
+// SCurvePoint is one (index, ratio) sample of Fig. 3.
+type SCurvePoint struct {
+	Index int
+	Ratio float64
+}
+
+// SCurveReport is the Fig. 3 aggregation.
+type SCurveReport struct {
+	// Baseline is the reference scheduler.
+	Baseline string
+	// Curves maps scheduler to its sorted relative energies.
+	Curves map[string][]float64
+	// OptimalCount maps scheduler to the number of tests scheduled at
+	// the baseline optimum (ratio ≤ 1+1e-9).
+	OptimalCount map[string]int
+}
+
+// NewSCurveReport derives Fig. 3 from an energy report.
+func NewSCurveReport(er *EnergyReport) *SCurveReport {
+	rep := &SCurveReport{
+		Baseline:     er.Baseline,
+		Curves:       map[string][]float64{},
+		OptimalCount: map[string]int{},
+	}
+	for _, s := range er.Schedulers {
+		rep.Curves[s] = er.Ratios[s]
+		rep.OptimalCount[s] = stats.CountAtMost(er.Ratios[s], 1+1e-9)
+	}
+	return rep
+}
+
+// Render summarizes the curves (counts and sample quantiles).
+func (rep *SCurveReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "S-curves of relative energy vs %s (Fig. 3)\n", rep.Baseline)
+	for s, curve := range rep.Curves {
+		if len(curve) == 0 {
+			fmt.Fprintf(w, "%-12s (no common scheduled cases)\n", s)
+			continue
+		}
+		opt := rep.OptimalCount[s]
+		fmt.Fprintf(w, "%-12s n=%4d optimal=%4d (%.1f%%) p50=%.4f p90=%.4f max=%.4f\n",
+			s, len(curve), opt, 100*float64(opt)/float64(len(curve)),
+			stats.Quantile(curve, 0.5), stats.Quantile(curve, 0.9), curve[len(curve)-1])
+	}
+}
+
+// WriteCSV emits scheduler,index,ratio rows (the raw curves).
+func (rep *SCurveReport) WriteCSV(w io.Writer) {
+	fmt.Fprintln(w, "scheduler,index,rel_energy")
+	for s, curve := range rep.Curves {
+		for i, v := range curve {
+			fmt.Fprintf(w, "%s,%d,%.6f\n", s, i, v)
+		}
+	}
+}
+
+// TimingReport is the Fig. 4 aggregation: per-scheduler, per-job-count
+// search-time distributions.
+type TimingReport struct {
+	// Schedulers lists scheduler names in run order.
+	Schedulers []string
+	// Box[s][j] summarizes scheduler s on (j+1)-job cases (seconds).
+	Box map[string][4]stats.Boxplot
+}
+
+// NewTimingReport computes search-time boxplots over all levels,
+// mirroring Fig. 4.
+func NewTimingReport(r *Results) *TimingReport {
+	rep := &TimingReport{Schedulers: r.Schedulers, Box: map[string][4]stats.Boxplot{}}
+	byJobs := [4][]int{}
+	for ci := range r.Cases {
+		nj := len(r.Cases[ci].Jobs)
+		if nj >= 1 && nj <= 4 {
+			byJobs[nj-1] = append(byJobs[nj-1], ci)
+		}
+	}
+	for _, s := range r.Schedulers {
+		var boxes [4]stats.Boxplot
+		for j, idxs := range byJobs {
+			xs := make([]float64, 0, len(idxs))
+			for _, ci := range idxs {
+				xs = append(xs, r.PerCase[s][ci].Elapsed.Seconds())
+			}
+			boxes[j] = stats.NewBoxplot(xs)
+		}
+		rep.Box[s] = boxes
+	}
+	return rep
+}
+
+// Render writes per-group medians, means and extremes.
+func (rep *TimingReport) Render(w io.Writer) {
+	fmt.Fprintln(w, "Search time [s] per job count (Fig. 4)")
+	fmt.Fprintf(w, "%-12s %-5s %12s %12s %12s %12s %12s\n",
+		"scheduler", "jobs", "min", "median", "mean", "p75", "max")
+	for _, s := range rep.Schedulers {
+		for j := 0; j < 4; j++ {
+			b := rep.Box[s][j]
+			if b.N == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%-12s %-5d %12.6f %12.6f %12.6f %12.6f %12.6f\n",
+				s, j+1, b.Min, b.Median, b.Mean, b.Q3, b.Max)
+		}
+	}
+}
+
+// WriteCSV emits scheduler,jobs,min,q1,median,q3,max,mean,n rows.
+func (rep *TimingReport) WriteCSV(w io.Writer) {
+	fmt.Fprintln(w, "scheduler,jobs,min,q1,median,q3,max,mean,n")
+	for _, s := range rep.Schedulers {
+		for j := 0; j < 4; j++ {
+			b := rep.Box[s][j]
+			fmt.Fprintf(w, "%s,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%d\n",
+				s, j+1, b.Min, b.Q1, b.Median, b.Q3, b.Max, b.Mean, b.N)
+		}
+	}
+}
+
+// Table3Report is the suite census of Table III.
+type Table3Report struct {
+	Counts map[workload.Level][4]int
+	Total  int
+}
+
+// NewTable3Report tallies a suite.
+func NewTable3Report(cases []workload.Case) *Table3Report {
+	rep := &Table3Report{Counts: workload.CountByGroup(cases), Total: len(cases)}
+	return rep
+}
+
+// Render writes the Table III layout.
+func (rep *Table3Report) Render(w io.Writer) {
+	fmt.Fprintln(w, "Test cases per job count and deadline level (Table III)")
+	fmt.Fprintf(w, "%-8s %6s %6s %6s %6s\n", "level", "1", "2", "3", "4")
+	for _, level := range []workload.Level{workload.Weak, workload.Tight} {
+		c := rep.Counts[level]
+		fmt.Fprintf(w, "%-8s %6d %6d %6d %6d\n", level, c[0], c[1], c[2], c[3])
+	}
+	fmt.Fprintf(w, "total    %d\n", rep.Total)
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+// FormatDuration renders a duration rounded for human-readable reports.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d < time.Second:
+		return d.Round(100 * time.Microsecond).String()
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}

@@ -1,0 +1,60 @@
+package exmem
+
+import (
+	"testing"
+
+	"adaptrm/internal/job"
+	"adaptrm/internal/motiv"
+)
+
+// The paper's memoization must pay off: in pure-exhaustive mode (the
+// paper's configuration), a symmetric 3-twin workload re-reaches states
+// and the memo short-circuits them. In branch-and-bound mode the lower
+// bounds prune most of those branches before the memo is even consulted,
+// so the node count must be far below the pure mode's.
+func TestMemoHitsOnTwins(t *testing.T) {
+	jobs := job.Set{
+		{ID: 1, Table: motiv.Lambda2(), Deadline: 16, Remaining: 1},
+		{ID: 2, Table: motiv.Lambda2(), Deadline: 16, Remaining: 1},
+		{ID: 3, Table: motiv.Lambda2(), Deadline: 16, Remaining: 1},
+	}
+	pure := NewWithOptions(Options{PureExhaustive: true})
+	if _, err := pure.Schedule(jobs, motiv.Platform(), 0); err != nil {
+		t.Fatal(err)
+	}
+	ps := pure.LastStats()
+	if ps.Nodes == 0 || ps.MemoEntries == 0 {
+		t.Fatalf("stats not populated: %+v", ps)
+	}
+	if ps.MemoHits == 0 {
+		t.Errorf("no memo hits in pure mode on a symmetric workload: %+v", ps)
+	}
+	fast := New()
+	if _, err := fast.Schedule(jobs, motiv.Platform(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if fs := fast.LastStats(); fs.Nodes*4 > ps.Nodes {
+		t.Errorf("branch-and-bound (%d nodes) not markedly below pure (%d)", fs.Nodes, ps.Nodes)
+	}
+}
+
+// The pure-exhaustive mode must expand at least as many nodes as the
+// branch-and-bound mode on the same instance (pruning only removes work).
+func TestPruningReducesNodes(t *testing.T) {
+	jobs := job.Set{
+		{ID: 1, Table: motiv.Lambda1(), Deadline: 25, Remaining: 1},
+		{ID: 2, Table: motiv.Lambda2(), Deadline: 18, Remaining: 0.9},
+	}
+	fast := New()
+	if _, err := fast.Schedule(jobs, motiv.Platform(), 0); err != nil {
+		t.Fatal(err)
+	}
+	pure := NewWithOptions(Options{PureExhaustive: true})
+	if _, err := pure.Schedule(jobs, motiv.Platform(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if pure.LastStats().Nodes < fast.LastStats().Nodes {
+		t.Errorf("pure search (%d nodes) expanded less than pruned (%d)",
+			pure.LastStats().Nodes, fast.LastStats().Nodes)
+	}
+}

@@ -1,0 +1,124 @@
+package fixedmap
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"adaptrm/internal/job"
+	"adaptrm/internal/motiv"
+	"adaptrm/internal/platform"
+	"adaptrm/internal/sched"
+)
+
+func TestNames(t *testing.T) {
+	if New(OnArrival).Name() != "FIXED" || New(Remap).Name() != "FIXED-REMAP" {
+		t.Error("names wrong")
+	}
+}
+
+// Fig. 1(a): the fixed mapper chooses 1L1B for both jobs; total energy
+// 16.96 J including σ1's first second.
+func TestFig1aOnArrival(t *testing.T) {
+	jobs := job.Set(motiv.ScenarioS1AtT1())
+	plat := motiv.Platform()
+	k, err := New(OnArrival).Schedule(jobs, plat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Validate(plat, jobs, 1); err != nil {
+		t.Fatal(err)
+	}
+	total := k.Energy(jobs) + motiv.EnergyBeforeT1
+	if math.Abs(total-16.96) > 0.01 {
+		t.Errorf("Fig 1(a) energy = %.3f, want 16.96", total)
+	}
+	// Both jobs on 1L1B in the first epoch.
+	for _, p := range k.Segments[0].Placements {
+		pt := jobs.ByID(p.JobID).Table.Points[p.Point]
+		if !pt.Alloc.Equal(platform.Alloc{1, 1}) {
+			t.Errorf("job %d on %v, want 1L1B", p.JobID, pt.Alloc)
+		}
+	}
+	// σ2 finishes at 4.5.
+	if got := k.FinishTime(2); math.Abs(got-4.5) > 1e-6 {
+		t.Errorf("σ2 finish = %v, want 4.5", got)
+	}
+}
+
+// Fig. 1(b): remapping at σ2's completion switches σ1 to 2L; total
+// energy 15.49 J.
+func TestFig1bRemap(t *testing.T) {
+	jobs := job.Set(motiv.ScenarioS1AtT1())
+	plat := motiv.Platform()
+	k, err := New(Remap).Schedule(jobs, plat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Validate(plat, jobs, 1); err != nil {
+		t.Fatal(err)
+	}
+	total := k.Energy(jobs) + motiv.EnergyBeforeT1
+	if math.Abs(total-15.49) > 0.01 {
+		t.Errorf("Fig 1(b) energy = %.3f, want 15.49", total)
+	}
+	// After σ2 finishes, σ1 runs on 2L (the most efficient remaining
+	// point).
+	last := k.Segments[len(k.Segments)-1]
+	pt := jobs.ByID(1).Table.Points[last.Placements[0].Point]
+	if !pt.Alloc.Equal(platform.Alloc{2, 0}) {
+		t.Errorf("σ1 final point %v, want 2L0B", pt.Alloc)
+	}
+}
+
+// Scenario S2: fixed mappers cannot serve both deadlines and must reject
+// (Section III: "a fixed mapper will be unable to find a schedule").
+func TestS2RejectedByFixedMappers(t *testing.T) {
+	jobs := job.Set(motiv.ScenarioS2AtT1())
+	plat := motiv.Platform()
+	for _, v := range []Variant{OnArrival, Remap} {
+		_, err := New(v).Schedule(jobs, plat, 1)
+		if !errors.Is(err, sched.ErrInfeasible) {
+			t.Errorf("%v: err = %v, want ErrInfeasible", New(v).Name(), err)
+		}
+	}
+}
+
+func TestSingleJob(t *testing.T) {
+	jobs := job.Set{{ID: 1, Table: motiv.Lambda1(), Deadline: 9, Remaining: 1}}
+	plat := motiv.Platform()
+	for _, v := range []Variant{OnArrival, Remap} {
+		k, err := New(v).Schedule(jobs, plat, 0)
+		if err != nil {
+			t.Fatalf("%d: %v", v, err)
+		}
+		if got := k.Energy(jobs); math.Abs(got-8.90) > 1e-9 {
+			t.Errorf("%d: energy = %v, want 8.90", v, got)
+		}
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	if _, err := New(OnArrival).Schedule(nil, motiv.Platform(), 0); err == nil {
+		t.Error("empty set accepted")
+	}
+	jobs := job.Set{{ID: 1, Table: motiv.Lambda1(), Deadline: -1, Remaining: 1}}
+	if _, err := New(Remap).Schedule(jobs, motiv.Platform(), 0); err == nil {
+		t.Error("expired deadline accepted")
+	}
+}
+
+// The caller's jobs must not be mutated even though the scheduler
+// simulates progress internally.
+func TestDoesNotMutate(t *testing.T) {
+	jobs := job.Set(motiv.ScenarioS1AtT1())
+	before := jobs.Clone()
+	if _, err := New(Remap).Schedule(jobs, motiv.Platform(), 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if jobs[i].Remaining != before[i].Remaining {
+			t.Errorf("job %d mutated", jobs[i].ID)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package greedy implements MMKP-GR, a per-segment greedy runtime
+// manager in the spirit of Ykman-Couvreur et al. (SOC'06), the fast MMKP
+// heuristic underlying several of the runtime managers the paper compares
+// against in its related work ([17], [20]).
+//
+// Like MMKP-LR, the analysis scope is a single mapping segment: at every
+// segment start the manager greedily assigns each job the cheapest
+// feasible operating point — ordering jobs by Earliest Deadline First and
+// points by remaining energy, with the aggregate capacity-normalized
+// resource demand (the heuristic's "single value") as tie-breaker — then
+// cuts the segment at the first completion. It shares MMKP-LR's
+// optimistic deadline check and thus its failure modes; it exists as an
+// additional baseline for the evaluation harness and ablation benches.
+package greedy
+
+import (
+	"math"
+	"sort"
+
+	"adaptrm/internal/job"
+	"adaptrm/internal/opset"
+	"adaptrm/internal/platform"
+	"adaptrm/internal/sched"
+	"adaptrm/internal/schedule"
+)
+
+// Scheduler is the MMKP-GR scheduler.
+type Scheduler struct{}
+
+// New returns an MMKP-GR scheduler.
+func New() *Scheduler { return &Scheduler{} }
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string { return "MMKP-GR" }
+
+// aggregate is the capacity-normalized total resource demand of a point,
+// the single scalar of the Ykman-Couvreur heuristic.
+func aggregate(p opset.Point, cap platform.Alloc) float64 {
+	a := 0.0
+	for d, n := range p.Alloc {
+		if cap[d] > 0 {
+			a += float64(n) / float64(cap[d])
+		}
+	}
+	return a
+}
+
+// Schedule implements sched.Scheduler.
+func (s *Scheduler) Schedule(jobs job.Set, plat platform.Platform, t float64) (*schedule.Schedule, error) {
+	if err := jobs.Validate(t); err != nil {
+		return nil, err
+	}
+	cap := plat.Capacity()
+	k := &schedule.Schedule{}
+	alive := jobs.Clone()
+	cur := t
+	for len(alive) > 0 {
+		for _, j := range alive {
+			if !j.Feasible(cur) {
+				return nil, sched.ErrInfeasible
+			}
+		}
+		// EDF over the segment: time-critical jobs claim resources
+		// first.
+		order := make(job.Set, len(alive))
+		copy(order, alive)
+		order.SortEDF()
+		free := cap.Clone()
+		dtMin := math.Inf(1)
+		type pick struct {
+			j  *job.Job
+			pt int
+		}
+		var picks []pick
+		for _, j := range order {
+			idxs := make([]int, j.Table.Len())
+			for i := range idxs {
+				idxs[i] = i
+			}
+			sort.SliceStable(idxs, func(a, b int) bool {
+				pa, pb := j.Table.Points[idxs[a]], j.Table.Points[idxs[b]]
+				ea, eb := pa.RemainingEnergy(j.Remaining), pb.RemainingEnergy(j.Remaining)
+				if ea != eb {
+					return ea < eb
+				}
+				return aggregate(pa, cap) < aggregate(pb, cap)
+			})
+			fastest := j.Table.FastestTime()
+			for _, pi := range idxs {
+				p := j.Table.Points[pi]
+				if !p.Alloc.Fits(free) {
+					continue
+				}
+				r := p.RemainingTime(j.Remaining)
+				if r <= dtMin+schedule.Eps {
+					if cur+r > j.Deadline+schedule.Eps {
+						continue
+					}
+				} else {
+					rest := j.Remaining - dtMin/p.Time
+					if rest < 0 {
+						rest = 0
+					}
+					if cur+dtMin+fastest*rest > j.Deadline+schedule.Eps {
+						continue
+					}
+				}
+				picks = append(picks, pick{j, pi})
+				free.SubInPlace(p.Alloc)
+				if r < dtMin {
+					dtMin = r
+				}
+				break
+			}
+		}
+		if len(picks) == 0 {
+			return nil, sched.ErrInfeasible
+		}
+		dt := math.Inf(1)
+		for _, p := range picks {
+			if r := p.j.Table.Points[p.pt].RemainingTime(p.j.Remaining); r < dt {
+				dt = r
+			}
+		}
+		seg := schedule.Segment{Start: cur, End: cur + dt}
+		for _, p := range picks {
+			seg.Placements = append(seg.Placements, schedule.Placement{JobID: p.j.ID, Point: p.pt})
+		}
+		sort.Slice(seg.Placements, func(a, b int) bool {
+			return seg.Placements[a].JobID < seg.Placements[b].JobID
+		})
+		if err := k.Append(seg); err != nil {
+			return nil, err
+		}
+		cur += dt
+		mapped := make(map[int]int, len(picks))
+		for _, p := range picks {
+			mapped[p.j.ID] = p.pt
+		}
+		var next job.Set
+		for _, j := range alive {
+			pi, ran := mapped[j.ID]
+			if !ran {
+				next = append(next, j)
+				continue
+			}
+			pt := j.Table.Points[pi]
+			j.Remaining -= dt / pt.Time
+			if j.Remaining <= schedule.Eps {
+				if cur > j.Deadline+1e-6 {
+					return nil, sched.ErrInfeasible
+				}
+				continue
+			}
+			next = append(next, j)
+		}
+		alive = next
+	}
+	k.Normalize()
+	return k, nil
+}

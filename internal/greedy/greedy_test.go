@@ -1,0 +1,75 @@
+package greedy
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"adaptrm/internal/exmem"
+	"adaptrm/internal/job"
+	"adaptrm/internal/motiv"
+	"adaptrm/internal/sched"
+)
+
+func TestName(t *testing.T) {
+	if New().Name() != "MMKP-GR" {
+		t.Error("name wrong")
+	}
+}
+
+func TestSingleJobOptimal(t *testing.T) {
+	jobs := job.Set{{ID: 1, Table: motiv.Lambda1(), Deadline: 9, Remaining: 1}}
+	plat := motiv.Platform()
+	k, err := New().Schedule(jobs, plat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Validate(plat, jobs, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Energy(jobs); math.Abs(got-8.90) > 1e-9 {
+		t.Errorf("energy = %v, want 8.90", got)
+	}
+}
+
+func TestS1ValidAndNotBetterThanExact(t *testing.T) {
+	jobs := job.Set(motiv.ScenarioS1AtT1())
+	plat := motiv.Platform()
+	k, err := New().Schedule(jobs, plat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Validate(plat, jobs, 1); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := exmem.New().Schedule(jobs, plat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Energy(jobs) < ex.Energy(jobs)-1e-9 {
+		t.Error("greedy beats the exact reference")
+	}
+}
+
+func TestInfeasibleRejected(t *testing.T) {
+	jobs := job.Set{{ID: 1, Table: motiv.Lambda1(), Deadline: 1, Remaining: 1}}
+	if _, err := New().Schedule(jobs, motiv.Platform(), 0); !errors.Is(err, sched.ErrInfeasible) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := New().Schedule(nil, motiv.Platform(), 0); err == nil {
+		t.Error("empty set accepted")
+	}
+}
+
+func TestDoesNotMutate(t *testing.T) {
+	jobs := job.Set(motiv.ScenarioS1AtT1())
+	before := jobs.Clone()
+	if _, err := New().Schedule(jobs, motiv.Platform(), 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if jobs[i].Remaining != before[i].Remaining {
+			t.Errorf("job %d mutated", jobs[i].ID)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package greedy
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"adaptrm/internal/job"
+	"adaptrm/internal/motiv"
+	"adaptrm/internal/opset"
+	"adaptrm/internal/sched"
+)
+
+// Randomized check: MMKP-GR either rejects or produces a schedule that
+// passes the full constraint validation, without mutating inputs.
+func TestGreedyRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	plat := motiv.Platform()
+	tables := []*opset.Table{motiv.Lambda1(), motiv.Lambda2()}
+	rounds := 200
+	if testing.Short() {
+		rounds = 40
+	}
+	s := New()
+	for round := 0; round < rounds; round++ {
+		n := 1 + rng.Intn(4)
+		jobs := make(job.Set, 0, n)
+		for i := 0; i < n; i++ {
+			tbl := tables[rng.Intn(len(tables))]
+			rho := 0.1 + rng.Float64()*0.9
+			pt := tbl.Points[rng.Intn(tbl.Len())]
+			jobs = append(jobs, &job.Job{
+				ID:        i + 1,
+				Table:     tbl,
+				Deadline:  pt.RemainingTime(rho)*(0.6+rng.Float64()*3) + 1e-6,
+				Remaining: rho,
+			})
+		}
+		before := jobs.Clone()
+		k, err := s.Schedule(jobs, plat, 0)
+		if err != nil {
+			if !errors.Is(err, sched.ErrInfeasible) {
+				t.Fatalf("round %d: unexpected error %v", round, err)
+			}
+		} else if verr := k.Validate(plat, jobs, 0); verr != nil {
+			t.Fatalf("round %d: invalid schedule: %v", round, verr)
+		}
+		for i := range jobs {
+			if jobs[i].Remaining != before[i].Remaining {
+				t.Fatalf("round %d: job %d mutated", round, jobs[i].ID)
+			}
+		}
+	}
+}

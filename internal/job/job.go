@@ -1,0 +1,153 @@
+// Package job models runtime-manager requests and jobs.
+//
+// A request σ = ⟨α, δ, λ, ρ⟩ carries an arrival time, an absolute
+// deadline, the application to run, and — once admitted and partially
+// executed — the remaining progress ratio ρ ∈ (0, 1]. The scheduler works
+// on Job values, which bind a request to its operating-point table.
+package job
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"adaptrm/internal/opset"
+)
+
+// Job is one admitted, unfinished request at a scheduling instant.
+type Job struct {
+	// ID identifies the job within a scheduling problem. IDs must be
+	// unique and non-negative.
+	ID int
+	// Table is the application's Pareto-filtered operating-point table.
+	Table *opset.Table
+	// Arrival is the request arrival time α (absolute seconds).
+	Arrival float64
+	// Deadline is the absolute firm deadline δ.
+	Deadline float64
+	// Remaining is the remaining progress ratio ρ ∈ (0, 1]; 1 means the
+	// job has not started.
+	Remaining float64
+}
+
+// Validate checks the job's fields at scheduling instant t.
+func (j *Job) Validate(t float64) error {
+	if j.ID < 0 {
+		return fmt.Errorf("job %d: negative ID", j.ID)
+	}
+	if j.Table == nil || j.Table.Len() == 0 {
+		return fmt.Errorf("job %d: missing operating-point table", j.ID)
+	}
+	if j.Remaining <= 0 || j.Remaining > 1 || math.IsNaN(j.Remaining) {
+		return fmt.Errorf("job %d: remaining ratio %v out of (0,1]", j.ID, j.Remaining)
+	}
+	if j.Arrival > t {
+		return fmt.Errorf("job %d: arrival %v after scheduling instant %v", j.ID, j.Arrival, t)
+	}
+	if j.Deadline <= t {
+		return fmt.Errorf("job %d: deadline %v not after scheduling instant %v", j.ID, j.Deadline, t)
+	}
+	return nil
+}
+
+// Slack returns δ − t, the wall-clock budget left at instant t.
+func (j *Job) Slack(t float64) float64 { return j.Deadline - t }
+
+// MinRemainingTime returns the shortest possible time to finish the job
+// (fastest point, remaining ratio).
+func (j *Job) MinRemainingTime() float64 {
+	return j.Table.FastestTime() * j.Remaining
+}
+
+// MinRemainingEnergy returns the smallest possible remaining energy over
+// points that, started at instant t with exclusive resources, still meet
+// the deadline. It returns +Inf if no point can.
+func (j *Job) MinRemainingEnergy(t float64) float64 {
+	best := math.Inf(1)
+	slack := j.Slack(t)
+	for _, p := range j.Table.Points {
+		if p.RemainingTime(j.Remaining) <= slack && p.RemainingEnergy(j.Remaining) < best {
+			best = p.RemainingEnergy(j.Remaining)
+		}
+	}
+	return best
+}
+
+// Feasible reports whether the job could meet its deadline at instant t
+// when run alone on its fastest point.
+func (j *Job) Feasible(t float64) bool {
+	return j.MinRemainingTime() <= j.Slack(t)+1e-9
+}
+
+// Clone returns a copy sharing the (immutable) table.
+func (j *Job) Clone() *Job {
+	c := *j
+	return &c
+}
+
+// String renders like "σ1(app=lambda1 ρ=0.81 δ=9.0)".
+func (j *Job) String() string {
+	return fmt.Sprintf("σ%d(app=%s ρ=%.2f δ=%.1f)", j.ID, j.Table.Name(), j.Remaining, j.Deadline)
+}
+
+// Set is an ordered collection of jobs forming one scheduling problem.
+type Set []*Job
+
+// Validate checks every job and ID uniqueness.
+func (s Set) Validate(t float64) error {
+	if len(s) == 0 {
+		return fmt.Errorf("job: empty set")
+	}
+	seen := make(map[int]bool, len(s))
+	for _, j := range s {
+		if err := j.Validate(t); err != nil {
+			return err
+		}
+		if seen[j.ID] {
+			return fmt.Errorf("job %d: duplicate ID", j.ID)
+		}
+		seen[j.ID] = true
+	}
+	return nil
+}
+
+// Clone deep-copies the set (tables stay shared).
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	for i, j := range s {
+		out[i] = j.Clone()
+	}
+	return out
+}
+
+// MaxDeadline returns the largest absolute deadline in the set; this
+// bounds the analysis scope of Algorithm 1.
+func (s Set) MaxDeadline() float64 {
+	max := math.Inf(-1)
+	for _, j := range s {
+		if j.Deadline > max {
+			max = j.Deadline
+		}
+	}
+	return max
+}
+
+// SortEDF sorts by ascending deadline (ties by ID, for determinism).
+func (s Set) SortEDF() {
+	sort.SliceStable(s, func(i, k int) bool {
+		if s[i].Deadline != s[k].Deadline {
+			return s[i].Deadline < s[k].Deadline
+		}
+		return s[i].ID < s[k].ID
+	})
+}
+
+// ByID returns the job with the given ID, or nil.
+func (s Set) ByID(id int) *Job {
+	for _, j := range s {
+		if j.ID == id {
+			return j
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package job
+
+import (
+	"math"
+	"testing"
+
+	"adaptrm/internal/opset"
+	"adaptrm/internal/platform"
+)
+
+func testTable() *opset.Table {
+	t := &opset.Table{App: "app", Points: []opset.Point{
+		{Alloc: platform.Alloc{1, 0}, Time: 10, Energy: 2},
+		{Alloc: platform.Alloc{0, 1}, Time: 4, Energy: 6},
+		{Alloc: platform.Alloc{2, 0}, Time: 7, Energy: 3},
+	}}
+	t.SortByEnergy()
+	return t
+}
+
+func TestJobValidate(t *testing.T) {
+	good := &Job{ID: 1, Table: testTable(), Arrival: 0, Deadline: 5, Remaining: 1}
+	if err := good.Validate(0); err != nil {
+		t.Fatalf("valid job rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Job)
+		t    float64
+	}{
+		{"negative id", func(j *Job) { j.ID = -1 }, 0},
+		{"nil table", func(j *Job) { j.Table = nil }, 0},
+		{"empty table", func(j *Job) { j.Table = &opset.Table{} }, 0},
+		{"rho zero", func(j *Job) { j.Remaining = 0 }, 0},
+		{"rho above one", func(j *Job) { j.Remaining = 1.1 }, 0},
+		{"rho NaN", func(j *Job) { j.Remaining = math.NaN() }, 0},
+		{"future arrival", func(j *Job) { j.Arrival = 3 }, 0},
+		{"past deadline", func(j *Job) {}, 6},
+	}
+	for _, tc := range cases {
+		j := good.Clone()
+		tc.mut(j)
+		if err := j.Validate(tc.t); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestJobQueries(t *testing.T) {
+	j := &Job{ID: 1, Table: testTable(), Arrival: 0, Deadline: 10, Remaining: 0.5}
+	if got := j.Slack(4); got != 6 {
+		t.Errorf("Slack = %v", got)
+	}
+	if got := j.MinRemainingTime(); got != 2 { // fastest τ=4, ρ=0.5
+		t.Errorf("MinRemainingTime = %v", got)
+	}
+	if !j.Feasible(0) {
+		t.Error("job should be feasible at t=0")
+	}
+	if j.Feasible(9.5) { // needs 2s, only 0.5 left
+		t.Error("job should be infeasible at t=9.5")
+	}
+	// MinRemainingEnergy: at t=0 slack 10, all points meet deadline:
+	// cheapest is τ=10 ξ=2 → 1.0 remaining energy.
+	if got := j.MinRemainingEnergy(0); got != 1.0 {
+		t.Errorf("MinRemainingEnergy(0) = %v", got)
+	}
+	// At t=7 slack 3: only τ=4 point (rem 2s) fits → 3.0×0.5... ξ=6, ρ=0.5 → 3.
+	if got := j.MinRemainingEnergy(7); got != 3.0 {
+		t.Errorf("MinRemainingEnergy(7) = %v", got)
+	}
+	// At t=9.9 nothing fits.
+	if got := j.MinRemainingEnergy(9.9); !math.IsInf(got, 1) {
+		t.Errorf("MinRemainingEnergy(9.9) = %v", got)
+	}
+	if s := j.String(); s == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestSet(t *testing.T) {
+	mk := func(id int, dl float64) *Job {
+		return &Job{ID: id, Table: testTable(), Deadline: dl, Remaining: 1}
+	}
+	s := Set{mk(3, 9), mk(1, 5), mk(2, 5)}
+	if err := s.Validate(0); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := s.MaxDeadline(); got != 9 {
+		t.Errorf("MaxDeadline = %v", got)
+	}
+	s.SortEDF()
+	if s[0].ID != 1 || s[1].ID != 2 || s[2].ID != 3 {
+		t.Errorf("EDF order = %v,%v,%v (ties must break by ID)", s[0].ID, s[1].ID, s[2].ID)
+	}
+	if s.ByID(2) == nil || s.ByID(99) != nil {
+		t.Error("ByID broken")
+	}
+	c := s.Clone()
+	c[0].Remaining = 0.5
+	if s.ByID(1).Remaining != 1 {
+		t.Error("Clone aliases jobs")
+	}
+	// Duplicate IDs rejected.
+	dup := Set{mk(1, 5), mk(1, 6)}
+	if err := dup.Validate(0); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+	var empty Set
+	if err := empty.Validate(0); err == nil {
+		t.Error("empty set accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package kpn
+
+// Synthetic stand-ins for the paper's three benchmark applications. The
+// process counts match the paper (8, 8, 6); work distributions are
+// unbalanced pipelines with fan-out stages, giving concave speedups that
+// saturate below the full core count — the same qualitative behaviour
+// Table II shows for the real applications.
+
+// SpeakerRecognition returns an 8-process speaker-recognition pipeline
+// (front-end → feature extraction fan-out → scoring → decision), after
+// the PARMA-DITAM'19 dataflow implementation referenced by the paper.
+func SpeakerRecognition() Graph {
+	return Graph{
+		Name: "speaker-recognition",
+		Processes: []Process{
+			{Name: "src", Work: 1.2},
+			{Name: "preemph", Work: 2.8},
+			{Name: "framing", Work: 3.6},
+			{Name: "fft", Work: 9.5},
+			{Name: "melbank", Work: 7.4},
+			{Name: "dct", Work: 5.2},
+			{Name: "gmm-score", Work: 11.8},
+			{Name: "decision", Work: 1.5},
+		},
+		Channels: []Channel{
+			{Src: "src", Dst: "preemph", MBytes: 18},
+			{Src: "preemph", Dst: "framing", MBytes: 18},
+			{Src: "framing", Dst: "fft", MBytes: 24},
+			{Src: "fft", Dst: "melbank", MBytes: 30},
+			{Src: "melbank", Dst: "dct", MBytes: 12},
+			{Src: "dct", Dst: "gmm-score", MBytes: 8},
+			{Src: "gmm-score", Dst: "decision", MBytes: 2},
+		},
+		StartupSec: 0.35,
+	}
+}
+
+// AudioFilter returns the 8-process stereo frequency filter (split into
+// left/right chains, after the SCOPES'17 Tetris benchmark set).
+func AudioFilter() Graph {
+	return Graph{
+		Name: "audio-filter",
+		Processes: []Process{
+			{Name: "src", Work: 1.0},
+			{Name: "split", Work: 1.6},
+			{Name: "fft-l", Work: 6.8},
+			{Name: "fft-r", Work: 6.8},
+			{Name: "filter-l", Work: 4.9},
+			{Name: "filter-r", Work: 4.9},
+			{Name: "ifft", Work: 7.7},
+			{Name: "sink", Work: 1.4},
+		},
+		Channels: []Channel{
+			{Src: "src", Dst: "split", MBytes: 26},
+			{Src: "split", Dst: "fft-l", MBytes: 13},
+			{Src: "split", Dst: "fft-r", MBytes: 13},
+			{Src: "fft-l", Dst: "filter-l", MBytes: 16},
+			{Src: "fft-r", Dst: "filter-r", MBytes: 16},
+			{Src: "filter-l", Dst: "ifft", MBytes: 16},
+			{Src: "filter-r", Dst: "ifft", MBytes: 16},
+			{Src: "ifft", Dst: "sink", MBytes: 26},
+		},
+		StartupSec: 0.25,
+	}
+}
+
+// PedestrianRecognition returns the 6-process pedestrian-recognition
+// pipeline (image pyramid → HOG features → SVM windows → merge),
+// mirroring the Silexica-provided application of the paper.
+func PedestrianRecognition() Graph {
+	return Graph{
+		Name: "pedestrian-recognition",
+		Processes: []Process{
+			{Name: "capture", Work: 2.2},
+			{Name: "pyramid", Work: 6.4},
+			{Name: "hog-a", Work: 10.6},
+			{Name: "hog-b", Work: 10.6},
+			{Name: "svm", Work: 13.9},
+			{Name: "merge", Work: 1.8},
+		},
+		Channels: []Channel{
+			{Src: "capture", Dst: "pyramid", MBytes: 42},
+			{Src: "pyramid", Dst: "hog-a", MBytes: 21},
+			{Src: "pyramid", Dst: "hog-b", MBytes: 21},
+			{Src: "hog-a", Dst: "svm", MBytes: 9},
+			{Src: "hog-b", Dst: "svm", MBytes: 9},
+			{Src: "svm", Dst: "merge", MBytes: 3},
+		},
+		StartupSec: 0.45,
+	}
+}
+
+// BenchmarkSuite returns the three applications of the paper's
+// evaluation.
+func BenchmarkSuite() []Graph {
+	return []Graph{SpeakerRecognition(), AudioFilter(), PedestrianRecognition()}
+}

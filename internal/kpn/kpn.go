@@ -1,0 +1,146 @@
+// Package kpn models dataflow (KPN-style) applications: processes with
+// computational work connected by FIFO channels. The paper benchmarks
+// three proprietary dataflow applications (speaker recognition with 8
+// processes, an audio stereo-frequency filter with 8 processes, and
+// pedestrian recognition with 6 processes, provided by Silexica); this
+// package provides synthetic graphs with the same process counts and a
+// realistic unbalanced work distribution, so that the virtual platform
+// and DSE produce operating-point tables with the shape of Table II.
+package kpn
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Process is one Kahn process.
+type Process struct {
+	// Name identifies the process within its graph.
+	Name string
+	// Work is the computational load of the process over one complete
+	// run at the reference input size, in giga-operations.
+	Work float64
+}
+
+// Channel is a FIFO connection between two processes.
+type Channel struct {
+	// Src and Dst name the endpoint processes.
+	Src, Dst string
+	// MBytes is the total traffic over one complete run at the
+	// reference input size.
+	MBytes float64
+}
+
+// Graph is a dataflow application.
+type Graph struct {
+	// Name identifies the application (e.g. "audio-filter").
+	Name string
+	// Processes lists the Kahn processes.
+	Processes []Process
+	// Channels lists the FIFO connections.
+	Channels []Channel
+	// StartupSec is a fixed sequential startup/teardown overhead per
+	// run (input loading, graph construction) that does not parallelize.
+	StartupSec float64
+}
+
+// Validate checks structural invariants.
+func (g *Graph) Validate() error {
+	if g.Name == "" {
+		return errors.New("kpn: graph has no name")
+	}
+	if len(g.Processes) == 0 {
+		return fmt.Errorf("kpn: graph %s has no processes", g.Name)
+	}
+	seen := make(map[string]bool, len(g.Processes))
+	for _, p := range g.Processes {
+		if p.Name == "" {
+			return fmt.Errorf("kpn: graph %s has unnamed process", g.Name)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("kpn: graph %s duplicates process %q", g.Name, p.Name)
+		}
+		seen[p.Name] = true
+		if p.Work <= 0 {
+			return fmt.Errorf("kpn: graph %s process %q has non-positive work", g.Name, p.Name)
+		}
+	}
+	for _, c := range g.Channels {
+		if !seen[c.Src] || !seen[c.Dst] {
+			return fmt.Errorf("kpn: graph %s channel %s→%s references unknown process", g.Name, c.Src, c.Dst)
+		}
+		if c.Src == c.Dst {
+			return fmt.Errorf("kpn: graph %s has self-loop on %q", g.Name, c.Src)
+		}
+		if c.MBytes < 0 {
+			return fmt.Errorf("kpn: graph %s channel %s→%s has negative traffic", g.Name, c.Src, c.Dst)
+		}
+	}
+	if g.StartupSec < 0 {
+		return fmt.Errorf("kpn: graph %s has negative startup", g.Name)
+	}
+	return nil
+}
+
+// TotalWork returns the summed work of all processes (giga-operations).
+func (g *Graph) TotalWork() float64 {
+	w := 0.0
+	for _, p := range g.Processes {
+		w += p.Work
+	}
+	return w
+}
+
+// MaxProcessWork returns the heaviest single process, the serial
+// bottleneck that limits parallel speedup.
+func (g *Graph) MaxProcessWork() float64 {
+	max := 0.0
+	for _, p := range g.Processes {
+		if p.Work > max {
+			max = p.Work
+		}
+	}
+	return max
+}
+
+// TotalTraffic returns the summed channel traffic (MBytes).
+func (g *Graph) TotalTraffic() float64 {
+	t := 0.0
+	for _, c := range g.Channels {
+		t += c.MBytes
+	}
+	return t
+}
+
+// ProcessIndex returns the index of the named process, or -1.
+func (g *Graph) ProcessIndex(name string) int {
+	for i, p := range g.Processes {
+		if p.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Variant is an input configuration of an application. Work scales with
+// ComputeScale, channel traffic with TrafficScale; the startup overhead
+// is fixed, which differentiates the Pareto fronts of small and large
+// inputs (small inputs are relatively more serial).
+type Variant struct {
+	// Name labels the input size (e.g. "small").
+	Name string
+	// ComputeScale multiplies process work.
+	ComputeScale float64
+	// TrafficScale multiplies channel traffic.
+	TrafficScale float64
+}
+
+// DefaultVariants returns the small/medium/large input sizes used by the
+// synthetic benchmark suite.
+func DefaultVariants() []Variant {
+	return []Variant{
+		{Name: "small", ComputeScale: 0.45, TrafficScale: 0.55},
+		{Name: "medium", ComputeScale: 1.0, TrafficScale: 1.0},
+		{Name: "large", ComputeScale: 2.1, TrafficScale: 1.8},
+	}
+}

@@ -1,0 +1,84 @@
+package kpn
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBenchmarkSuiteValid(t *testing.T) {
+	suite := BenchmarkSuite()
+	if len(suite) != 3 {
+		t.Fatalf("suite has %d graphs", len(suite))
+	}
+	wantProcs := map[string]int{
+		"speaker-recognition":    8,
+		"audio-filter":           8,
+		"pedestrian-recognition": 6,
+	}
+	for _, g := range suite {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+		if want := wantProcs[g.Name]; len(g.Processes) != want {
+			t.Errorf("%s: %d processes, want %d (paper)", g.Name, len(g.Processes), want)
+		}
+		if g.TotalWork() <= 0 || g.MaxProcessWork() <= 0 || g.TotalTraffic() <= 0 {
+			t.Errorf("%s: degenerate aggregates", g.Name)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := func() Graph { return AudioFilter() }
+	cases := []struct {
+		name string
+		mut  func(*Graph)
+	}{
+		{"no name", func(g *Graph) { g.Name = "" }},
+		{"no processes", func(g *Graph) { g.Processes = nil }},
+		{"unnamed process", func(g *Graph) { g.Processes[0].Name = "" }},
+		{"duplicate process", func(g *Graph) { g.Processes[1].Name = g.Processes[0].Name }},
+		{"zero work", func(g *Graph) { g.Processes[0].Work = 0 }},
+		{"dangling channel", func(g *Graph) { g.Channels[0].Dst = "nope" }},
+		{"self loop", func(g *Graph) { g.Channels[0].Dst = g.Channels[0].Src }},
+		{"negative traffic", func(g *Graph) { g.Channels[0].MBytes = -1 }},
+		{"negative startup", func(g *Graph) { g.StartupSec = -1 }},
+	}
+	for _, tc := range cases {
+		g := base()
+		tc.mut(&g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestProcessIndex(t *testing.T) {
+	g := SpeakerRecognition()
+	if got := g.ProcessIndex("fft"); got < 0 || g.Processes[got].Name != "fft" {
+		t.Errorf("ProcessIndex(fft) = %d", got)
+	}
+	if got := g.ProcessIndex("nope"); got != -1 {
+		t.Errorf("ProcessIndex(nope) = %d", got)
+	}
+}
+
+func TestDefaultVariants(t *testing.T) {
+	vs := DefaultVariants()
+	if len(vs) != 3 {
+		t.Fatalf("%d variants", len(vs))
+	}
+	names := []string{}
+	for i, v := range vs {
+		names = append(names, v.Name)
+		if v.ComputeScale <= 0 || v.TrafficScale <= 0 {
+			t.Errorf("variant %d has bad scales", i)
+		}
+		if i > 0 && vs[i-1].ComputeScale >= v.ComputeScale {
+			t.Error("variants not ordered by compute scale")
+		}
+	}
+	if strings.Join(names, ",") != "small,medium,large" {
+		t.Errorf("variant names = %v", names)
+	}
+}

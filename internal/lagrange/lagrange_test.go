@@ -1,0 +1,125 @@
+package lagrange
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"adaptrm/internal/core"
+	"adaptrm/internal/job"
+	"adaptrm/internal/motiv"
+	"adaptrm/internal/sched"
+)
+
+func TestName(t *testing.T) {
+	if New().Name() != "MMKP-LR" {
+		t.Error("name wrong")
+	}
+	if NewWithIterations(0).iters != DefaultIterations {
+		t.Error("iteration clamp wrong")
+	}
+	if NewWithIterations(7).iters != 7 {
+		t.Error("iteration override wrong")
+	}
+}
+
+// A single job must get the same energy-optimal point as MMKP-MDF (the
+// paper's Table IV: ratio 1.0000 for one job).
+func TestSingleJobMatchesMDF(t *testing.T) {
+	jobs := job.Set{{ID: 1, Table: motiv.Lambda1(), Deadline: 9, Remaining: 1}}
+	plat := motiv.Platform()
+	k, err := New().Schedule(jobs, plat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Validate(plat, jobs, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Energy(jobs); math.Abs(got-8.90) > 1e-9 {
+		t.Errorf("energy = %v, want 8.90", got)
+	}
+}
+
+// On scenario S1 the single-segment scope of LR must cost energy relative
+// to MMKP-MDF's global scope (the core claim of the paper).
+func TestS1WorseThanMDF(t *testing.T) {
+	jobs := job.Set(motiv.ScenarioS1AtT1())
+	plat := motiv.Platform()
+	lr, err := New().Schedule(jobs, plat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lr.Validate(plat, jobs, 1); err != nil {
+		t.Fatal(err)
+	}
+	mdf, err := core.New().Schedule(jobs, plat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Energy(jobs) < mdf.Energy(jobs)-1e-9 {
+		t.Errorf("LR energy %v beats MDF %v on S1; expected the opposite",
+			lr.Energy(jobs), mdf.Energy(jobs))
+	}
+}
+
+// LR must still reject workloads that are infeasible outright.
+func TestInfeasibleRejected(t *testing.T) {
+	jobs := job.Set{
+		{ID: 1, Table: motiv.Lambda1(), Deadline: 1, Remaining: 1},
+	}
+	_, err := New().Schedule(jobs, motiv.Platform(), 0)
+	if !errors.Is(err, sched.ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+	jobs = job.Set{
+		{ID: 1, Table: motiv.Lambda2(), Deadline: 2, Remaining: 1},
+		{ID: 2, Table: motiv.Lambda2(), Deadline: 2, Remaining: 1},
+	}
+	_, err = New().Schedule(jobs, motiv.Platform(), 0)
+	if !errors.Is(err, sched.ErrInfeasible) {
+		t.Errorf("two-rush err = %v, want ErrInfeasible", err)
+	}
+}
+
+// Valid schedules on a mixed 3-job set, and no mutation of inputs.
+func TestThreeJobsValidNoMutation(t *testing.T) {
+	jobs := job.Set{
+		{ID: 1, Table: motiv.Lambda1(), Arrival: 0, Deadline: 40, Remaining: 1},
+		{ID: 2, Table: motiv.Lambda2(), Arrival: 0, Deadline: 25, Remaining: 0.6},
+		{ID: 3, Table: motiv.Lambda2(), Arrival: 0, Deadline: 30, Remaining: 1},
+	}
+	before := jobs.Clone()
+	plat := motiv.Platform()
+	k, err := New().Schedule(jobs, plat, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Validate(plat, jobs, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if jobs[i].Remaining != before[i].Remaining {
+			t.Errorf("job %d mutated", jobs[i].ID)
+		}
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	if _, err := New().Schedule(nil, motiv.Platform(), 0); err == nil {
+		t.Error("empty set accepted")
+	}
+}
+
+// Determinism: repeated runs produce identical schedules.
+func TestDeterminism(t *testing.T) {
+	jobs := job.Set(motiv.ScenarioS1AtT1())
+	plat := motiv.Platform()
+	a, err1 := New().Schedule(jobs, plat, 1)
+	b, err2 := New().Schedule(jobs, plat, 1)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if a.String() != b.String() {
+		t.Error("non-deterministic LR schedules")
+	}
+}

@@ -1,0 +1,87 @@
+// Package motiv carries the exact data of the motivational example of the
+// paper (Section III): the 2-little/2-big platform, the operating-point
+// tables of applications λ1 and λ2 (Table II, full-run values) and the
+// request scenarios S1 and S2 (Table I). It exists so that golden tests
+// and the Fig. 1 reproduction work from the paper's own numbers rather
+// than from synthetic tables.
+package motiv
+
+import (
+	"adaptrm/internal/job"
+	"adaptrm/internal/opset"
+	"adaptrm/internal/platform"
+)
+
+// Platform returns the motivational device: 2 little + 2 big cores.
+func Platform() platform.Platform { return platform.Motivational2L2B() }
+
+// Lambda1 returns application λ1's operating points (Table II, first
+// column group; full-run τ and ξ).
+func Lambda1() *opset.Table {
+	t := &opset.Table{App: "lambda1", Points: []opset.Point{
+		{Alloc: platform.Alloc{1, 0}, Time: 16.8, Energy: 7.90},
+		{Alloc: platform.Alloc{2, 0}, Time: 10.3, Energy: 7.01},
+		{Alloc: platform.Alloc{0, 1}, Time: 11.2, Energy: 18.54},
+		{Alloc: platform.Alloc{0, 2}, Time: 6.3, Energy: 17.70},
+		{Alloc: platform.Alloc{1, 1}, Time: 8.1, Energy: 10.90},
+		{Alloc: platform.Alloc{1, 2}, Time: 7.9, Energy: 10.60},
+		{Alloc: platform.Alloc{2, 1}, Time: 5.3, Energy: 8.90},
+		{Alloc: platform.Alloc{2, 2}, Time: 4.7, Energy: 11.00},
+	}}
+	t.SortByEnergy()
+	return t
+}
+
+// Lambda2 returns application λ2's operating points (Table II, second
+// column group).
+func Lambda2() *opset.Table {
+	t := &opset.Table{App: "lambda2", Points: []opset.Point{
+		{Alloc: platform.Alloc{1, 0}, Time: 10.0, Energy: 2.00},
+		{Alloc: platform.Alloc{2, 0}, Time: 7.0, Energy: 2.87},
+		{Alloc: platform.Alloc{0, 1}, Time: 5.0, Energy: 7.55},
+		{Alloc: platform.Alloc{0, 2}, Time: 3.5, Energy: 10.5},
+		{Alloc: platform.Alloc{1, 1}, Time: 3.5, Energy: 6.44},
+		{Alloc: platform.Alloc{1, 2}, Time: 3.0, Energy: 6.81},
+		{Alloc: platform.Alloc{2, 1}, Time: 3.0, Energy: 5.73},
+		{Alloc: platform.Alloc{2, 2}, Time: 2.0, Energy: 6.58},
+	}}
+	t.SortByEnergy()
+	return t
+}
+
+// Library returns a library with both motivational applications.
+func Library() *opset.Library {
+	lib := opset.NewLibrary()
+	// Adds cannot fail: distinct fresh tables.
+	_ = lib.Add(Lambda1())
+	_ = lib.Add(Lambda2())
+	return lib
+}
+
+// Rho1AtT1 is σ1's remaining progress ratio after running on 2L1B from
+// t=0 to t=1 (progress 1/5.3 ≈ 18.87%, see Table II's second column).
+const Rho1AtT1 = 1 - 1/5.3
+
+// ScenarioS1AtT1 returns the job set the runtime manager faces at t=1 in
+// scenario S1: σ1 (deadline 9) has progressed 18.87% on 2L1B, σ2
+// (deadline 5) just arrived.
+func ScenarioS1AtT1() []*job.Job {
+	return []*job.Job{
+		{ID: 1, Table: Lambda1(), Arrival: 0, Deadline: 9, Remaining: Rho1AtT1},
+		{ID: 2, Table: Lambda2(), Arrival: 1, Deadline: 5, Remaining: 1},
+	}
+}
+
+// ScenarioS2AtT1 returns the job set at t=1 in the tighter scenario S2:
+// σ2's deadline drops to 4.
+func ScenarioS2AtT1() []*job.Job {
+	return []*job.Job{
+		{ID: 1, Table: Lambda1(), Arrival: 0, Deadline: 9, Remaining: Rho1AtT1},
+		{ID: 2, Table: Lambda2(), Arrival: 1, Deadline: 4, Remaining: 1},
+	}
+}
+
+// EnergyBeforeT1 is the energy σ1 consumed on 2L1B during [0,1), which
+// must be added to schedule energies computed from t=1 to compare against
+// the full-run figures of Fig. 1 (16.96 / 15.49 / 14.63 J).
+const EnergyBeforeT1 = 8.90 * (1 / 5.3)

@@ -1,0 +1,73 @@
+package motiv
+
+import (
+	"math"
+	"testing"
+
+	"adaptrm/internal/job"
+	"adaptrm/internal/platform"
+)
+
+func TestTablesValidate(t *testing.T) {
+	plat := Platform()
+	if err := Lambda1().Validate(plat); err != nil {
+		t.Errorf("λ1: %v", err)
+	}
+	if err := Lambda2().Validate(plat); err != nil {
+		t.Errorf("λ2: %v", err)
+	}
+	lib := Library()
+	if lib.Len() != 2 {
+		t.Errorf("library has %d tables", lib.Len())
+	}
+	if err := lib.Validate(plat); err != nil {
+		t.Errorf("library: %v", err)
+	}
+}
+
+// Table II's underlined value: the energy-optimal deadline-9 point for λ1
+// at ρ=1 is 2L1B with ξ=8.90.
+func TestLambda1EnergyOptimalChoiceAtStart(t *testing.T) {
+	j := &job.Job{ID: 1, Table: Lambda1(), Deadline: 9, Remaining: 1}
+	best, bestE := platform.Alloc(nil), math.Inf(1)
+	for _, p := range j.Table.Points {
+		if p.RemainingTime(1) <= j.Slack(0) && p.Energy < bestE {
+			bestE = p.Energy
+			best = p.Alloc
+		}
+	}
+	if !best.Equal(platform.Alloc{2, 1}) || bestE != 8.90 {
+		t.Errorf("best = %v ξ=%v, want 2L1B ξ=8.90", best, bestE)
+	}
+}
+
+// The progress constant matches Table II's 18.87% column.
+func TestRho1AtT1(t *testing.T) {
+	if math.Abs((1-Rho1AtT1)-0.1887) > 1e-4 {
+		t.Errorf("progress at t=1 = %v, want ≈0.1887", 1-Rho1AtT1)
+	}
+	if math.Abs(EnergyBeforeT1-8.90/5.3) > 1e-12 {
+		t.Errorf("EnergyBeforeT1 = %v", EnergyBeforeT1)
+	}
+}
+
+func TestScenarios(t *testing.T) {
+	s1 := job.Set(ScenarioS1AtT1())
+	if err := s1.Validate(1); err != nil {
+		t.Fatalf("S1: %v", err)
+	}
+	if s1.ByID(2).Deadline != 5 {
+		t.Errorf("S1 σ2 deadline = %v, want 5", s1.ByID(2).Deadline)
+	}
+	s2 := job.Set(ScenarioS2AtT1())
+	if err := s2.Validate(1); err != nil {
+		t.Fatalf("S2: %v", err)
+	}
+	if s2.ByID(2).Deadline != 4 {
+		t.Errorf("S2 σ2 deadline = %v, want 4", s2.ByID(2).Deadline)
+	}
+	// In S2, σ2 alone can still meet its deadline (2L2B needs 2s ≤ 3).
+	if !s2.ByID(2).Feasible(1) {
+		t.Error("S2 σ2 should be feasible in isolation")
+	}
+}

@@ -1,0 +1,42 @@
+package opset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"adaptrm/internal/platform"
+)
+
+// libraryJSON is the on-disk representation of a Library.
+type libraryJSON struct {
+	Tables []*Table `json:"tables"`
+}
+
+// WriteJSON serializes the library (indented) to w.
+func (l *Library) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(libraryJSON{Tables: l.Tables()})
+}
+
+// ReadJSON parses a library previously written by WriteJSON and validates
+// it against the platform.
+func ReadJSON(r io.Reader, plat platform.Platform) (*Library, error) {
+	var raw libraryJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("opset: decoding library: %w", err)
+	}
+	lib := NewLibrary()
+	for _, t := range raw.Tables {
+		t.SortByEnergy()
+		if err := lib.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	if err := lib.Validate(plat); err != nil {
+		return nil, err
+	}
+	return lib, nil
+}

@@ -1,0 +1,299 @@
+// Package opset models application operating points and the per-variant
+// operating-point tables the runtime manager consumes.
+//
+// An operating point c = ⟨θ, τ, ξ⟩ describes one Pareto-optimal way to run
+// an application variant: the resource vector θ (cores per type), the
+// worst-case execution time τ of a full run, and the energy ξ of a full
+// run. The progress model of the paper is linear: a job with remaining
+// progress ratio ρ needs τ·ρ seconds and ξ·ρ joules on point c, which is
+// exactly the structure of the time/energy triples in Table II.
+package opset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"adaptrm/internal/pareto"
+	"adaptrm/internal/platform"
+)
+
+// Point is one operating point ⟨θ, τ, ξ⟩.
+type Point struct {
+	// Alloc is the resource vector θ: cores per platform type.
+	Alloc platform.Alloc `json:"alloc"`
+	// Time is the worst-case execution time τ of a full run in seconds.
+	Time float64 `json:"time"`
+	// Energy is the energy ξ of a full run in joules.
+	Energy float64 `json:"energy"`
+	// Label is an optional design-time annotation (e.g. the DVFS
+	// setting the point was benchmarked at); schedulers ignore it.
+	Label string `json:"label,omitempty"`
+}
+
+// RemainingTime returns the time to finish a job with remaining ratio rho.
+func (p Point) RemainingTime(rho float64) float64 { return p.Time * rho }
+
+// RemainingEnergy returns the energy to finish a job with remaining ratio
+// rho.
+func (p Point) RemainingEnergy(rho float64) float64 { return p.Energy * rho }
+
+// Power returns the average power draw ξ/τ of the point.
+func (p Point) Power() float64 { return p.Energy / p.Time }
+
+// Objectives returns the concatenated lower-is-better vector [θ…, τ, ξ]
+// used for Pareto filtering.
+func (p Point) Objectives() []float64 {
+	v := make([]float64, 0, len(p.Alloc)+2)
+	for _, c := range p.Alloc {
+		v = append(v, float64(c))
+	}
+	return append(v, p.Time, p.Energy)
+}
+
+// String renders like "2L1B τ=5.30s ξ=8.90J" (plus the label, if any).
+func (p Point) String() string {
+	s := fmt.Sprintf("%s τ=%.2fs ξ=%.2fJ", p.Alloc, p.Time, p.Energy)
+	if p.Label != "" {
+		s += " [" + p.Label + "]"
+	}
+	return s
+}
+
+// Table is the set of operating points of one application variant (an
+// application benchmarked with one input size). Points are kept sorted by
+// ascending energy (ties by time), the order Algorithm 1 consumes them in.
+type Table struct {
+	// App names the application (e.g. "audio-filter").
+	App string `json:"app"`
+	// Variant names the input configuration (e.g. "large").
+	Variant string `json:"variant"`
+	// Points holds the operating points, sorted by ascending energy.
+	Points []Point `json:"points"`
+}
+
+// Name returns "app/variant", the identifier used in workloads.
+func (t *Table) Name() string {
+	if t.Variant == "" {
+		return t.App
+	}
+	return t.App + "/" + t.Variant
+}
+
+// Len returns the number of operating points N_λ.
+func (t *Table) Len() int { return len(t.Points) }
+
+// SortByEnergy establishes the canonical ascending-energy order.
+func (t *Table) SortByEnergy() {
+	sort.SliceStable(t.Points, func(i, j int) bool {
+		a, b := t.Points[i], t.Points[j]
+		if a.Energy != b.Energy {
+			return a.Energy < b.Energy
+		}
+		return a.Time < b.Time
+	})
+}
+
+// FilterPareto removes dominated points (over [θ…, τ, ξ]) and re-sorts.
+// It returns the number of points removed.
+func (t *Table) FilterPareto() int {
+	objs := make([][]float64, len(t.Points))
+	for i, p := range t.Points {
+		objs[i] = p.Objectives()
+	}
+	keep := pareto.Filter(objs)
+	if len(keep) == len(t.Points) {
+		t.SortByEnergy()
+		return 0
+	}
+	removed := len(t.Points) - len(keep)
+	pts := make([]Point, 0, len(keep))
+	for _, k := range keep {
+		pts = append(pts, t.Points[k])
+	}
+	t.Points = pts
+	t.SortByEnergy()
+	return removed
+}
+
+// Thin reduces the table to at most n points, keeping the energy-sorted
+// front's endpoints (the most energy-efficient and, implicitly, the
+// fastest extreme at the high-energy end) and evenly spaced interior
+// points. Runtime managers bound their table sizes this way; the paper's
+// applications ship 28–36 points across all input sizes. Thinning a
+// Pareto front yields a Pareto front, so no re-filtering is needed.
+func (t *Table) Thin(n int) {
+	if n <= 0 || t.Len() <= n {
+		return
+	}
+	if n == 1 {
+		t.Points = t.Points[:1]
+		return
+	}
+	last := t.Len() - 1
+	out := make([]Point, 0, n)
+	prev := -1
+	for i := 0; i < n; i++ {
+		idx := (i*last + (n-1)/2) / (n - 1)
+		if idx == prev {
+			continue
+		}
+		prev = idx
+		out = append(out, t.Points[idx])
+	}
+	t.Points = out
+}
+
+// Validate checks the table against a platform: non-empty, points fit the
+// capacity, positive times/energies, no dominated points, sorted order.
+func (t *Table) Validate(plat platform.Platform) error {
+	if len(t.Points) == 0 {
+		return fmt.Errorf("opset: table %s has no points", t.Name())
+	}
+	cap := plat.Capacity()
+	objs := make([][]float64, len(t.Points))
+	for i, p := range t.Points {
+		if len(p.Alloc) != plat.NumTypes() {
+			return fmt.Errorf("opset: table %s point %d: alloc arity %d vs platform %d",
+				t.Name(), i, len(p.Alloc), plat.NumTypes())
+		}
+		if !p.Alloc.NonNegative() || p.Alloc.IsZero() {
+			return fmt.Errorf("opset: table %s point %d: invalid alloc %v", t.Name(), i, p.Alloc)
+		}
+		if !p.Alloc.Fits(cap) {
+			return fmt.Errorf("opset: table %s point %d: alloc %v exceeds capacity %v",
+				t.Name(), i, p.Alloc, cap)
+		}
+		if p.Time <= 0 || math.IsNaN(p.Time) || math.IsInf(p.Time, 0) {
+			return fmt.Errorf("opset: table %s point %d: bad time %v", t.Name(), i, p.Time)
+		}
+		if p.Energy <= 0 || math.IsNaN(p.Energy) || math.IsInf(p.Energy, 0) {
+			return fmt.Errorf("opset: table %s point %d: bad energy %v", t.Name(), i, p.Energy)
+		}
+		objs[i] = p.Objectives()
+	}
+	if !pareto.IsFront(objs) {
+		return fmt.Errorf("opset: table %s contains dominated points", t.Name())
+	}
+	for i := 1; i < len(t.Points); i++ {
+		a, b := t.Points[i-1], t.Points[i]
+		if a.Energy > b.Energy || (a.Energy == b.Energy && a.Time > b.Time) {
+			return fmt.Errorf("opset: table %s not sorted by energy at %d", t.Name(), i)
+		}
+	}
+	return nil
+}
+
+// MinEnergy returns the index of the most energy-efficient point (index 0
+// by the sorting invariant). It panics on an empty table.
+func (t *Table) MinEnergy() int {
+	if len(t.Points) == 0 {
+		panic("opset: MinEnergy on empty table")
+	}
+	return 0
+}
+
+// FastestTime returns the smallest τ over all points.
+func (t *Table) FastestTime() float64 {
+	best := math.Inf(1)
+	for _, p := range t.Points {
+		if p.Time < best {
+			best = p.Time
+		}
+	}
+	return best
+}
+
+// FastestWithin returns the smallest τ over points whose alloc fits the
+// given free resources, or +Inf if none fits.
+func (t *Table) FastestWithin(free platform.Alloc) float64 {
+	best := math.Inf(1)
+	for _, p := range t.Points {
+		if p.Alloc.Fits(free) && p.Time < best {
+			best = p.Time
+		}
+	}
+	return best
+}
+
+// ByAlloc returns the indices of points with the exact alloc, preserving
+// table order.
+func (t *Table) ByAlloc(a platform.Alloc) []int {
+	var idx []int
+	for i, p := range t.Points {
+		if p.Alloc.Equal(a) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// String renders a short multi-line description of the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d points)\n", t.Name(), len(t.Points))
+	for _, p := range t.Points {
+		fmt.Fprintf(&b, "  %s\n", p)
+	}
+	return b.String()
+}
+
+// Library is a named collection of tables, keyed by Table.Name(). It is
+// what the design-time DSE hands to the runtime manager.
+type Library struct {
+	tables map[string]*Table
+	order  []string
+}
+
+// NewLibrary returns an empty library.
+func NewLibrary() *Library {
+	return &Library{tables: make(map[string]*Table)}
+}
+
+// Add inserts a table. It returns an error on duplicate names.
+func (l *Library) Add(t *Table) error {
+	name := t.Name()
+	if _, ok := l.tables[name]; ok {
+		return fmt.Errorf("opset: duplicate table %q", name)
+	}
+	l.tables[name] = t
+	l.order = append(l.order, name)
+	return nil
+}
+
+// Get returns the table with the given name, or nil.
+func (l *Library) Get(name string) *Table { return l.tables[name] }
+
+// Names returns table names in insertion order.
+func (l *Library) Names() []string {
+	out := make([]string, len(l.order))
+	copy(out, l.order)
+	return out
+}
+
+// Len returns the number of tables.
+func (l *Library) Len() int { return len(l.order) }
+
+// Tables returns the tables in insertion order.
+func (l *Library) Tables() []*Table {
+	out := make([]*Table, 0, len(l.order))
+	for _, n := range l.order {
+		out = append(out, l.tables[n])
+	}
+	return out
+}
+
+// Validate validates every table against the platform.
+func (l *Library) Validate(plat platform.Platform) error {
+	if l.Len() == 0 {
+		return errors.New("opset: empty library")
+	}
+	for _, t := range l.Tables() {
+		if err := t.Validate(plat); err != nil {
+			return err
+		}
+	}
+	return nil
+}

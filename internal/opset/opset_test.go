@@ -1,0 +1,240 @@
+package opset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"adaptrm/internal/platform"
+)
+
+func table2Lambda1() *Table {
+	// λ1 from Table II of the paper (full-run values).
+	t := &Table{App: "lambda1", Points: []Point{
+		{Alloc: platform.Alloc{1, 0}, Time: 16.8, Energy: 7.90},
+		{Alloc: platform.Alloc{2, 0}, Time: 10.3, Energy: 7.01},
+		{Alloc: platform.Alloc{0, 1}, Time: 11.2, Energy: 18.54},
+		{Alloc: platform.Alloc{0, 2}, Time: 6.3, Energy: 17.70},
+		{Alloc: platform.Alloc{1, 1}, Time: 8.1, Energy: 10.90},
+		{Alloc: platform.Alloc{1, 2}, Time: 7.9, Energy: 10.60},
+		{Alloc: platform.Alloc{2, 1}, Time: 5.3, Energy: 8.90},
+		{Alloc: platform.Alloc{2, 2}, Time: 4.7, Energy: 11.00},
+	}}
+	t.SortByEnergy()
+	return t
+}
+
+func TestPointScaling(t *testing.T) {
+	p := Point{Alloc: platform.Alloc{2, 1}, Time: 5.3, Energy: 8.90}
+	// Table II triples: ρ = 0.8113 and ρ = 0.3792.
+	if got := p.RemainingTime(0.8113); math.Abs(got-4.30) > 0.01 {
+		t.Errorf("RemainingTime(0.8113) = %.3f, want 4.30", got)
+	}
+	if got := p.RemainingEnergy(0.8113); math.Abs(got-7.22) > 0.01 {
+		t.Errorf("RemainingEnergy(0.8113) = %.3f, want 7.22", got)
+	}
+	if got := p.RemainingTime(0.3792); math.Abs(got-2.01) > 0.01 {
+		t.Errorf("RemainingTime(0.3792) = %.3f, want 2.01", got)
+	}
+	if got := p.RemainingEnergy(0.3792); math.Abs(got-3.38) > 0.01 {
+		t.Errorf("RemainingEnergy(0.3792) = %.3f, want 3.38", got)
+	}
+	if got := p.Power(); math.Abs(got-8.90/5.3) > 1e-12 {
+		t.Errorf("Power = %g", got)
+	}
+}
+
+func TestTableSortAndValidate(t *testing.T) {
+	tbl := table2Lambda1()
+	plat := platform.Motivational2L2B()
+	if err := tbl.Validate(plat); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Canonical order: ascending energy.
+	for i := 1; i < len(tbl.Points); i++ {
+		if tbl.Points[i-1].Energy > tbl.Points[i].Energy {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+	if got := tbl.Points[tbl.MinEnergy()].Energy; got != 7.01 {
+		t.Errorf("MinEnergy point has ξ=%v, want 7.01 (2L0B)", got)
+	}
+}
+
+func TestTableValidateRejects(t *testing.T) {
+	plat := platform.Motivational2L2B()
+	mk := func(pts ...Point) *Table {
+		tb := &Table{App: "x", Points: pts}
+		tb.SortByEnergy()
+		return tb
+	}
+	cases := []struct {
+		name string
+		tb   *Table
+	}{
+		{"empty", &Table{App: "x"}},
+		{"zero alloc", mk(Point{Alloc: platform.Alloc{0, 0}, Time: 1, Energy: 1})},
+		{"over capacity", mk(Point{Alloc: platform.Alloc{3, 0}, Time: 1, Energy: 1})},
+		{"bad arity", mk(Point{Alloc: platform.Alloc{1}, Time: 1, Energy: 1})},
+		{"bad time", mk(Point{Alloc: platform.Alloc{1, 0}, Time: 0, Energy: 1})},
+		{"bad energy", mk(Point{Alloc: platform.Alloc{1, 0}, Time: 1, Energy: math.NaN()})},
+		{"dominated", mk(
+			Point{Alloc: platform.Alloc{1, 0}, Time: 1, Energy: 1},
+			Point{Alloc: platform.Alloc{1, 0}, Time: 2, Energy: 2},
+		)},
+	}
+	for _, tc := range cases {
+		if err := tc.tb.Validate(plat); err == nil {
+			t.Errorf("%s: Validate accepted invalid table", tc.name)
+		}
+	}
+}
+
+func TestFilterPareto(t *testing.T) {
+	tb := &Table{App: "x", Points: []Point{
+		{Alloc: platform.Alloc{1, 0}, Time: 10, Energy: 5},
+		{Alloc: platform.Alloc{1, 0}, Time: 12, Energy: 6}, // dominated
+		{Alloc: platform.Alloc{0, 1}, Time: 4, Energy: 9},
+	}}
+	if removed := tb.FilterPareto(); removed != 1 {
+		t.Errorf("FilterPareto removed %d, want 1", removed)
+	}
+	if tb.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tb.Len())
+	}
+	// Idempotent.
+	if removed := tb.FilterPareto(); removed != 0 {
+		t.Errorf("second FilterPareto removed %d, want 0", removed)
+	}
+	// Table II survives untouched (it is already a front over [θ,τ,ξ]).
+	l1 := table2Lambda1()
+	if removed := l1.FilterPareto(); removed != 0 {
+		t.Errorf("Table II λ1 lost %d points to Pareto filtering", removed)
+	}
+}
+
+func TestFastestQueries(t *testing.T) {
+	tb := table2Lambda1()
+	if got := tb.FastestTime(); got != 4.7 {
+		t.Errorf("FastestTime = %v, want 4.7 (2L2B)", got)
+	}
+	// Only one little core free: 1L0B (16.8) is the only fit.
+	if got := tb.FastestWithin(platform.Alloc{1, 0}); got != 16.8 {
+		t.Errorf("FastestWithin(1L) = %v, want 16.8", got)
+	}
+	if got := tb.FastestWithin(platform.Alloc{0, 0}); !math.IsInf(got, 1) {
+		t.Errorf("FastestWithin(0) = %v, want +Inf", got)
+	}
+	idx := tb.ByAlloc(platform.Alloc{2, 1})
+	if len(idx) != 1 || tb.Points[idx[0]].Time != 5.3 {
+		t.Errorf("ByAlloc(2L1B) = %v", idx)
+	}
+}
+
+func TestTableName(t *testing.T) {
+	tb := &Table{App: "audio-filter", Variant: "large"}
+	if got := tb.Name(); got != "audio-filter/large" {
+		t.Errorf("Name = %q", got)
+	}
+	tb2 := &Table{App: "lambda1"}
+	if got := tb2.Name(); got != "lambda1" {
+		t.Errorf("Name = %q", got)
+	}
+	if s := tb2.String(); !strings.Contains(s, "lambda1") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestLibrary(t *testing.T) {
+	lib := NewLibrary()
+	plat := platform.Motivational2L2B()
+	if err := lib.Validate(plat); err == nil {
+		t.Error("empty library should not validate")
+	}
+	if err := lib.Add(table2Lambda1()); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Add(table2Lambda1()); err == nil {
+		t.Error("duplicate Add should fail")
+	}
+	if lib.Len() != 1 || lib.Get("lambda1") == nil || lib.Get("nope") != nil {
+		t.Error("library lookup broken")
+	}
+	if names := lib.Names(); len(names) != 1 || names[0] != "lambda1" {
+		t.Errorf("Names = %v", names)
+	}
+	if err := lib.Validate(plat); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestLibraryJSONRoundTrip(t *testing.T) {
+	plat := platform.Motivational2L2B()
+	lib := NewLibrary()
+	if err := lib.Add(table2Lambda1()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := lib.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != lib.Len() {
+		t.Fatalf("round trip lost tables: %d vs %d", got.Len(), lib.Len())
+	}
+	a, b := lib.Get("lambda1"), got.Get("lambda1")
+	if a.Len() != b.Len() {
+		t.Fatalf("round trip lost points: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Points {
+		if !a.Points[i].Alloc.Equal(b.Points[i].Alloc) ||
+			a.Points[i].Time != b.Points[i].Time ||
+			a.Points[i].Energy != b.Points[i].Energy {
+			t.Fatalf("point %d mismatch: %v vs %v", i, a.Points[i], b.Points[i])
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	plat := platform.Motivational2L2B()
+	if _, err := ReadJSON(strings.NewReader("{nope"), plat); err == nil {
+		t.Error("garbage JSON accepted")
+	}
+	// Valid JSON, invalid table (capacity exceeded).
+	bad := `{"tables":[{"app":"x","points":[{"alloc":[9,9],"time":1,"energy":1}]}]}`
+	if _, err := ReadJSON(strings.NewReader(bad), plat); err == nil {
+		t.Error("invalid table accepted")
+	}
+}
+
+// Property: RemainingTime/RemainingEnergy are linear in ρ and additive:
+// finishing ρ in two chunks costs the same as in one.
+func TestLinearProgressProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func() bool {
+		p := Point{
+			Alloc:  platform.Alloc{1 + rng.Intn(4), rng.Intn(4)},
+			Time:   0.5 + rng.Float64()*20,
+			Energy: 0.5 + rng.Float64()*20,
+		}
+		rho := rng.Float64()
+		split := rng.Float64() * rho
+		lhs := p.RemainingEnergy(rho)
+		rhs := p.RemainingEnergy(split) + p.RemainingEnergy(rho-split)
+		if math.Abs(lhs-rhs) > 1e-9 {
+			return false
+		}
+		lt := p.RemainingTime(rho)
+		rt := p.RemainingTime(split) + p.RemainingTime(rho-split)
+		return math.Abs(lt-rt) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package opset
+
+import (
+	"testing"
+
+	"adaptrm/internal/platform"
+)
+
+func bigFront(n int) *Table {
+	// A clean 2D front: increasing time, decreasing energy, varying
+	// allocs so Pareto over [θ,τ,ξ] keeps all points.
+	t := &Table{App: "front"}
+	for i := 0; i < n; i++ {
+		t.Points = append(t.Points, Point{
+			Alloc:  platform.Alloc{1 + i%4, i % 3},
+			Time:   float64(1 + i),
+			Energy: float64(2*n - i),
+		})
+	}
+	t.SortByEnergy()
+	return t
+}
+
+func TestThin(t *testing.T) {
+	tb := bigFront(20)
+	first := tb.Points[0]
+	last := tb.Points[tb.Len()-1]
+	tb.Thin(7)
+	if tb.Len() != 7 {
+		t.Fatalf("thinned to %d, want 7", tb.Len())
+	}
+	// Endpoints preserved.
+	samePoint := func(a, b Point) bool {
+		return a.Alloc.Equal(b.Alloc) && a.Time == b.Time && a.Energy == b.Energy
+	}
+	if !samePoint(tb.Points[0], first) {
+		t.Errorf("cheapest endpoint lost")
+	}
+	if !samePoint(tb.Points[tb.Len()-1], last) {
+		t.Errorf("high-energy endpoint lost")
+	}
+	// Still sorted by energy.
+	for i := 1; i < tb.Len(); i++ {
+		if tb.Points[i-1].Energy > tb.Points[i].Energy {
+			t.Fatal("thinned table unsorted")
+		}
+	}
+}
+
+func TestThinNoOp(t *testing.T) {
+	tb := bigFront(5)
+	tb.Thin(10)
+	if tb.Len() != 5 {
+		t.Error("thin enlarged or shrank a small table")
+	}
+	tb.Thin(0)
+	if tb.Len() != 5 {
+		t.Error("thin(0) must be a no-op")
+	}
+	tb.Thin(-3)
+	if tb.Len() != 5 {
+		t.Error("thin(negative) must be a no-op")
+	}
+}
+
+func TestThinToOne(t *testing.T) {
+	tb := bigFront(8)
+	tb.Thin(1)
+	if tb.Len() != 1 {
+		t.Fatalf("thinned to %d, want 1", tb.Len())
+	}
+}
+
+func TestThinAllSizes(t *testing.T) {
+	for n := 1; n <= 24; n++ {
+		for k := 1; k <= n; k++ {
+			tb := bigFront(n)
+			tb.Thin(k)
+			if tb.Len() > k {
+				t.Fatalf("n=%d k=%d: thinned to %d", n, k, tb.Len())
+			}
+			if tb.Len() == 0 {
+				t.Fatalf("n=%d k=%d: emptied table", n, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Package pareto provides Pareto-front filtering over vectors of
+// lower-is-better objectives. It is used by the design-space exploration
+// to reduce benchmarked operating points to the Pareto-optimal set handed
+// to the runtime manager, exactly as assumed by the paper ("operating
+// points are assumed to be already Pareto-filtered").
+package pareto
+
+import "sort"
+
+// Dominates reports whether a dominates b: a is no worse in every
+// objective and strictly better in at least one. All objectives are
+// lower-is-better. It panics if the vectors differ in length.
+func Dominates(a, b []float64) bool {
+	if len(a) != len(b) {
+		panic("pareto: vector length mismatch")
+	}
+	strict := false
+	for i := range a {
+		switch {
+		case a[i] > b[i]:
+			return false
+		case a[i] < b[i]:
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Filter returns the indices of the non-dominated points, in their
+// original order. Duplicate points are all kept (none dominates another).
+// The implementation sorts by the first objective and performs pairwise
+// checks within the candidate set, which is O(n²) in the worst case but
+// fast for the table sizes the DSE produces (tens of points).
+func Filter(points [][]float64) []int {
+	n := len(points)
+	if n == 0 {
+		return nil
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Sorting by the first objective (then lexicographically) means a
+	// point can only be dominated by an earlier point in the order.
+	sort.SliceStable(order, func(x, y int) bool {
+		a, b := points[order[x]], points[order[y]]
+		for i := range a {
+			if a[i] != b[i] {
+				return a[i] < b[i]
+			}
+		}
+		return false
+	})
+	dominated := make([]bool, n)
+	for i := 0; i < n; i++ {
+		pi := order[i]
+		if dominated[pi] {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			pj := order[j]
+			if dominated[pj] {
+				continue
+			}
+			if Dominates(points[pi], points[pj]) {
+				dominated[pj] = true
+			}
+		}
+	}
+	keep := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if !dominated[i] {
+			keep = append(keep, i)
+		}
+	}
+	return keep
+}
+
+// IsFront reports whether no point in the set dominates another, i.e. the
+// set already forms a Pareto front.
+func IsFront(points [][]float64) bool {
+	for i := range points {
+		for j := range points {
+			if i != j && Dominates(points[i], points[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,148 @@
+package pareto
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominates(t *testing.T) {
+	tests := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 1}, []float64{2, 2}, true},
+		{[]float64{1, 2}, []float64{1, 3}, true},
+		{[]float64{1, 1}, []float64{1, 1}, false}, // equal: not strict
+		{[]float64{1, 3}, []float64{2, 2}, false}, // trade-off
+		{[]float64{2, 2}, []float64{1, 1}, false},
+	}
+	for _, tc := range tests {
+		if got := Dominates(tc.a, tc.b); got != tc.want {
+			t.Errorf("Dominates(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestDominatesPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on length mismatch")
+		}
+	}()
+	Dominates([]float64{1}, []float64{1, 2})
+}
+
+func TestFilterSimple(t *testing.T) {
+	pts := [][]float64{
+		{1, 5}, // front
+		{2, 4}, // front
+		{3, 3}, // front
+		{3, 4}, // dominated by {3,3}
+		{4, 6}, // dominated by several
+		{0, 9}, // front
+	}
+	got := Filter(pts)
+	want := []int{0, 1, 2, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Filter = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Filter = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFilterEmptyAndSingleton(t *testing.T) {
+	if got := Filter(nil); got != nil {
+		t.Errorf("Filter(nil) = %v", got)
+	}
+	if got := Filter([][]float64{{1, 2, 3}}); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Filter singleton = %v", got)
+	}
+}
+
+func TestFilterDuplicatesKept(t *testing.T) {
+	pts := [][]float64{{1, 1}, {1, 1}, {2, 0}}
+	got := Filter(pts)
+	if len(got) != 3 {
+		t.Errorf("duplicates should all be kept, got %v", got)
+	}
+}
+
+// Table II of the paper: the λ1 point 0L1B (τ=11.2, ξ=18.54) must survive
+// against 1L1B (τ=8.1, ξ=10.90) because the resource dimensions make them
+// incomparable. This pins down that filtering happens over [θ…, τ, ξ].
+func TestFilterPaperTable2Semantics(t *testing.T) {
+	pts := [][]float64{
+		{0, 1, 11.2, 18.54}, // 0L1B
+		{1, 1, 8.1, 10.90},  // 1L1B
+	}
+	if got := Filter(pts); len(got) != 2 {
+		t.Errorf("0L1B should survive with resource dimensions, got %v", got)
+	}
+	// Without the resource dimensions it must be dominated.
+	pts2 := [][]float64{{11.2, 18.54}, {8.1, 10.90}}
+	got := Filter(pts2)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("time/energy-only filter = %v, want [1]", got)
+	}
+}
+
+// Properties: the filtered set is a front; every removed point is
+// dominated by some kept point; filtering is idempotent.
+func TestFilterProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func() bool {
+		n := 1 + rng.Intn(40)
+		dims := 2 + rng.Intn(3)
+		pts := make([][]float64, n)
+		for i := range pts {
+			v := make([]float64, dims)
+			for d := range v {
+				v[d] = float64(rng.Intn(6)) // small ints force ties/domination
+			}
+			pts[i] = v
+		}
+		keep := Filter(pts)
+		kept := make([][]float64, len(keep))
+		inKeep := make(map[int]bool, len(keep))
+		for i, k := range keep {
+			kept[i] = pts[k]
+			inKeep[k] = true
+		}
+		if !IsFront(kept) {
+			return false
+		}
+		for i := range pts {
+			if inKeep[i] {
+				continue
+			}
+			dominated := false
+			for _, k := range keep {
+				if Dominates(pts[k], pts[i]) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				return false
+			}
+		}
+		again := Filter(kept)
+		return len(again) == len(kept)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsFront(t *testing.T) {
+	if !IsFront([][]float64{{1, 2}, {2, 1}}) {
+		t.Error("trade-off pair should be a front")
+	}
+	if IsFront([][]float64{{1, 1}, {2, 2}}) {
+		t.Error("dominated pair should not be a front")
+	}
+}

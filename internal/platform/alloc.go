@@ -1,0 +1,218 @@
+package platform
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Alloc is a per-resource-type core-count vector θ. The i-th entry counts
+// cores of Platform.Types[i]. Allocs are small (m is 2 on big.LITTLE) and
+// treated as values: mutating methods return fresh vectors unless suffixed
+// InPlace.
+type Alloc []int
+
+// NewAlloc returns a zero vector for m resource types.
+func NewAlloc(m int) Alloc { return make(Alloc, m) }
+
+// Clone returns an independent copy.
+func (a Alloc) Clone() Alloc {
+	b := make(Alloc, len(a))
+	copy(b, a)
+	return b
+}
+
+// Add returns a + b. It panics if the lengths differ.
+func (a Alloc) Add(b Alloc) Alloc {
+	mustSameLen(a, b)
+	c := make(Alloc, len(a))
+	for i := range a {
+		c[i] = a[i] + b[i]
+	}
+	return c
+}
+
+// Sub returns a - b. It panics if the lengths differ.
+func (a Alloc) Sub(b Alloc) Alloc {
+	mustSameLen(a, b)
+	c := make(Alloc, len(a))
+	for i := range a {
+		c[i] = a[i] - b[i]
+	}
+	return c
+}
+
+// AddInPlace adds b into a.
+func (a Alloc) AddInPlace(b Alloc) {
+	mustSameLen(a, b)
+	for i := range a {
+		a[i] += b[i]
+	}
+}
+
+// SubInPlace subtracts b from a.
+func (a Alloc) SubInPlace(b Alloc) {
+	mustSameLen(a, b)
+	for i := range a {
+		a[i] -= b[i]
+	}
+}
+
+// Fits reports whether a ≤ cap component-wise.
+func (a Alloc) Fits(cap Alloc) bool {
+	mustSameLen(a, cap)
+	for i := range a {
+		if a[i] > cap[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FitsWith reports whether a+used ≤ cap component-wise without allocating.
+func (a Alloc) FitsWith(used, cap Alloc) bool {
+	mustSameLen(a, cap)
+	mustSameLen(used, cap)
+	for i := range a {
+		if a[i]+used[i] > cap[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dominates reports whether a ≥ b component-wise with at least one strict
+// inequality.
+func (a Alloc) Dominates(b Alloc) bool {
+	mustSameLen(a, b)
+	strict := false
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+		if a[i] > b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Equal reports component-wise equality.
+func (a Alloc) Equal(b Alloc) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether every component is zero.
+func (a Alloc) IsZero() bool {
+	for _, v := range a {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NonNegative reports whether every component is ≥ 0.
+func (a Alloc) NonNegative() bool {
+	for _, v := range a {
+		if v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Total returns the sum of all components.
+func (a Alloc) Total() int {
+	n := 0
+	for _, v := range a {
+		n += v
+	}
+	return n
+}
+
+// Scale returns a scaled copy with every component multiplied by k.
+func (a Alloc) Scale(k int) Alloc {
+	c := make(Alloc, len(a))
+	for i := range a {
+		c[i] = a[i] * k
+	}
+	return c
+}
+
+// Key returns a compact comparable encoding, usable as a map key. It
+// assumes components fit in a signed 16-bit range, which holds for any
+// realistic core count.
+func (a Alloc) Key() string {
+	var b strings.Builder
+	b.Grow(2 * len(a))
+	for _, v := range a {
+		b.WriteByte(byte(v >> 8))
+		b.WriteByte(byte(v))
+	}
+	return b.String()
+}
+
+// String renders the vector like "2L1B" for named platform types when m=2
+// falls back to "(2,1)" notation for other arities. The short big.LITTLE
+// form is what the paper's tables use, so it is the default for m == 2.
+func (a Alloc) String() string {
+	if len(a) == 2 {
+		return fmt.Sprintf("%dL%dB", a[0], a[1])
+	}
+	parts := make([]string, len(a))
+	for i, v := range a {
+		parts[i] = fmt.Sprint(v)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+func mustSameLen(a, b Alloc) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("platform: alloc length mismatch %d vs %d", len(a), len(b)))
+	}
+}
+
+// TimeVec is a per-resource-type vector of processing-time capacities
+// (core-seconds), used for the containers J in Algorithm 1 of the paper.
+type TimeVec []float64
+
+// NewTimeVec returns a zero vector for m resource types.
+func NewTimeVec(m int) TimeVec { return make(TimeVec, m) }
+
+// Clone returns an independent copy.
+func (v TimeVec) Clone() TimeVec {
+	w := make(TimeVec, len(v))
+	copy(w, v)
+	return w
+}
+
+// SubUsage subtracts alloc×dur core-seconds from v in place.
+func (v TimeVec) SubUsage(a Alloc, dur float64) {
+	if len(v) != len(a) {
+		panic(fmt.Sprintf("platform: timevec length mismatch %d vs %d", len(v), len(a)))
+	}
+	for i := range v {
+		v[i] -= float64(a[i]) * dur
+	}
+}
+
+// FitsUsage reports whether alloc×dur fits into v with tolerance eps.
+func (v TimeVec) FitsUsage(a Alloc, dur, eps float64) bool {
+	if len(v) != len(a) {
+		panic(fmt.Sprintf("platform: timevec length mismatch %d vs %d", len(v), len(a)))
+	}
+	for i := range v {
+		if float64(a[i])*dur > v[i]+eps {
+			return false
+		}
+	}
+	return true
+}

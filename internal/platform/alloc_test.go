@@ -1,0 +1,172 @@
+package platform
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocArithmetic(t *testing.T) {
+	a := Alloc{2, 1}
+	b := Alloc{1, 3}
+	if got := a.Add(b); !got.Equal(Alloc{3, 4}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); !got.Equal(Alloc{1, -2}) {
+		t.Errorf("Sub = %v", got)
+	}
+	c := a.Clone()
+	c.AddInPlace(b)
+	if !c.Equal(Alloc{3, 4}) {
+		t.Errorf("AddInPlace = %v", c)
+	}
+	c.SubInPlace(b)
+	if !c.Equal(a) {
+		t.Errorf("SubInPlace = %v", c)
+	}
+	if a.Equal(b) {
+		t.Error("distinct vectors reported Equal")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("clone not Equal to original")
+	}
+	if a.Equal(Alloc{2}) {
+		t.Error("length mismatch reported Equal")
+	}
+}
+
+func TestAllocPredicates(t *testing.T) {
+	cap := Alloc{4, 4}
+	if !(Alloc{4, 4}).Fits(cap) {
+		t.Error("exact capacity should fit")
+	}
+	if (Alloc{5, 0}).Fits(cap) {
+		t.Error("over-capacity little should not fit")
+	}
+	if !(Alloc{1, 1}).FitsWith(Alloc{3, 3}, cap) {
+		t.Error("1,1 with 3,3 used should fit in 4,4")
+	}
+	if (Alloc{2, 1}).FitsWith(Alloc{3, 3}, cap) {
+		t.Error("2,1 with 3,3 used should not fit in 4,4")
+	}
+	if !(Alloc{0, 0}).IsZero() || (Alloc{0, 1}).IsZero() {
+		t.Error("IsZero wrong")
+	}
+	if !(Alloc{0, 0}).NonNegative() || (Alloc{0, -1}).NonNegative() {
+		t.Error("NonNegative wrong")
+	}
+	if got := (Alloc{2, 3}).Total(); got != 5 {
+		t.Errorf("Total = %d", got)
+	}
+	if got := (Alloc{2, 3}).Scale(2); !got.Equal(Alloc{4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestAllocDominates(t *testing.T) {
+	tests := []struct {
+		a, b Alloc
+		want bool
+	}{
+		{Alloc{2, 2}, Alloc{1, 2}, true},
+		{Alloc{2, 2}, Alloc{2, 2}, false}, // equal is not strict domination
+		{Alloc{2, 1}, Alloc{1, 2}, false},
+		{Alloc{0, 1}, Alloc{1, 1}, false},
+	}
+	for _, tc := range tests {
+		if got := tc.a.Dominates(tc.b); got != tc.want {
+			t.Errorf("%v Dominates %v = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestAllocString(t *testing.T) {
+	if got := (Alloc{2, 1}).String(); got != "2L1B" {
+		t.Errorf("String = %q, want 2L1B", got)
+	}
+	if got := (Alloc{1, 2, 3}).String(); got != "(1,2,3)" {
+		t.Errorf("String = %q, want (1,2,3)", got)
+	}
+}
+
+func TestAllocKeyUniqueness(t *testing.T) {
+	seen := make(map[string]Alloc)
+	for l := 0; l <= 8; l++ {
+		for b := 0; b <= 8; b++ {
+			a := Alloc{l, b}
+			k := a.Key()
+			if prev, ok := seen[k]; ok {
+				t.Fatalf("key collision: %v and %v both map to %q", prev, a, k)
+			}
+			seen[k] = a
+		}
+	}
+}
+
+func TestAllocMismatchedLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add with mismatched lengths did not panic")
+		}
+	}()
+	_ = Alloc{1}.Add(Alloc{1, 2})
+}
+
+// Property: Add and Sub are inverses, and Fits is monotone under Add.
+func TestAllocProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gen := func() Alloc {
+		return Alloc{rng.Intn(6), rng.Intn(6)}
+	}
+	f := func() bool {
+		a, b := gen(), gen()
+		if !a.Add(b).Sub(b).Equal(a) {
+			return false
+		}
+		cap := Alloc{8, 8}
+		// a+b fits cap implies a fits cap (components non-negative).
+		if a.Add(b).Fits(cap) && !a.Fits(cap) {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeVec(t *testing.T) {
+	v := TimeVec{10, 10}
+	if !v.FitsUsage(Alloc{2, 1}, 5, 1e-9) {
+		t.Error("2x5,1x5 should fit in 10,10")
+	}
+	if v.FitsUsage(Alloc{2, 1}, 5.1, 1e-9) {
+		t.Error("2x5.1 should not fit in 10")
+	}
+	v.SubUsage(Alloc{2, 1}, 3)
+	if v[0] != 4 || v[1] != 7 {
+		t.Errorf("SubUsage = %v, want [4 7]", v)
+	}
+	w := v.Clone()
+	w.SubUsage(Alloc{1, 1}, 1)
+	if v[0] != 4 {
+		t.Error("Clone aliases original")
+	}
+	if got := NewTimeVec(3); len(got) != 3 {
+		t.Errorf("NewTimeVec len = %d", len(got))
+	}
+	if got := NewAlloc(3); len(got) != 3 {
+		t.Errorf("NewAlloc len = %d", len(got))
+	}
+}
+
+func TestTimeVecMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FitsUsage with mismatched lengths did not panic")
+		}
+	}()
+	v := TimeVec{1}
+	v.FitsUsage(Alloc{1, 2}, 1, 0)
+}

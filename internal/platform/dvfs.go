@@ -1,0 +1,80 @@
+package platform
+
+import "fmt"
+
+// DVFSLevel is one frequency/voltage operating performance point of a
+// core type. The paper pins both clusters to fixed frequencies (1.5 and
+// 1.8 GHz); modeling the remaining levels lets the design-space
+// exploration fold frequency selection into the operating points — the
+// runtime managers stay frequency-agnostic, exactly as in the hybrid
+// flow, because ⟨θ, τ, ξ⟩ already captures the consequences.
+type DVFSLevel struct {
+	// FreqHz is the cluster frequency at this level.
+	FreqHz float64
+	// VoltScale is the supply voltage relative to the base level;
+	// dynamic power scales with f·V² and leakage roughly with V.
+	VoltScale float64
+}
+
+// WithLevels returns a copy of the platform with each type switched to
+// the indexed DVFS level (index -1 keeps the base configuration), plus a
+// human-readable label like "little@1.0GHz big@1.4GHz". Types without
+// declared levels only accept -1.
+func (p Platform) WithLevels(levels []int) (Platform, string, error) {
+	if len(levels) != len(p.Types) {
+		return Platform{}, "", fmt.Errorf("platform: %d level indices for %d types", len(levels), len(p.Types))
+	}
+	out := p
+	out.Types = make([]CoreType, len(p.Types))
+	copy(out.Types, p.Types)
+	label := ""
+	for i, li := range levels {
+		ct := &out.Types[i]
+		if li < 0 {
+			continue
+		}
+		if li >= len(ct.Levels) {
+			return Platform{}, "", fmt.Errorf("platform: type %q has no DVFS level %d", ct.Name, li)
+		}
+		lv := ct.Levels[li]
+		if lv.FreqHz <= 0 || lv.VoltScale <= 0 {
+			return Platform{}, "", fmt.Errorf("platform: type %q level %d invalid", ct.Name, li)
+		}
+		scale := lv.FreqHz / ct.FreqHz
+		ct.DynamicWatts *= scale * lv.VoltScale * lv.VoltScale
+		ct.StaticWatts *= lv.VoltScale
+		ct.FreqHz = lv.FreqHz
+		if label != "" {
+			label += " "
+		}
+		label += fmt.Sprintf("%s@%.1fGHz", ct.Name, lv.FreqHz/1e9)
+	}
+	return out, label, nil
+}
+
+// LevelCount returns the number of selectable settings per type: the
+// base configuration plus any declared DVFS levels.
+func (p Platform) LevelCount(typeIdx int) int {
+	if typeIdx < 0 || typeIdx >= len(p.Types) {
+		return 0
+	}
+	return 1 + len(p.Types[typeIdx].Levels)
+}
+
+// OdroidXU4DVFS returns the evaluation platform with two additional
+// frequency levels per cluster (reduced frequency and voltage), enabling
+// DVFS-aware design-space exploration. The base levels match the paper's
+// pinned 1.5/1.8 GHz configuration.
+func OdroidXU4DVFS() Platform {
+	p := OdroidXU4()
+	p.Name = "odroid-xu4-dvfs"
+	p.Types[0].Levels = []DVFSLevel{
+		{FreqHz: 1.2e9, VoltScale: 0.92},
+		{FreqHz: 0.9e9, VoltScale: 0.85},
+	}
+	p.Types[1].Levels = []DVFSLevel{
+		{FreqHz: 1.4e9, VoltScale: 0.90},
+		{FreqHz: 1.0e9, VoltScale: 0.82},
+	}
+	return p
+}

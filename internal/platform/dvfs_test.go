@@ -1,0 +1,86 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWithLevelsBase(t *testing.T) {
+	p := OdroidXU4DVFS()
+	// All -1 keeps the base configuration.
+	q, label, err := p.WithLevels([]int{-1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != "" {
+		t.Errorf("base label = %q", label)
+	}
+	for i := range p.Types {
+		if q.Types[i].FreqHz != p.Types[i].FreqHz || q.Types[i].DynamicWatts != p.Types[i].DynamicWatts {
+			t.Errorf("type %d changed without level selection", i)
+		}
+	}
+}
+
+func TestWithLevelsScaling(t *testing.T) {
+	p := OdroidXU4DVFS()
+	q, label, err := p.WithLevels([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(label, "little@1.2GHz") || !strings.Contains(label, "big@1.0GHz") {
+		t.Errorf("label = %q", label)
+	}
+	// Lower frequency and voltage: slower, strictly less dynamic power.
+	if q.Types[0].FreqHz >= p.Types[0].FreqHz {
+		t.Error("little frequency not reduced")
+	}
+	if q.Types[0].DynamicWatts >= p.Types[0].DynamicWatts {
+		t.Error("little dynamic power not reduced")
+	}
+	if q.Types[1].DynamicWatts >= p.Types[1].DynamicWatts {
+		t.Error("big dynamic power not reduced")
+	}
+	// Energy per operation must drop at the lower level (the point of
+	// DVFS): dynamic watts per unit speed.
+	perOpBase := p.Types[1].DynamicWatts / p.Types[1].Speed()
+	perOpLow := q.Types[1].DynamicWatts / q.Types[1].Speed()
+	if perOpLow >= perOpBase {
+		t.Errorf("energy per op did not improve: %g vs %g", perOpLow, perOpBase)
+	}
+	// The original platform is untouched.
+	if p.Types[0].FreqHz != 1.5e9 {
+		t.Error("WithLevels mutated the receiver")
+	}
+	// Derived platform stays valid.
+	if err := q.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithLevelsErrors(t *testing.T) {
+	p := OdroidXU4DVFS()
+	if _, _, err := p.WithLevels([]int{0}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, _, err := p.WithLevels([]int{5, -1}); err == nil {
+		t.Error("out-of-range level accepted")
+	}
+	base := OdroidXU4() // no levels declared
+	if _, _, err := base.WithLevels([]int{0, -1}); err == nil {
+		t.Error("level on level-less type accepted")
+	}
+}
+
+func TestLevelCount(t *testing.T) {
+	p := OdroidXU4DVFS()
+	if got := p.LevelCount(0); got != 3 {
+		t.Errorf("LevelCount(0) = %d, want 3", got)
+	}
+	if got := p.LevelCount(9); got != 0 {
+		t.Errorf("LevelCount(9) = %d", got)
+	}
+	if got := OdroidXU4().LevelCount(0); got != 1 {
+		t.Errorf("pinned LevelCount = %d, want 1", got)
+	}
+}

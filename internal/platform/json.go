@@ -1,0 +1,31 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Platform descriptions serialize to JSON so the command-line tools can
+// target user-defined devices (-platform file.json) without recompiling.
+// The field names follow the struct definitions; see presets.go for the
+// built-in examples.
+
+// WriteJSON serializes the platform (indented) to w.
+func (p Platform) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadJSON parses and validates a platform description.
+func ReadJSON(r io.Reader) (Platform, error) {
+	var p Platform
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return Platform{}, fmt.Errorf("platform: decoding: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Platform{}, err
+	}
+	return p, nil
+}

@@ -1,0 +1,41 @@
+package platform
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPlatformJSONRoundTrip(t *testing.T) {
+	for _, p := range []Platform{OdroidXU4(), TriCluster(), OdroidXU4DVFS()} {
+		var buf bytes.Buffer
+		if err := p.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if got.Name != p.Name || got.NumTypes() != p.NumTypes() {
+			t.Fatalf("%s: round trip mismatch", p.Name)
+		}
+		for i := range p.Types {
+			if got.Types[i].Name != p.Types[i].Name ||
+				got.Types[i].Count != p.Types[i].Count ||
+				got.Types[i].FreqHz != p.Types[i].FreqHz ||
+				len(got.Types[i].Levels) != len(p.Types[i].Levels) {
+				t.Fatalf("%s: type %d mismatch", p.Name, i)
+			}
+		}
+	}
+}
+
+func TestPlatformReadJSONRejects(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{bad")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Valid JSON, invalid platform (no types).
+	if _, err := ReadJSON(strings.NewReader(`{"Name":"x","Types":[]}`)); err == nil {
+		t.Error("typeless platform accepted")
+	}
+}

@@ -1,0 +1,132 @@
+// Package platform models heterogeneous multi-core platforms with typed
+// processing resources, as assumed by the DATE'20 runtime-manager paper:
+// a platform exposes m resource types with core counts Θ = (Θ1, …, Θm),
+// and every core of a type runs at a fixed frequency with a fixed power
+// profile.
+//
+// The package also carries the frequency/voltage/power parameters used by
+// the virtual platform (package vplat) to synthesize execution time and
+// energy numbers in lieu of the Odroid XU4 board and the external power
+// analyzer used in the paper.
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// CoreType describes one homogeneous resource type (e.g. the A7 "little"
+// cluster or the A15 "big" cluster of an Exynos 5422).
+type CoreType struct {
+	// Name is a short identifier such as "little" or "big".
+	Name string
+	// Count is the number of cores of this type (Θ_i).
+	Count int
+	// FreqHz is the fixed operating frequency of the cores.
+	FreqHz float64
+	// IPC is the average instructions per cycle the type sustains on the
+	// reference workload mix; together with FreqHz it defines the speed
+	// of one core in work-units per second.
+	IPC float64
+	// StaticWatts is the leakage/uncore power one active core of this
+	// type contributes while powered, independent of load.
+	StaticWatts float64
+	// DynamicWatts is the switching power of one core of this type when
+	// fully loaded at FreqHz.
+	DynamicWatts float64
+	// Levels lists optional alternative DVFS settings; empty means the
+	// type runs pinned at FreqHz, as in the paper's setup.
+	Levels []DVFSLevel
+}
+
+// Speed returns the sustained speed of one core in work-units/second.
+func (c CoreType) Speed() float64 { return c.FreqHz * c.IPC }
+
+// BusyWatts returns the power of one fully loaded core.
+func (c CoreType) BusyWatts() float64 { return c.StaticWatts + c.DynamicWatts }
+
+// Platform is a heterogeneous multi-core platform with a fixed set of
+// resource types.
+type Platform struct {
+	// Name identifies the platform (e.g. "odroid-xu4").
+	Name string
+	// Types lists the resource types in a fixed order; Alloc vectors are
+	// indexed in the same order.
+	Types []CoreType
+}
+
+// NumTypes returns the number of resource types m.
+func (p Platform) NumTypes() int { return len(p.Types) }
+
+// Capacity returns the core-count vector Θ.
+func (p Platform) Capacity() Alloc {
+	a := make(Alloc, len(p.Types))
+	for i, t := range p.Types {
+		a[i] = t.Count
+	}
+	return a
+}
+
+// TotalCores returns the total number of cores over all types.
+func (p Platform) TotalCores() int {
+	n := 0
+	for _, t := range p.Types {
+		n += t.Count
+	}
+	return n
+}
+
+// TypeIndex returns the index of the type with the given name, or -1.
+func (p Platform) TypeIndex(name string) int {
+	for i, t := range p.Types {
+		if t.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks structural invariants: at least one type, unique type
+// names, positive counts and physically meaningful parameters.
+func (p Platform) Validate() error {
+	if len(p.Types) == 0 {
+		return errors.New("platform: no resource types")
+	}
+	seen := make(map[string]bool, len(p.Types))
+	for i, t := range p.Types {
+		if t.Name == "" {
+			return fmt.Errorf("platform: type %d has empty name", i)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("platform: duplicate type name %q", t.Name)
+		}
+		seen[t.Name] = true
+		if t.Count <= 0 {
+			return fmt.Errorf("platform: type %q has non-positive count %d", t.Name, t.Count)
+		}
+		if t.FreqHz <= 0 || t.IPC <= 0 {
+			return fmt.Errorf("platform: type %q has non-positive speed parameters", t.Name)
+		}
+		if t.StaticWatts < 0 || t.DynamicWatts < 0 {
+			return fmt.Errorf("platform: type %q has negative power parameters", t.Name)
+		}
+	}
+	return nil
+}
+
+// String renders a compact one-line description, e.g.
+// "odroid-xu4[4xlittle@1.5GHz 4xbig@1.8GHz]".
+func (p Platform) String() string {
+	var b strings.Builder
+	b.WriteString(p.Name)
+	b.WriteByte('[')
+	for i, t := range p.Types {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%dx%s@%.1fGHz", t.Count, t.Name, t.FreqHz/1e9)
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlatformValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		plat    Platform
+		wantErr bool
+	}{
+		{"odroid ok", OdroidXU4(), false},
+		{"motivational ok", Motivational2L2B(), false},
+		{"empty", Platform{Name: "x"}, true},
+		{"dup names", Platform{Name: "x", Types: []CoreType{
+			{Name: "a", Count: 1, FreqHz: 1, IPC: 1},
+			{Name: "a", Count: 1, FreqHz: 1, IPC: 1},
+		}}, true},
+		{"zero count", Platform{Name: "x", Types: []CoreType{
+			{Name: "a", Count: 0, FreqHz: 1, IPC: 1},
+		}}, true},
+		{"bad speed", Platform{Name: "x", Types: []CoreType{
+			{Name: "a", Count: 1, FreqHz: 0, IPC: 1},
+		}}, true},
+		{"negative power", Platform{Name: "x", Types: []CoreType{
+			{Name: "a", Count: 1, FreqHz: 1, IPC: 1, StaticWatts: -1},
+		}}, true},
+		{"empty type name", Platform{Name: "x", Types: []CoreType{
+			{Name: "", Count: 1, FreqHz: 1, IPC: 1},
+		}}, true},
+	}
+	for _, tc := range tests {
+		err := tc.plat.Validate()
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: Validate() err=%v, wantErr=%v", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestPlatformAccessors(t *testing.T) {
+	p := OdroidXU4()
+	if got := p.NumTypes(); got != 2 {
+		t.Fatalf("NumTypes = %d, want 2", got)
+	}
+	if got := p.TotalCores(); got != 8 {
+		t.Errorf("TotalCores = %d, want 8", got)
+	}
+	if got := p.Capacity(); !got.Equal(Alloc{4, 4}) {
+		t.Errorf("Capacity = %v, want [4 4]", got)
+	}
+	if got := p.TypeIndex("big"); got != 1 {
+		t.Errorf("TypeIndex(big) = %d, want 1", got)
+	}
+	if got := p.TypeIndex("gpu"); got != -1 {
+		t.Errorf("TypeIndex(gpu) = %d, want -1", got)
+	}
+	if s := p.String(); !strings.Contains(s, "4xlittle") || !strings.Contains(s, "4xbig") {
+		t.Errorf("String = %q, want core-count summary", s)
+	}
+}
+
+func TestCoreTypeDerived(t *testing.T) {
+	ct := CoreType{Name: "big", Count: 4, FreqHz: 1.8e9, IPC: 1.45, StaticWatts: 0.3, DynamicWatts: 1.2}
+	if got, want := ct.Speed(), 1.8e9*1.45; got != want {
+		t.Errorf("Speed = %g, want %g", got, want)
+	}
+	if got, want := ct.BusyWatts(), 1.5; got != want {
+		t.Errorf("BusyWatts = %g, want %g", got, want)
+	}
+	// The big cluster must be faster and hungrier than the little one for
+	// the synthetic tables to have the paper's shape.
+	p := OdroidXU4()
+	little, big := p.Types[0], p.Types[1]
+	if big.Speed() <= little.Speed() {
+		t.Errorf("big speed %g not above little speed %g", big.Speed(), little.Speed())
+	}
+	if big.BusyWatts() <= little.BusyWatts() {
+		t.Errorf("big power %g not above little power %g", big.BusyWatts(), little.BusyWatts())
+	}
+}

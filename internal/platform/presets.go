@@ -1,0 +1,78 @@
+package platform
+
+// Preset platforms. The Odroid XU4 parameters mirror the experimental
+// setup of the paper (Exynos 5422 big.LITTLE, four Cortex-A15 at 1.8 GHz
+// and four Cortex-A7 at 1.5 GHz). Power figures are public ballpark values
+// for the SoC at those fixed frequencies; they only shape the synthetic
+// operating-point tables, the schedulers never see them directly.
+
+// LittleBig returns a generic two-type platform with the given core
+// counts, keeping the paper's little-first ordering of resource types.
+func LittleBig(name string, little, big int) Platform {
+	return Platform{
+		Name: name,
+		Types: []CoreType{
+			{
+				Name:         "little",
+				Count:        little,
+				FreqHz:       1.5e9,
+				IPC:          0.55,
+				StaticWatts:  0.035,
+				DynamicWatts: 0.22,
+			},
+			{
+				Name:         "big",
+				Count:        big,
+				FreqHz:       1.8e9,
+				IPC:          1.45,
+				StaticWatts:  0.28,
+				DynamicWatts: 2.00,
+			},
+		},
+	}
+}
+
+// OdroidXU4 returns the evaluation platform of the paper: 4 Cortex-A7
+// little cores fixed at 1.5 GHz and 4 Cortex-A15 big cores fixed at
+// 1.8 GHz.
+func OdroidXU4() Platform { return LittleBig("odroid-xu4", 4, 4) }
+
+// Motivational2L2B returns the 2-little/2-big device of the motivational
+// example (Section III, Tables I and II).
+func Motivational2L2B() Platform { return LittleBig("motivational-2l2b", 2, 2) }
+
+// TriCluster returns a three-type platform in the style of tri-cluster
+// mobile SoCs (4 little + 3 mid + 1 prime). The paper's formulation is
+// generic in the number of resource types m; this preset exercises m=3
+// through the whole stack (DSE, knapsack containers, EDF packing).
+func TriCluster() Platform {
+	return Platform{
+		Name: "tri-cluster",
+		Types: []CoreType{
+			{
+				Name:         "little",
+				Count:        4,
+				FreqHz:       1.7e9,
+				IPC:          0.6,
+				StaticWatts:  0.03,
+				DynamicWatts: 0.20,
+			},
+			{
+				Name:         "mid",
+				Count:        3,
+				FreqHz:       2.3e9,
+				IPC:          1.1,
+				StaticWatts:  0.12,
+				DynamicWatts: 0.85,
+			},
+			{
+				Name:         "prime",
+				Count:        1,
+				FreqHz:       2.8e9,
+				IPC:          1.6,
+				StaticWatts:  0.35,
+				DynamicWatts: 2.6,
+			},
+		},
+	}
+}

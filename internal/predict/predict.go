@@ -1,0 +1,217 @@
+// Package predict adds workload prediction to the runtime manager — the
+// proactive dimension of Niknafs et al. (DAC'19), whose reactive
+// multi-threaded generalization is the paper's contribution. An arrival
+// predictor learns per-application inter-arrival statistics online; a
+// proactive scheduler wrapper admits a request only if the resulting
+// schedule would still leave room for the arrivals predicted within a
+// look-ahead horizon.
+package predict
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"adaptrm/internal/job"
+	"adaptrm/internal/opset"
+	"adaptrm/internal/platform"
+	"adaptrm/internal/sched"
+	"adaptrm/internal/schedule"
+)
+
+// Predicted is one anticipated arrival.
+type Predicted struct {
+	// App names the application variant expected to arrive.
+	App string
+	// At is the expected arrival time.
+	At float64
+}
+
+// Predictor learns from observed arrivals and forecasts upcoming ones.
+type Predictor interface {
+	// Observe records an arrival of app at time t.
+	Observe(t float64, app string)
+	// Forecast returns expected arrivals in (t, t+horizon], soonest
+	// first.
+	Forecast(t, horizon float64) []Predicted
+}
+
+// InterArrival is an exponential-moving-average inter-arrival predictor:
+// per application it tracks the smoothed gap between arrivals and
+// forecasts the next arrival at lastSeen + gap. Applications observed
+// fewer than MinSamples times are never forecast.
+type InterArrival struct {
+	// Alpha is the EMA smoothing factor in (0,1]; higher weights recent
+	// gaps more.
+	Alpha float64
+	// MinSamples is the number of arrivals needed before forecasting.
+	MinSamples int
+
+	state map[string]*iaState
+}
+
+type iaState struct {
+	last    float64
+	gap     float64
+	samples int
+}
+
+// NewInterArrival returns a predictor with α=0.3 and MinSamples=3.
+func NewInterArrival() *InterArrival {
+	return &InterArrival{Alpha: 0.3, MinSamples: 3, state: map[string]*iaState{}}
+}
+
+// Observe implements Predictor.
+func (p *InterArrival) Observe(t float64, app string) {
+	if p.state == nil {
+		p.state = map[string]*iaState{}
+	}
+	s := p.state[app]
+	if s == nil {
+		p.state[app] = &iaState{last: t, samples: 1}
+		return
+	}
+	gap := t - s.last
+	if gap > 0 {
+		if s.samples == 1 {
+			s.gap = gap
+		} else {
+			s.gap = p.Alpha*gap + (1-p.Alpha)*s.gap
+		}
+	}
+	s.last = t
+	s.samples++
+}
+
+// Forecast implements Predictor.
+func (p *InterArrival) Forecast(t, horizon float64) []Predicted {
+	var out []Predicted
+	for app, s := range p.state {
+		if s.samples < p.MinSamples || s.gap <= 0 {
+			continue
+		}
+		next := s.last + s.gap
+		for next <= t {
+			next += s.gap // catch up to the present
+		}
+		for next <= t+horizon {
+			out = append(out, Predicted{App: app, At: next})
+			next += s.gap
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].App < out[j].App
+	})
+	return out
+}
+
+// Scheduler wraps an inner scheduler with proactive admission: a job set
+// is schedulable only if it remains schedulable together with phantom
+// jobs standing in for the predicted arrivals. The returned schedule
+// contains only the real jobs (phantoms gate admission, they are not
+// executed).
+//
+// Approximation: the scheduling model has no release times, so a phantom
+// may be placed before its predicted arrival. The admission check is
+// therefore a capacity advisory over the look-ahead window, not an exact
+// timing guarantee — sufficient for the acceptance-rate trade-off this
+// extension studies, and the same simplification Niknafs et al. make
+// when folding predicted jobs into the current problem instance.
+type Scheduler struct {
+	// Inner is the scheduling algorithm (e.g. MMKP-MDF).
+	Inner sched.Scheduler
+	// Pred forecasts arrivals; it must be fed via Observe by the
+	// runtime (see desim's Predictor option).
+	Pred Predictor
+	// Lib resolves forecast application names to tables.
+	Lib *opset.Library
+	// Horizon is the look-ahead window in seconds.
+	Horizon float64
+	// DeadlineFactor sets phantom deadlines to
+	// arrival + factor × fastest execution time (default 2).
+	DeadlineFactor float64
+	// MaxPhantoms bounds how many predicted jobs are considered
+	// (soonest first; default 2).
+	MaxPhantoms int
+	// Protect, when non-empty, restricts forecasting to the listed
+	// applications: only their predicted arrivals gate admission.
+	// Typical use: protect the firm periodic streams, let best-effort
+	// bursty traffic compete reactively.
+	Protect []string
+}
+
+// phantomIDBase offsets phantom job IDs beyond any realistic real ID.
+const phantomIDBase = 1 << 30
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string { return s.Inner.Name() + "+predict" }
+
+// Schedule implements sched.Scheduler.
+func (s *Scheduler) Schedule(jobs job.Set, plat platform.Platform, t float64) (*schedule.Schedule, error) {
+	if s.Inner == nil || s.Pred == nil || s.Lib == nil {
+		return nil, fmt.Errorf("predict: scheduler not fully configured")
+	}
+	horizon := s.Horizon
+	if horizon <= 0 {
+		horizon = 30
+	}
+	factor := s.DeadlineFactor
+	if factor <= 0 {
+		factor = 2
+	}
+	maxPh := s.MaxPhantoms
+	if maxPh <= 0 {
+		maxPh = 2
+	}
+	phantoms := s.Pred.Forecast(t, horizon)
+	if len(s.Protect) > 0 {
+		kept := phantoms[:0]
+		for _, ph := range phantoms {
+			for _, app := range s.Protect {
+				if ph.App == app {
+					kept = append(kept, ph)
+					break
+				}
+			}
+		}
+		phantoms = kept
+	}
+	if len(phantoms) > maxPh {
+		phantoms = phantoms[:maxPh]
+	}
+	if len(phantoms) > 0 {
+		trial := jobs.Clone()
+		for i, ph := range phantoms {
+			tbl := s.Lib.Get(ph.App)
+			if tbl == nil {
+				continue
+			}
+			// The phantom is modeled as if it were already here (its
+			// arrival may precede the next activation), with the
+			// deadline it would realistically carry.
+			trial = append(trial, &job.Job{
+				ID:        phantomIDBase + i,
+				Table:     tbl,
+				Arrival:   t,
+				Deadline:  ph.At + tbl.FastestTime()*factor,
+				Remaining: 1,
+			})
+		}
+		if _, err := s.Inner.Schedule(trial, plat, t); err != nil {
+			// Admitting would starve predicted arrivals: reject.
+			return nil, sched.ErrInfeasible
+		}
+	}
+	return s.Inner.Schedule(jobs, plat, t)
+}
+
+// expectedGap exposes the learned gap for tests.
+func (p *InterArrival) expectedGap(app string) float64 {
+	if s := p.state[app]; s != nil {
+		return s.gap
+	}
+	return math.NaN()
+}

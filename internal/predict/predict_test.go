@@ -1,0 +1,131 @@
+package predict
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"adaptrm/internal/core"
+	"adaptrm/internal/job"
+	"adaptrm/internal/motiv"
+	"adaptrm/internal/sched"
+)
+
+func TestInterArrivalLearnsPeriod(t *testing.T) {
+	p := NewInterArrival()
+	for i := 0; i < 6; i++ {
+		p.Observe(float64(i)*10, "app")
+	}
+	if gap := p.expectedGap("app"); math.Abs(gap-10) > 1e-9 {
+		t.Errorf("learned gap = %v, want 10", gap)
+	}
+	fc := p.Forecast(50, 25)
+	if len(fc) != 2 {
+		t.Fatalf("forecast = %v, want 2 arrivals (60, 70)", fc)
+	}
+	if math.Abs(fc[0].At-60) > 1e-9 || math.Abs(fc[1].At-70) > 1e-9 {
+		t.Errorf("forecast times = %v,%v", fc[0].At, fc[1].At)
+	}
+	// Forecast catches up when asked far in the future.
+	fc = p.Forecast(95, 10)
+	if len(fc) != 1 || math.Abs(fc[0].At-100) > 1e-9 {
+		t.Errorf("catch-up forecast = %v", fc)
+	}
+}
+
+func TestInterArrivalMinSamples(t *testing.T) {
+	p := NewInterArrival()
+	p.Observe(0, "x")
+	p.Observe(10, "x")
+	if fc := p.Forecast(10, 100); len(fc) != 0 {
+		t.Errorf("forecast with %d samples = %v", 2, fc)
+	}
+}
+
+func TestInterArrivalIrregular(t *testing.T) {
+	p := NewInterArrival()
+	times := []float64{0, 8, 20, 29, 41}
+	for _, at := range times {
+		p.Observe(at, "y")
+	}
+	gap := p.expectedGap("y")
+	if gap < 8 || gap > 13 {
+		t.Errorf("smoothed gap = %v, want within the observed band", gap)
+	}
+}
+
+// Proactive admission: with a predicted arrival imminent, a job set that
+// saturates the machine across the predicted window is rejected even
+// though it is feasible in isolation; the reactive scheduler admits it.
+func TestProactiveAdmission(t *testing.T) {
+	plat := motiv.Platform()
+	lib := motiv.Library()
+	pred := NewInterArrival()
+	// λ2 arrives like clockwork every 10 s → next predicted at t=50.
+	for i := 0; i < 5; i++ {
+		pred.Observe(float64(i)*10, "lambda2")
+	}
+	pro := &Scheduler{Inner: core.New(), Pred: pred, Lib: lib, Horizon: 15, DeadlineFactor: 1}
+
+	// Two λ1 jobs whose chained tight deadlines force back-to-back
+	// 2L2B runs occupying everything until ≈50.4: the λ2 predicted at
+	// t=50 (phantom deadline 52, fastest remaining 2 s) cannot fit.
+	jobs := job.Set{
+		{ID: 1, Table: motiv.Lambda1(), Arrival: 41, Deadline: 41 + 4.75, Remaining: 1},
+		{ID: 2, Table: motiv.Lambda1(), Arrival: 41, Deadline: 41 + 9.45, Remaining: 1},
+	}
+	if _, err := core.New().Schedule(jobs, plat, 41); err != nil {
+		t.Fatalf("reactive baseline rejected: %v", err)
+	}
+	if _, err := pro.Schedule(jobs, plat, 41); !errors.Is(err, sched.ErrInfeasible) {
+		t.Errorf("proactive admission err = %v, want ErrInfeasible", err)
+	}
+
+	// With a relaxed second deadline the jobs can yield to the
+	// predicted λ2 and everything fits: the proactive scheduler admits.
+	jobs[1].Deadline = 41 + 40
+	k, err := pro.Schedule(jobs, plat, 41)
+	if err != nil {
+		t.Fatalf("proactive rejected relaxed job: %v", err)
+	}
+	// The actual plan contains no phantom placements.
+	for _, seg := range k.Segments {
+		for _, p := range seg.Placements {
+			if p.JobID >= phantomIDBase {
+				t.Error("phantom leaked into the schedule")
+			}
+		}
+	}
+	if err := k.Validate(plat, jobs, 41); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Without observations the wrapper behaves exactly like the inner
+// scheduler.
+func TestProactiveNoForecast(t *testing.T) {
+	plat := motiv.Platform()
+	pro := &Scheduler{Inner: core.New(), Pred: NewInterArrival(), Lib: motiv.Library()}
+	jobs := job.Set(motiv.ScenarioS1AtT1())
+	k, err := pro.Schedule(jobs, plat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.New().Schedule(jobs, plat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k.Energy(jobs)-base.Energy(jobs)) > 1e-12 {
+		t.Error("wrapper changed the schedule without forecasts")
+	}
+	if pro.Name() != "MMKP-MDF+predict" {
+		t.Errorf("name = %q", pro.Name())
+	}
+}
+
+func TestProactiveMisconfigured(t *testing.T) {
+	pro := &Scheduler{}
+	if _, err := pro.Schedule(nil, motiv.Platform(), 0); err == nil {
+		t.Error("unconfigured wrapper scheduled")
+	}
+}

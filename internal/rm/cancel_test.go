@@ -1,0 +1,64 @@
+package rm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCancelFreesResources(t *testing.T) {
+	m := newMgr(t, Options{})
+	id1, ok, _, _ := m.Submit(0, "lambda1", 9)
+	if !ok {
+		t.Fatal("λ1 rejected")
+	}
+	if _, ok, _, _ = m.Submit(1, "lambda2", 5); !ok {
+		t.Fatal("λ2 rejected")
+	}
+	// Cancel the long job right after admission of the second.
+	if err := m.Cancel(id1); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.ActiveJobs()) != 1 {
+		t.Fatalf("active = %d, want 1", len(m.ActiveJobs()))
+	}
+	if _, err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Completed != 1 || st.DeadlineMisses != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Only σ1's first second plus σ2's full run were consumed. σ2 alone
+	// from t=1 picks its cheapest deadline-5 point (2L1B, 5.73 J).
+	want := 8.90/5.3 + 5.73
+	if math.Abs(st.Energy-want) > 0.02 {
+		t.Errorf("energy = %.3f, want ≈%.3f", st.Energy, want)
+	}
+}
+
+func TestCancelUnknown(t *testing.T) {
+	m := newMgr(t, Options{})
+	if err := m.Cancel(42); err == nil {
+		t.Error("cancelling unknown job succeeded")
+	}
+}
+
+func TestCancelLastJobClearsSchedule(t *testing.T) {
+	m := newMgr(t, Options{})
+	id, ok, _, _ := m.Submit(0, "lambda1", 9)
+	if !ok {
+		t.Fatal("rejected")
+	}
+	if err := m.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	if !m.CurrentSchedule().IsEmpty() {
+		t.Error("schedule not cleared")
+	}
+	if _, err := m.AdvanceTo(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Energy != 0 {
+		t.Error("cancelled job consumed energy after cancellation")
+	}
+}

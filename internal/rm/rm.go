@@ -1,0 +1,328 @@
+// Package rm implements the online runtime manager (RM) of the paper: the
+// component that is activated on every request arrival, transforms the
+// design-time operating points into a segmented schedule via a pluggable
+// scheduler (MMKP-MDF by default), admits or rejects the request, tracks
+// job progress along the active schedule, and accounts energy.
+//
+// The evaluation section of the paper exercises schedulers on static
+// snapshots; this package closes the loop for the dynamic workloads the
+// introduction motivates: requests arrive at any time, the set of running
+// applications changes, and admitted jobs must never miss their firm
+// deadlines.
+package rm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"adaptrm/internal/job"
+	"adaptrm/internal/opset"
+	"adaptrm/internal/platform"
+	"adaptrm/internal/sched"
+	"adaptrm/internal/schedule"
+)
+
+// Completion describes one finished job.
+type Completion struct {
+	// JobID is the finished job.
+	JobID int
+	// At is the completion time.
+	At float64
+	// Missed reports a deadline violation (must never happen for
+	// admitted jobs; tracked defensively).
+	Missed bool
+}
+
+// Stats aggregates manager activity.
+type Stats struct {
+	// Submitted counts all requests, Accepted and Rejected its split.
+	Submitted, Accepted, Rejected int
+	// Completed counts finished jobs, DeadlineMisses the (defensive)
+	// violations among them.
+	Completed, DeadlineMisses int
+	// Energy is the energy of all executed schedule fractions (J).
+	Energy float64
+	// Activations counts scheduler invocations, SchedulingTime their
+	// cumulative wall time.
+	Activations    int
+	SchedulingTime time.Duration
+}
+
+// Options tunes the manager.
+type Options struct {
+	// RescheduleOnFinish re-runs the scheduler whenever a job finishes,
+	// exploiting the freed resources (Section I: "when an application
+	// finishes execution, more resources become available and the RM
+	// can generate new mappings"). MMKP-MDF already plans the full
+	// horizon, so this is optional polish; it never invalidates
+	// admitted jobs because the previous schedule is kept on failure.
+	RescheduleOnFinish bool
+}
+
+// Manager is the online runtime manager.
+type Manager struct {
+	plat      platform.Platform
+	lib       *opset.Library
+	scheduler sched.Scheduler
+	opt       Options
+
+	now      float64
+	nextID   int
+	active   job.Set
+	current  *schedule.Schedule
+	executed []schedule.Segment
+	stats    Stats
+}
+
+// New creates a manager. The library provides the operating-point tables
+// requests refer to by name.
+func New(plat platform.Platform, lib *opset.Library, scheduler sched.Scheduler, opt Options) (*Manager, error) {
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	if lib == nil || lib.Len() == 0 {
+		return nil, errors.New("rm: empty library")
+	}
+	if err := lib.Validate(plat); err != nil {
+		return nil, err
+	}
+	if scheduler == nil {
+		return nil, errors.New("rm: nil scheduler")
+	}
+	return &Manager{
+		plat:      plat,
+		lib:       lib,
+		scheduler: scheduler,
+		opt:       opt,
+		nextID:    1,
+		current:   &schedule.Schedule{},
+	}, nil
+}
+
+// Now returns the manager's current time.
+func (m *Manager) Now() float64 { return m.now }
+
+// Stats returns a copy of the accumulated statistics.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// ActiveJobs returns a snapshot of the unfinished admitted jobs.
+func (m *Manager) ActiveJobs() job.Set { return m.active.Clone() }
+
+// CurrentSchedule returns the active schedule (do not mutate).
+func (m *Manager) CurrentSchedule() *schedule.Schedule { return m.current }
+
+// ExecutedTimeline returns the segments actually executed so far, for
+// Gantt rendering and audits.
+func (m *Manager) ExecutedTimeline() []schedule.Segment {
+	out := make([]schedule.Segment, len(m.executed))
+	copy(out, m.executed)
+	return out
+}
+
+// NextCompletion returns the earliest planned job completion after the
+// current time, or ok=false when nothing is running.
+func (m *Manager) NextCompletion() (float64, bool) {
+	best := math.Inf(1)
+	for _, j := range m.active {
+		f := m.current.FinishTime(j.ID)
+		if !math.IsNaN(f) && f > m.now && f < best {
+			best = f
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	return best, true
+}
+
+// AdvanceTo moves time forward to t, accounting progress and energy along
+// the current schedule and retiring finished jobs. It returns the
+// completions that occurred in (now, t].
+func (m *Manager) AdvanceTo(t float64) ([]Completion, error) {
+	if t < m.now-schedule.Eps {
+		return nil, fmt.Errorf("rm: time moved backwards: %v < %v", t, m.now)
+	}
+	var done []Completion
+	for si := range m.current.Segments {
+		seg := &m.current.Segments[si]
+		lo := math.Max(seg.Start, m.now)
+		hi := math.Min(seg.End, t)
+		if hi-lo <= schedule.Eps {
+			continue
+		}
+		var execPlacements []schedule.Placement
+		for _, p := range seg.Placements {
+			j := m.active.ByID(p.JobID)
+			if j == nil {
+				continue // already retired
+			}
+			pt := j.Table.Points[p.Point]
+			frac := (hi - lo) / pt.Time
+			if frac > j.Remaining {
+				frac = j.Remaining
+			}
+			m.stats.Energy += pt.Energy * frac
+			finishedAt := lo + j.Remaining*pt.Time
+			j.Remaining -= frac
+			execPlacements = append(execPlacements, p)
+			if j.Remaining <= 1e-9 {
+				c := Completion{JobID: j.ID, At: math.Min(finishedAt, hi)}
+				if c.At > j.Deadline+1e-6 {
+					c.Missed = true
+					m.stats.DeadlineMisses++
+				}
+				m.stats.Completed++
+				done = append(done, c)
+				m.removeJob(j.ID)
+			}
+		}
+		if len(execPlacements) > 0 {
+			m.executed = append(m.executed, schedule.Segment{
+				Start: lo, End: hi, Placements: execPlacements,
+			})
+		}
+	}
+	m.now = t
+	return done, nil
+}
+
+func (m *Manager) removeJob(id int) {
+	for i, j := range m.active {
+		if j.ID == id {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			return
+		}
+	}
+}
+
+// Submit is the RM activation for a new request at time t: the manager
+// advances to t, builds the candidate job, and attempts to schedule the
+// whole job set. On success the request is admitted and the schedule
+// replaced; on failure the request is rejected and the previous schedule
+// stays in force (admitted jobs are never compromised). It returns the
+// assigned job ID, the admission verdict, and the completions that
+// occurred while advancing.
+func (m *Manager) Submit(t float64, app string, deadline float64) (id int, accepted bool, done []Completion, err error) {
+	tbl := m.lib.Get(app)
+	if tbl == nil {
+		return 0, false, nil, fmt.Errorf("rm: unknown application %q", app)
+	}
+	if deadline <= t {
+		return 0, false, nil, fmt.Errorf("rm: deadline %v not after arrival %v", deadline, t)
+	}
+	done, err = m.AdvanceTo(t)
+	if err != nil {
+		return 0, false, done, err
+	}
+	m.stats.Submitted++
+	cand := &job.Job{
+		ID:        m.nextID,
+		Table:     tbl,
+		Arrival:   t,
+		Deadline:  deadline,
+		Remaining: 1,
+	}
+	trial := append(m.active.Clone(), cand)
+	k, serr := m.schedule(trial, t)
+	if serr != nil {
+		m.stats.Rejected++
+		return 0, false, done, nil
+	}
+	m.nextID++
+	m.active = append(m.active, cand)
+	m.current = k
+	m.stats.Accepted++
+	return cand.ID, true, done, nil
+}
+
+// OnCompletion lets the manager react to a finish event: with
+// RescheduleOnFinish it re-plans the remaining jobs on the freed
+// resources, keeping the old schedule when the scheduler fails.
+func (m *Manager) OnCompletion() {
+	if !m.opt.RescheduleOnFinish || len(m.active) == 0 {
+		return
+	}
+	if k, err := m.schedule(m.active.Clone(), m.now); err == nil {
+		m.current = k
+	}
+}
+
+// schedule invokes the pluggable scheduler with stats accounting.
+func (m *Manager) schedule(jobs job.Set, t float64) (*schedule.Schedule, error) {
+	m.stats.Activations++
+	start := time.Now()
+	k, err := m.scheduler.Schedule(jobs, m.plat, t)
+	m.stats.SchedulingTime += time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	if verr := k.Validate(m.plat, jobs, t); verr != nil {
+		return nil, fmt.Errorf("rm: scheduler %s produced invalid schedule: %w", m.scheduler.Name(), verr)
+	}
+	return k, nil
+}
+
+// Cancel removes an active job at the manager's current time (e.g. the
+// user aborted the application). The freed resources are reused by
+// re-planning the remaining jobs; the previous schedule minus the job's
+// future placements stays in force if re-planning fails (it cannot make
+// the remaining jobs infeasible, since they keep their placements).
+func (m *Manager) Cancel(jobID int) error {
+	if m.active.ByID(jobID) == nil {
+		return fmt.Errorf("rm: no active job %d", jobID)
+	}
+	m.removeJob(jobID)
+	if len(m.active) == 0 {
+		m.current = &schedule.Schedule{}
+		return nil
+	}
+	if k, err := m.schedule(m.active.Clone(), m.now); err == nil {
+		m.current = k
+		return nil
+	}
+	// Keep the old plan with the cancelled job's placements stripped;
+	// remaining jobs retain exactly their previous placements.
+	kept := &schedule.Schedule{}
+	for _, seg := range m.current.Segments {
+		var ps []schedule.Placement
+		for _, p := range seg.Placements {
+			if p.JobID != jobID {
+				ps = append(ps, p)
+			}
+		}
+		if len(ps) > 0 {
+			kept.Segments = append(kept.Segments, schedule.Segment{
+				Start: seg.Start, End: seg.End, Placements: ps,
+			})
+		}
+	}
+	m.current = kept
+	return nil
+}
+
+// Drain advances time until every admitted job has completed and returns
+// all completions.
+func (m *Manager) Drain() ([]Completion, error) {
+	var all []Completion
+	for len(m.active) > 0 {
+		horizon := m.current.Horizon(m.now)
+		if horizon <= m.now+schedule.Eps {
+			return all, fmt.Errorf("rm: %d active jobs but empty schedule", len(m.active))
+		}
+		next, ok := m.NextCompletion()
+		if !ok {
+			next = horizon
+		}
+		done, err := m.AdvanceTo(next)
+		if err != nil {
+			return all, err
+		}
+		all = append(all, done...)
+		if len(done) > 0 {
+			m.OnCompletion()
+		}
+	}
+	return all, nil
+}

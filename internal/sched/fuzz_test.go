@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"adaptrm/internal/job"
+	"adaptrm/internal/motiv"
+	"adaptrm/internal/opset"
+)
+
+// Randomized PackEDF check: for arbitrary job sets and arbitrary (not
+// necessarily sensible) point assignments, PackEDF either reports
+// infeasibility or returns a schedule satisfying the full constraint
+// system for the assigned jobs.
+func TestPackEDFFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	plat := motiv.Platform()
+	tables := []*opset.Table{motiv.Lambda1(), motiv.Lambda2()}
+	rounds := 400
+	if testing.Short() {
+		rounds = 80
+	}
+	for round := 0; round < rounds; round++ {
+		n := 1 + rng.Intn(4)
+		jobs := make(job.Set, 0, n)
+		asg := Assignment{}
+		for i := 0; i < n; i++ {
+			tbl := tables[rng.Intn(len(tables))]
+			rho := 0.05 + rng.Float64()*0.95
+			j := &job.Job{
+				ID:        i + 1,
+				Table:     tbl,
+				Deadline:  0.5 + rng.Float64()*40,
+				Remaining: rho,
+			}
+			jobs = append(jobs, j)
+			if rng.Float64() < 0.85 { // some jobs stay unassigned
+				asg[j.ID] = rng.Intn(tbl.Len())
+			}
+		}
+		k, err := PackEDF(jobs, asg, plat, 0)
+		if err != nil {
+			if !errors.Is(err, ErrInfeasible) {
+				t.Fatalf("round %d: unexpected error: %v", round, err)
+			}
+			continue
+		}
+		// Validate against the assigned subset only.
+		sub := make(job.Set, 0, len(asg))
+		for _, j := range jobs {
+			if _, ok := asg[j.ID]; ok {
+				sub = append(sub, j)
+			}
+		}
+		if len(sub) == 0 {
+			if !k.IsEmpty() {
+				t.Fatalf("round %d: schedule for empty assignment", round)
+			}
+			continue
+		}
+		if verr := k.Validate(plat, sub, 0); verr != nil {
+			t.Fatalf("round %d: invalid schedule: %v\nassignment: %v\nschedule:\n%s",
+				round, verr, asg, k)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package sched defines the scheduler interface shared by the paper's
+// three algorithms (MMKP-MDF, EX-MEM, MMKP-LR) and the fixed-mapping
+// baselines, together with helpers they all need: per-job configuration
+// filtering against deadlines and processing-time containers, and the
+// EDF packing of Algorithm 2, which both MMKP-MDF and the fixed mappers
+// reuse.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"adaptrm/internal/job"
+	"adaptrm/internal/platform"
+	"adaptrm/internal/schedule"
+)
+
+// ErrInfeasible is returned when a scheduler cannot construct a schedule
+// that satisfies constraints (2b)–(2e); the runtime manager then rejects
+// the newly arrived request.
+var ErrInfeasible = errors.New("sched: no feasible schedule")
+
+// Scheduler produces a schedule for the job set Σt at instant t.
+type Scheduler interface {
+	// Name returns the algorithm identifier used in reports
+	// (e.g. "MMKP-MDF").
+	Name() string
+	// Schedule returns a schedule satisfying (2b)–(2e) or ErrInfeasible.
+	// Implementations must not mutate the job set.
+	Schedule(jobs job.Set, plat platform.Platform, t float64) (*schedule.Schedule, error)
+}
+
+// Func adapts a function to the Scheduler interface.
+type Func struct {
+	// ID is the reported name.
+	ID string
+	// F is the scheduling function.
+	F func(jobs job.Set, plat platform.Platform, t float64) (*schedule.Schedule, error)
+}
+
+// Name implements Scheduler.
+func (f Func) Name() string { return f.ID }
+
+// Schedule implements Scheduler.
+func (f Func) Schedule(jobs job.Set, plat platform.Platform, t float64) (*schedule.Schedule, error) {
+	return f.F(jobs, plat, t)
+}
+
+// FeasiblePoints returns the indices of the job's operating points that
+// (i) meet the deadline optimistically (t + τ·ρ ≤ δ) and (ii) fit the
+// processing-time containers J (θ·τ·ρ ≤ J per type). Passing a nil
+// container skips check (ii). Indices preserve table order (ascending
+// energy).
+func FeasiblePoints(j *job.Job, t float64, containers platform.TimeVec) []int {
+	var out []int
+	slack := j.Slack(t)
+	for i, p := range j.Table.Points {
+		rem := p.RemainingTime(j.Remaining)
+		if rem > slack+schedule.Eps {
+			continue
+		}
+		if containers != nil && !containers.FitsUsage(p.Alloc, rem, schedule.Eps) {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// Assignment fixes one operating point per job (by table index).
+type Assignment map[int]int
+
+// Clone copies the assignment.
+func (a Assignment) Clone() Assignment {
+	b := make(Assignment, len(a))
+	for k, v := range a {
+		b[k] = v
+	}
+	return b
+}
+
+// PackEDF implements Algorithm 2 of the paper (SCHEDULEJOBS): given one
+// fixed operating point per job, it builds a segmented schedule by
+// iterating jobs in EDF order and placing each job into the earliest
+// mapping segments with spare capacity, splitting a segment when the job
+// finishes inside it and appending a fresh segment when capacity runs out
+// only at the tail. It returns ErrInfeasible when some job would miss its
+// deadline.
+//
+// Only jobs present in the assignment participate (Algorithm 1 calls this
+// with partially built assignments).
+func PackEDF(jobs job.Set, asg Assignment, plat platform.Platform, t float64) (*schedule.Schedule, error) {
+	m := plat.NumTypes()
+	cap := plat.Capacity()
+	// Σ̃ ← jobs with configurations, EDF order.
+	pending := make(job.Set, 0, len(asg))
+	for _, j := range jobs {
+		if _, ok := asg[j.ID]; ok {
+			pending = append(pending, j)
+		}
+	}
+	if len(pending) == 0 {
+		return &schedule.Schedule{}, nil
+	}
+	pending.SortEDF()
+	k := &schedule.Schedule{}
+	te := t // end of the last segment
+	for _, j := range pending {
+		ptIdx := asg[j.ID]
+		if ptIdx < 0 || ptIdx >= j.Table.Len() {
+			return nil, fmt.Errorf("sched: job %d: point %d out of range", j.ID, ptIdx)
+		}
+		pt := j.Table.Points[ptIdx]
+		rho := j.Remaining
+		finish := math.NaN()
+		// Walk existing segments in time order.
+		for si := 0; si < len(k.Segments) && rho > schedule.Eps; si++ {
+			seg := &k.Segments[si]
+			usage := seg.Usage(jobs, m)
+			if !pt.Alloc.FitsWith(usage, cap) {
+				continue
+			}
+			need := pt.RemainingTime(rho)
+			dur := seg.Duration()
+			if need >= dur-schedule.Eps {
+				// Job spans the whole segment.
+				seg.Placements = append(seg.Placements, schedule.Placement{JobID: j.ID, Point: ptIdx})
+				rho -= dur / pt.Time
+				if rho < schedule.Eps {
+					rho = 0
+					finish = seg.End
+				}
+			} else {
+				// Job finishes inside: split and occupy the first part.
+				cut := seg.Start + need
+				if err := k.Split(si, cut); err != nil {
+					return nil, fmt.Errorf("sched: packEDF split: %w", err)
+				}
+				first := &k.Segments[si]
+				first.Placements = append(first.Placements, schedule.Placement{JobID: j.ID, Point: ptIdx})
+				rho = 0
+				finish = first.End
+			}
+		}
+		if rho > schedule.Eps {
+			// Tail segment(s): the job runs to completion after te.
+			need := pt.RemainingTime(rho)
+			seg := schedule.Segment{
+				Start:      te,
+				End:        te + need,
+				Placements: []schedule.Placement{{JobID: j.ID, Point: ptIdx}},
+			}
+			if err := k.Append(seg); err != nil {
+				return nil, fmt.Errorf("sched: packEDF append: %w", err)
+			}
+			te += need
+			finish = te
+		}
+		if len(k.Segments) > 0 {
+			te = k.Segments[len(k.Segments)-1].End
+		}
+		if math.IsNaN(finish) || finish > j.Deadline+schedule.Eps {
+			return nil, ErrInfeasible
+		}
+	}
+	return k, nil
+}

@@ -1,0 +1,223 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"adaptrm/internal/job"
+	"adaptrm/internal/platform"
+)
+
+// CoreSlot records that a job occupies one concrete core during one
+// segment of a concretized schedule.
+type CoreSlot struct {
+	// Core is a global core index: cores of type 0 first, then type 1, …
+	Core int
+	// JobID is the occupying job.
+	JobID int
+}
+
+// Concretized is a schedule lowered from per-type core counts to concrete
+// core indices, with sticky assignment across segments so that a job that
+// keeps (part of) its allocation stays on the same physical cores. This
+// is what an actual runtime would program, and what the Gantt chart of
+// Fig. 1 visualizes.
+type Concretized struct {
+	Schedule *Schedule
+	// Slots[i] lists the per-core occupancy of segment i.
+	Slots [][]CoreSlot
+	// NumCores is the platform's total core count.
+	NumCores int
+	// typeOffset[t] is the first global core index of platform type t.
+	typeOffset []int
+}
+
+// Concretize assigns concrete cores to every placement of every segment.
+// Assignment is deterministic: jobs are processed in ascending ID, cores
+// in ascending index, and a job retains cores it held in the previous
+// segment whenever its allocation still includes that core's type.
+func Concretize(k *Schedule, jobs job.Set, plat platform.Platform) (*Concretized, error) {
+	m := plat.NumTypes()
+	offsets := make([]int, m+1)
+	for i, t := range plat.Types {
+		offsets[i+1] = offsets[i] + t.Count
+	}
+	total := offsets[m]
+	c := &Concretized{
+		Schedule:   k,
+		Slots:      make([][]CoreSlot, len(k.Segments)),
+		NumCores:   total,
+		typeOffset: offsets,
+	}
+	// held[jobID][core] = true for cores held in the previous segment.
+	held := make(map[int]map[int]bool)
+	for si := range k.Segments {
+		seg := &k.Segments[si]
+		occupied := make([]bool, total)
+		newHeld := make(map[int]map[int]bool)
+		ps := clonePlacements(seg.Placements)
+		sortPlacements(ps)
+		// First pass: let every job keep previously held cores.
+		type want struct {
+			jobID int
+			need  platform.Alloc // per type, cores still to find
+		}
+		wants := make([]want, 0, len(ps))
+		for _, p := range ps {
+			j := jobs.ByID(p.JobID)
+			if j == nil {
+				return nil, fmt.Errorf("schedule: concretize: unknown job %d", p.JobID)
+			}
+			alloc := j.Table.Points[p.Point].Alloc
+			need := alloc.Clone()
+			mine := make(map[int]bool)
+			for core := range held[p.JobID] {
+				t := c.coreType(core)
+				if need[t] > 0 && !occupied[core] {
+					occupied[core] = true
+					mine[core] = true
+					need[t]--
+				}
+			}
+			newHeld[p.JobID] = mine
+			wants = append(wants, want{jobID: p.JobID, need: need})
+		}
+		// Second pass: satisfy remaining demand from free cores.
+		for _, w := range wants {
+			for t := 0; t < m; t++ {
+				for core := offsets[t]; core < offsets[t+1] && w.need[t] > 0; core++ {
+					if occupied[core] {
+						continue
+					}
+					occupied[core] = true
+					newHeld[w.jobID][core] = true
+					w.need[t]--
+				}
+				if w.need[t] > 0 {
+					return nil, fmt.Errorf("schedule: concretize: segment %d over capacity for type %d", si, t)
+				}
+			}
+		}
+		slots := make([]CoreSlot, 0, len(ps))
+		for _, p := range ps {
+			cores := make([]int, 0, len(newHeld[p.JobID]))
+			for core := range newHeld[p.JobID] {
+				cores = append(cores, core)
+			}
+			sort.Ints(cores)
+			for _, core := range cores {
+				slots = append(slots, CoreSlot{Core: core, JobID: p.JobID})
+			}
+		}
+		sort.Slice(slots, func(a, b int) bool { return slots[a].Core < slots[b].Core })
+		c.Slots[si] = slots
+		held = newHeld
+	}
+	return c, nil
+}
+
+func (c *Concretized) coreType(core int) int {
+	for t := 0; t+1 < len(c.typeOffset); t++ {
+		if core < c.typeOffset[t+1] {
+			return t
+		}
+	}
+	return len(c.typeOffset) - 2
+}
+
+// CoreLabel names a core like "L1", "B2" for two-type platforms, falling
+// back to "T0.1" style otherwise.
+func (c *Concretized) CoreLabel(plat platform.Platform, core int) string {
+	t := c.coreType(core)
+	idx := core - c.typeOffset[t] + 1
+	if plat.NumTypes() == 2 {
+		letter := "L"
+		if t == 1 {
+			letter = "B"
+		}
+		return fmt.Sprintf("%s%d", letter, idx)
+	}
+	return fmt.Sprintf("T%d.%d", t, idx)
+}
+
+// jobSymbol picks a stable printable rune for a job ID.
+func jobSymbol(id int) byte {
+	const symbols = "123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	if id >= 1 && id <= len(symbols) {
+		return symbols[id-1]
+	}
+	return '#'
+}
+
+// RenderGantt draws the concretized schedule as an ASCII chart in the
+// style of Fig. 1: one row per core (big cores on top), time on the
+// horizontal axis, one symbol per job. width is the number of character
+// cells used for the time axis.
+func RenderGantt(k *Schedule, jobs job.Set, plat platform.Platform, width int) (string, error) {
+	if k.IsEmpty() {
+		return "(empty schedule)\n", nil
+	}
+	if width < 10 {
+		width = 10
+	}
+	c, err := Concretize(k, jobs, plat)
+	if err != nil {
+		return "", err
+	}
+	t0 := k.Segments[0].Start
+	t1 := k.Segments[len(k.Segments)-1].End
+	span := t1 - t0
+	if span <= 0 {
+		return "", fmt.Errorf("schedule: gantt: empty time span")
+	}
+	cell := func(t float64) int {
+		x := int(math.Round((t - t0) / span * float64(width)))
+		if x < 0 {
+			x = 0
+		}
+		if x > width {
+			x = width
+		}
+		return x
+	}
+	rows := make([][]byte, c.NumCores)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	for si := range k.Segments {
+		seg := &k.Segments[si]
+		x0, x1 := cell(seg.Start), cell(seg.End)
+		if x1 <= x0 {
+			x1 = x0 + 1
+			if x1 > width {
+				x0, x1 = width-1, width
+			}
+		}
+		for _, slot := range c.Slots[si] {
+			sym := jobSymbol(slot.JobID)
+			for x := x0; x < x1; x++ {
+				rows[slot.Core][x] = sym
+			}
+		}
+	}
+	var b strings.Builder
+	// Big cores on top, matching the paper's figure (B2, B1, L2, L1).
+	for core := c.NumCores - 1; core >= 0; core-- {
+		fmt.Fprintf(&b, "%4s |%s|\n", c.CoreLabel(plat, core), rows[core])
+	}
+	fmt.Fprintf(&b, "     %s\n", timeAxis(t0, t1, width))
+	return b.String(), nil
+}
+
+// timeAxis renders a simple ruler with start and end markers.
+func timeAxis(t0, t1 float64, width int) string {
+	left := fmt.Sprintf("%.1f", t0)
+	right := fmt.Sprintf("%.1f", t1)
+	pad := width + 2 - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	return left + strings.Repeat(" ", pad) + right
+}

@@ -1,0 +1,126 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+
+	"adaptrm/internal/job"
+	"adaptrm/internal/motiv"
+	"adaptrm/internal/platform"
+)
+
+func TestConcretizeFig1c(t *testing.T) {
+	k, jobs := fig1c(t)
+	plat := motiv.Platform()
+	c, err := Concretize(k, jobs, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumCores != 4 {
+		t.Fatalf("NumCores = %d", c.NumCores)
+	}
+	// Segment 0: σ2 on 2 little + 1 big.
+	if len(c.Slots[0]) != 3 {
+		t.Fatalf("segment 0 slots = %v", c.Slots[0])
+	}
+	for _, s := range c.Slots[0] {
+		if s.JobID != 2 {
+			t.Errorf("segment 0 occupied by job %d", s.JobID)
+		}
+	}
+	// Cores must be unique within a segment.
+	seen := map[int]bool{}
+	for _, s := range c.Slots[0] {
+		if seen[s.Core] {
+			t.Errorf("core %d assigned twice", s.Core)
+		}
+		seen[s.Core] = true
+	}
+	// Labels follow the L/B convention.
+	if got := c.CoreLabel(plat, 0); got != "L1" {
+		t.Errorf("CoreLabel(0) = %q", got)
+	}
+	if got := c.CoreLabel(plat, 3); got != "B2" {
+		t.Errorf("CoreLabel(3) = %q", got)
+	}
+}
+
+func TestConcretizeStickiness(t *testing.T) {
+	// A job keeping its allocation across segments must stay on the same
+	// cores even when another job departs.
+	jobs := job.Set(motiv.ScenarioS1AtT1())
+	l1 := jobs.ByID(1).Table
+	l2 := jobs.ByID(2).Table
+	p1 := l1.ByAlloc(platform.Alloc{1, 1})[0]
+	p2 := l2.ByAlloc(platform.Alloc{1, 1})[0]
+	k := &Schedule{Segments: []Segment{
+		{Start: 1, End: 2, Placements: []Placement{{JobID: 1, Point: p1}, {JobID: 2, Point: p2}}},
+		{Start: 2, End: 3, Placements: []Placement{{JobID: 2, Point: p2}}},
+	}}
+	c, err := Concretize(k, jobs, motiv.Platform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coresOf := func(si, jobID int) map[int]bool {
+		out := map[int]bool{}
+		for _, s := range c.Slots[si] {
+			if s.JobID == jobID {
+				out[s.Core] = true
+			}
+		}
+		return out
+	}
+	before, after := coresOf(0, 2), coresOf(1, 2)
+	for core := range after {
+		if !before[core] {
+			t.Errorf("job 2 migrated to core %d without need", core)
+		}
+	}
+}
+
+func TestConcretizeRejectsOverCapacity(t *testing.T) {
+	jobs := job.Set(motiv.ScenarioS1AtT1())
+	l1 := jobs.ByID(1).Table
+	l2 := jobs.ByID(2).Table
+	p1 := l1.ByAlloc(platform.Alloc{2, 1})[0]
+	p2 := l2.ByAlloc(platform.Alloc{2, 1})[0]
+	k := &Schedule{Segments: []Segment{
+		{Start: 1, End: 2, Placements: []Placement{{JobID: 1, Point: p1}, {JobID: 2, Point: p2}}},
+	}}
+	if _, err := Concretize(k, jobs, motiv.Platform()); err == nil {
+		t.Error("over-capacity segment concretized")
+	}
+	k2 := &Schedule{Segments: []Segment{
+		{Start: 1, End: 2, Placements: []Placement{{JobID: 42, Point: 0}}},
+	}}
+	if _, err := Concretize(k2, jobs, motiv.Platform()); err == nil {
+		t.Error("unknown job concretized")
+	}
+}
+
+func TestRenderGantt(t *testing.T) {
+	k, jobs := fig1c(t)
+	plat := motiv.Platform()
+	out, err := RenderGantt(k, jobs, plat, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // 4 cores + axis
+		t.Fatalf("gantt has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "  B2") || !strings.HasPrefix(lines[3], "  L1") {
+		t.Errorf("row order wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "2") || !strings.Contains(out, "1") {
+		t.Errorf("gantt missing job symbols:\n%s", out)
+	}
+	// Empty schedule renders a placeholder.
+	if got, err := RenderGantt(&Schedule{}, jobs, plat, 60); err != nil || !strings.Contains(got, "empty") {
+		t.Errorf("empty gantt = %q err=%v", got, err)
+	}
+	// Tiny width is clamped, not an error.
+	if _, err := RenderGantt(k, jobs, plat, 1); err != nil {
+		t.Errorf("tiny width: %v", err)
+	}
+}

@@ -1,0 +1,60 @@
+package schedule
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Schedules serialize to JSON so runtime plans and executed timelines can
+// be exported for external analysis or replayed by other tools. Point
+// indices refer to the job's operating-point table; consumers resolve
+// them against the same library the schedule was produced with.
+
+type scheduleJSON struct {
+	Segments []segmentJSON `json:"segments"`
+}
+
+type segmentJSON struct {
+	Start      float64         `json:"start"`
+	End        float64         `json:"end"`
+	Placements []placementJSON `json:"placements"`
+}
+
+type placementJSON struct {
+	Job   int `json:"job"`
+	Point int `json:"point"`
+}
+
+// WriteJSON serializes the schedule (indented) to w.
+func (k *Schedule) WriteJSON(w io.Writer) error {
+	out := scheduleJSON{Segments: make([]segmentJSON, 0, len(k.Segments))}
+	for _, seg := range k.Segments {
+		sj := segmentJSON{Start: seg.Start, End: seg.End}
+		for _, p := range seg.Placements {
+			sj.Placements = append(sj.Placements, placementJSON{Job: p.JobID, Point: p.Point})
+		}
+		out.Segments = append(out.Segments, sj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a schedule written by WriteJSON. Structural validation
+// against a job set and platform is the caller's job (Validate).
+func ReadJSON(r io.Reader) (*Schedule, error) {
+	var raw scheduleJSON
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("schedule: decoding: %w", err)
+	}
+	k := &Schedule{}
+	for _, sj := range raw.Segments {
+		seg := Segment{Start: sj.Start, End: sj.End}
+		for _, pj := range sj.Placements {
+			seg.Placements = append(seg.Placements, Placement{JobID: pj.Job, Point: pj.Point})
+		}
+		k.Segments = append(k.Segments, seg)
+	}
+	return k, nil
+}

@@ -1,0 +1,37 @@
+package schedule
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"adaptrm/internal/motiv"
+)
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	k, jobs := fig1c(t)
+	var buf bytes.Buffer
+	if err := k.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Segments) != len(k.Segments) {
+		t.Fatalf("segments %d vs %d", len(got.Segments), len(k.Segments))
+	}
+	if err := got.Validate(motiv.Platform(), jobs, 1); err != nil {
+		t.Fatalf("round-tripped schedule invalid: %v", err)
+	}
+	if math.Abs(got.Energy(jobs)-k.Energy(jobs)) > 1e-12 {
+		t.Error("energy changed through serialization")
+	}
+}
+
+func TestScheduleReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package schedule
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"adaptrm/internal/job"
+)
+
+// Metrics summarizes the adaptive structure of a schedule: how often jobs
+// switch operating points (the "resource adaptations" mapping segments
+// make explicit) and how often they are suspended mid-run, plus basic
+// shape figures. These are the quantities that distinguish the paper's
+// adaptive schedules from fixed mappings.
+type Metrics struct {
+	// Segments is the number of mapping segments.
+	Segments int
+	// Jobs is the number of distinct jobs placed.
+	Jobs int
+	// Reconfigurations counts, over all jobs, transitions between two
+	// consecutive segments in which the job runs on different operating
+	// points.
+	Reconfigurations int
+	// Suspensions counts, over all jobs, maximal gaps: runs of segments
+	// in which an already-started, unfinished job is absent.
+	Suspensions int
+	// Makespan is the end of the last segment minus the start of the
+	// first.
+	Makespan float64
+	// AvgParallelism is the time-weighted average number of busy cores.
+	AvgParallelism float64
+}
+
+// ComputeMetrics derives Metrics from a schedule. Jobs resolve operating
+// points; unknown job references are ignored (consistent with Energy).
+func ComputeMetrics(k *Schedule, jobs job.Set) Metrics {
+	var m Metrics
+	if k.IsEmpty() {
+		return m
+	}
+	m.Segments = len(k.Segments)
+	m.Makespan = k.Segments[len(k.Segments)-1].End - k.Segments[0].Start
+
+	// Per-job presence across segments.
+	type span struct {
+		segs   []int
+		points []int
+	}
+	perJob := map[int]*span{}
+	busyCoreSeconds := 0.0
+	for si := range k.Segments {
+		seg := &k.Segments[si]
+		dur := seg.Duration()
+		for _, p := range seg.Placements {
+			j := jobs.ByID(p.JobID)
+			if j == nil {
+				continue
+			}
+			s := perJob[p.JobID]
+			if s == nil {
+				s = &span{}
+				perJob[p.JobID] = s
+			}
+			s.segs = append(s.segs, si)
+			s.points = append(s.points, p.Point)
+			busyCoreSeconds += float64(j.Table.Points[p.Point].Alloc.Total()) * dur
+		}
+	}
+	m.Jobs = len(perJob)
+	if m.Makespan > 0 {
+		m.AvgParallelism = busyCoreSeconds / m.Makespan
+	}
+	ids := make([]int, 0, len(perJob))
+	for id := range perJob {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		s := perJob[id]
+		for i := 1; i < len(s.segs); i++ {
+			if s.segs[i] > s.segs[i-1]+1 {
+				m.Suspensions++
+			}
+			if s.points[i] != s.points[i-1] {
+				m.Reconfigurations++
+			}
+		}
+	}
+	return m
+}
+
+// Render writes the metrics as a short human-readable block.
+func (m Metrics) Render(w io.Writer) {
+	fmt.Fprintf(w, "segments: %d  jobs: %d  reconfigurations: %d  suspensions: %d\n",
+		m.Segments, m.Jobs, m.Reconfigurations, m.Suspensions)
+	fmt.Fprintf(w, "makespan: %.2fs  avg parallelism: %.2f cores\n", m.Makespan, m.AvgParallelism)
+}

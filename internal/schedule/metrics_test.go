@@ -1,0 +1,71 @@
+package schedule
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"adaptrm/internal/job"
+	"adaptrm/internal/motiv"
+	"adaptrm/internal/platform"
+)
+
+func TestMetricsFig1c(t *testing.T) {
+	k, jobs := fig1c(t)
+	m := ComputeMetrics(k, jobs)
+	if m.Segments != 2 || m.Jobs != 2 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	// Fig. 1(c): no job changes its point, no mid-run suspension gap is
+	// visible in the *schedule* (σ1's pause before its first placement
+	// is not a placement gap).
+	if m.Reconfigurations != 0 || m.Suspensions != 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if math.Abs(m.Makespan-(4+5.3*motiv.Rho1AtT1-1)) > 1e-9 {
+		t.Errorf("makespan = %v", m.Makespan)
+	}
+	// Both segments use 3 cores → average parallelism 3.
+	if math.Abs(m.AvgParallelism-3) > 1e-9 {
+		t.Errorf("avg parallelism = %v", m.AvgParallelism)
+	}
+	var buf bytes.Buffer
+	m.Render(&buf)
+	if !strings.Contains(buf.String(), "reconfigurations: 0") {
+		t.Errorf("render = %q", buf.String())
+	}
+}
+
+func TestMetricsCountsAdaptations(t *testing.T) {
+	jobs := job.Set(motiv.ScenarioS1AtT1())
+	l1 := jobs.ByID(1).Table
+	p21 := l1.ByAlloc(platform.Alloc{2, 1})[0]
+	p11 := l1.ByAlloc(platform.Alloc{1, 1})[0]
+	// σ1 runs 1L1B, is suspended for one segment, then resumes on 2L1B:
+	// one suspension, one reconfiguration.
+	l2 := jobs.ByID(2).Table
+	q := l2.ByAlloc(platform.Alloc{2, 1})[0]
+	k := &Schedule{Segments: []Segment{
+		{Start: 1, End: 2, Placements: []Placement{{JobID: 1, Point: p11}}},
+		{Start: 2, End: 3, Placements: []Placement{{JobID: 2, Point: q}}},
+		{Start: 3, End: 4, Placements: []Placement{{JobID: 1, Point: p21}}},
+	}}
+	m := ComputeMetrics(k, jobs)
+	if m.Suspensions != 1 {
+		t.Errorf("suspensions = %d, want 1", m.Suspensions)
+	}
+	if m.Reconfigurations != 1 {
+		t.Errorf("reconfigurations = %d, want 1", m.Reconfigurations)
+	}
+	if m.Jobs != 2 || m.Segments != 3 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestMetricsEmpty(t *testing.T) {
+	m := ComputeMetrics(&Schedule{}, nil)
+	if m.Segments != 0 || m.Makespan != 0 || m.AvgParallelism != 0 {
+		t.Errorf("empty metrics = %+v", m)
+	}
+}

@@ -1,0 +1,125 @@
+// Package stats provides the summary statistics the evaluation reports:
+// geometric means (Table IV), quantiles and boxplot five-number summaries
+// (Fig. 4), and S-curve series (Fig. 3).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean, or NaN for an empty slice or any
+// non-positive element. Table IV reports geometric means of relative
+// energies.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using linear interpolation
+// between order statistics. It returns NaN for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Boxplot is a five-number summary with Tukey whiskers (1.5 IQR).
+type Boxplot struct {
+	// Min and Max are the extremes of the data.
+	Min, Max float64
+	// Q1, Median, Q3 are the quartiles.
+	Q1, Median, Q3 float64
+	// WhiskerLo and WhiskerHi are the most extreme points within
+	// 1.5 IQR of the quartiles.
+	WhiskerLo, WhiskerHi float64
+	// Mean is the arithmetic mean (the paper overlays it on Fig. 4).
+	Mean float64
+	// N is the sample count.
+	N int
+}
+
+// NewBoxplot summarizes the samples. It returns a zero-value summary for
+// empty input (N==0).
+func NewBoxplot(xs []float64) Boxplot {
+	if len(xs) == 0 {
+		return Boxplot{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	b := Boxplot{
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		Q1:     Quantile(s, 0.25),
+		Median: Quantile(s, 0.5),
+		Q3:     Quantile(s, 0.75),
+		Mean:   Mean(s),
+		N:      len(s),
+	}
+	iqr := b.Q3 - b.Q1
+	lo, hi := b.Q1-1.5*iqr, b.Q3+1.5*iqr
+	b.WhiskerLo, b.WhiskerHi = b.Max, b.Min
+	for _, x := range s {
+		if x >= lo && x < b.WhiskerLo {
+			b.WhiskerLo = x
+		}
+		if x <= hi && x > b.WhiskerHi {
+			b.WhiskerHi = x
+		}
+	}
+	return b
+}
+
+// SCurve returns the sorted copy of xs — plotting it against its index
+// yields the S-curves of Fig. 3.
+func SCurve(xs []float64) []float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s
+}
+
+// CountAtMost returns how many values are ≤ limit (used to report "954
+// tests scheduled optimally", i.e. relative energy ≤ 1).
+func CountAtMost(xs []float64, limit float64) int {
+	n := 0
+	for _, x := range xs {
+		if x <= limit {
+			n++
+		}
+	}
+	return n
+}

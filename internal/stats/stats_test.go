@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("mean wrong")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("empty mean not NaN")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almost(GeoMean([]float64{1, 4}), 2) {
+		t.Error("geomean wrong")
+	}
+	if !almost(GeoMean([]float64{2, 2, 2}), 2) {
+		t.Error("constant geomean wrong")
+	}
+	if !math.IsNaN(GeoMean(nil)) || !math.IsNaN(GeoMean([]float64{1, 0})) {
+		t.Error("degenerate geomean not NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if !almost(Quantile(xs, 0), 1) || !almost(Quantile(xs, 1), 4) {
+		t.Error("extremes wrong")
+	}
+	if !almost(Quantile(xs, 0.5), 2.5) {
+		t.Errorf("median = %v", Quantile(xs, 0.5))
+	}
+	if !almost(Quantile([]float64{7}, 0.3), 7) {
+		t.Error("singleton quantile wrong")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) || !math.IsNaN(Quantile(xs, -0.1)) || !math.IsNaN(Quantile(xs, 1.1)) {
+		t.Error("degenerate quantile not NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Error("Quantile mutated input")
+	}
+}
+
+func TestBoxplot(t *testing.T) {
+	b := NewBoxplot([]float64{1, 2, 3, 4, 100})
+	if b.N != 5 || !almost(b.Min, 1) || !almost(b.Max, 100) || !almost(b.Median, 3) {
+		t.Errorf("boxplot = %+v", b)
+	}
+	// 100 is an outlier: the upper whisker must stop below it.
+	if b.WhiskerHi >= 100 {
+		t.Errorf("whisker %v should exclude the outlier", b.WhiskerHi)
+	}
+	if b.WhiskerLo != 1 {
+		t.Errorf("lower whisker = %v", b.WhiskerLo)
+	}
+	empty := NewBoxplot(nil)
+	if empty.N != 0 {
+		t.Error("empty boxplot has samples")
+	}
+}
+
+func TestSCurveAndCount(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	s := SCurve(xs)
+	if s[0] != 1 || s[1] != 2 || s[2] != 3 {
+		t.Errorf("scurve = %v", s)
+	}
+	if xs[0] != 3 {
+		t.Error("SCurve mutated input")
+	}
+	if CountAtMost(xs, 2) != 2 || CountAtMost(xs, 0.5) != 0 {
+		t.Error("CountAtMost wrong")
+	}
+}
+
+// Properties: quantiles are monotone in q and bounded by min/max; the
+// geometric mean lies between min and max; boxplot invariants hold.
+func TestStatProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func() bool {
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 0.1 + rng.Float64()*10
+		}
+		q1, q2 := rng.Float64(), rng.Float64()
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		if Quantile(xs, q1) > Quantile(xs, q2)+1e-12 {
+			return false
+		}
+		g := GeoMean(xs)
+		lo, hi := Quantile(xs, 0), Quantile(xs, 1)
+		if g < lo-1e-9 || g > hi+1e-9 {
+			return false
+		}
+		b := NewBoxplot(xs)
+		return b.Min <= b.Q1+1e-12 && b.Q1 <= b.Median+1e-12 &&
+			b.Median <= b.Q3+1e-12 && b.Q3 <= b.Max+1e-12 &&
+			b.WhiskerLo >= b.Min-1e-12 && b.WhiskerHi <= b.Max+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,202 @@
+// Package textplot renders the paper's figures as ASCII charts for the
+// command-line tools: grouped bar charts (Fig. 2), S-curve line plots
+// (Fig. 3) and log-scale boxplots (Fig. 4).
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bar is one labeled value of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarGroup is one group of bars (e.g. all schedulers at one job count).
+type BarGroup struct {
+	Title string
+	Bars  []Bar
+}
+
+// BarChart renders horizontal grouped bars scaled to width characters.
+// Values are annotated with the given format (e.g. "%.1f%%").
+func BarChart(w io.Writer, title string, groups []BarGroup, width int, format string) {
+	if width < 10 {
+		width = 10
+	}
+	max := 0.0
+	for _, g := range groups {
+		for _, b := range g.Bars {
+			if b.Value > max {
+				max = b.Value
+			}
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	fmt.Fprintln(w, title)
+	for _, g := range groups {
+		fmt.Fprintf(w, "%s\n", g.Title)
+		for _, b := range g.Bars {
+			n := int(math.Round(b.Value / max * float64(width)))
+			if n < 0 {
+				n = 0
+			}
+			fmt.Fprintf(w, "  %-12s |%-*s| "+format+"\n",
+				b.Label, width, strings.Repeat("█", n), b.Value)
+		}
+	}
+}
+
+// Series is one named curve of a line plot.
+type Series struct {
+	Name   string
+	Values []float64 // y values; x is the index
+	Symbol byte
+}
+
+// LinePlot renders curves on a width×height character grid. The y-range
+// spans [ymin, ymax]; when ymin==ymax the range is derived from the data.
+func LinePlot(w io.Writer, title string, series []Series, width, height int, ymin, ymax float64) {
+	if width < 10 {
+		width = 10
+	}
+	if height < 4 {
+		height = 4
+	}
+	maxLen := 0
+	for _, s := range series {
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	if maxLen == 0 {
+		fmt.Fprintln(w, title+" (no data)")
+		return
+	}
+	if ymin == ymax {
+		ymin, ymax = math.Inf(1), math.Inf(-1)
+		for _, s := range series {
+			for _, v := range s.Values {
+				if v < ymin {
+					ymin = v
+				}
+				if v > ymax {
+					ymax = v
+				}
+			}
+		}
+		if ymin == ymax {
+			ymax = ymin + 1
+		}
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		sym := s.Symbol
+		if sym == 0 {
+			sym = '*'
+		}
+		for i, v := range s.Values {
+			x := 0
+			if maxLen > 1 {
+				x = i * (width - 1) / (maxLen - 1)
+			}
+			yf := (v - ymin) / (ymax - ymin)
+			if yf < 0 {
+				yf = 0
+			}
+			if yf > 1 {
+				yf = 1
+			}
+			y := height - 1 - int(math.Round(yf*float64(height-1)))
+			grid[y][x] = sym
+		}
+	}
+	fmt.Fprintln(w, title)
+	for i, row := range grid {
+		label := ""
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%.2f", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%.2f", ymin)
+		}
+		fmt.Fprintf(w, "%8s |%s|\n", label, row)
+	}
+	legend := make([]string, 0, len(series))
+	for _, s := range series {
+		sym := s.Symbol
+		if sym == 0 {
+			sym = '*'
+		}
+		legend = append(legend, fmt.Sprintf("%c=%s", sym, s.Name))
+	}
+	fmt.Fprintf(w, "%8s  %s\n", "", strings.Join(legend, "  "))
+}
+
+// BoxRow is one row of a log-scale boxplot chart.
+type BoxRow struct {
+	Label                 string
+	Min, Q1, Med, Q3, Max float64
+}
+
+// LogBoxplot renders rows on a shared log10 x-axis, in the style of
+// Fig. 4 (search-time distributions). Non-positive values are clamped to
+// the smallest positive value shown.
+func LogBoxplot(w io.Writer, title string, rows []BoxRow, width int) {
+	if width < 20 {
+		width = 20
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range rows {
+		if r.Min > 0 && r.Min < lo {
+			lo = r.Min
+		}
+		if r.Max > hi {
+			hi = r.Max
+		}
+	}
+	if math.IsInf(lo, 1) || hi <= 0 {
+		fmt.Fprintln(w, title+" (no data)")
+		return
+	}
+	llo, lhi := math.Log10(lo), math.Log10(hi)
+	if lhi-llo < 1e-9 {
+		lhi = llo + 1
+	}
+	pos := func(v float64) int {
+		if v <= 0 {
+			v = lo
+		}
+		p := (math.Log10(v) - llo) / (lhi - llo)
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		return int(math.Round(p * float64(width-1)))
+	}
+	fmt.Fprintln(w, title)
+	for _, r := range rows {
+		line := []byte(strings.Repeat(" ", width))
+		for x := pos(r.Min); x <= pos(r.Max); x++ {
+			line[x] = '-'
+		}
+		for x := pos(r.Q1); x <= pos(r.Q3); x++ {
+			line[x] = '='
+		}
+		line[pos(r.Med)] = '|'
+		fmt.Fprintf(w, "%-16s [%s]\n", r.Label, line)
+	}
+	fmt.Fprintf(w, "%-16s  %-*s%s\n", "", width-8,
+		fmt.Sprintf("%.2e", lo), fmt.Sprintf("%.2e", hi))
+}

@@ -1,0 +1,102 @@
+package textplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBarChart(t *testing.T) {
+	var buf bytes.Buffer
+	groups := []BarGroup{
+		{Title: "1 job", Bars: []Bar{{"EX-MEM", 82.9}, {"MMKP-MDF", 82.9}}},
+		{Title: "4 jobs", Bars: []Bar{{"EX-MEM", 61.2}, {"MMKP-MDF", 47.1}}},
+	}
+	BarChart(&buf, "Scheduling rate", groups, 40, "%.1f%%")
+	out := buf.String()
+	for _, want := range []string{"Scheduling rate", "1 job", "4 jobs", "EX-MEM", "82.9%", "47.1%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The 61.2 bar must be longer than the 47.1 bar.
+	lines := strings.Split(out, "\n")
+	countBlocks := func(s string) int { return strings.Count(s, "█") }
+	var ex, mdf int
+	for _, l := range lines {
+		if strings.Contains(l, "EX-MEM") && strings.Contains(l, "61.2") {
+			ex = countBlocks(l)
+		}
+		if strings.Contains(l, "MMKP-MDF") && strings.Contains(l, "47.1") {
+			mdf = countBlocks(l)
+		}
+	}
+	if ex <= mdf {
+		t.Errorf("bar lengths not proportional: %d vs %d", ex, mdf)
+	}
+	// Degenerate input must not panic.
+	BarChart(&buf, "empty", nil, 5, "%.0f")
+}
+
+func TestLinePlot(t *testing.T) {
+	var buf bytes.Buffer
+	LinePlot(&buf, "S-curves", []Series{
+		{Name: "MMKP-MDF", Values: []float64{1, 1, 1.02, 1.1}, Symbol: 'm'},
+		{Name: "MMKP-LR", Values: []float64{1, 1.2, 1.4, 2.0}, Symbol: 'l'},
+	}, 40, 10, 0, 0)
+	out := buf.String()
+	for _, want := range []string{"S-curves", "m=MMKP-MDF", "l=MMKP-LR", "m", "l"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 12 { // title + 10 rows + legend
+		t.Errorf("plot has %d lines", lines)
+	}
+	// No data.
+	buf.Reset()
+	LinePlot(&buf, "empty", nil, 10, 5, 0, 0)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty plot not flagged")
+	}
+	// Constant series must not divide by zero.
+	buf.Reset()
+	LinePlot(&buf, "const", []Series{{Name: "c", Values: []float64{2, 2}}}, 10, 5, 0, 0)
+	if buf.Len() == 0 {
+		t.Error("constant series rendered nothing")
+	}
+}
+
+func TestLogBoxplot(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []BoxRow{
+		{Label: "EX-MEM/4", Min: 0.01, Q1: 1, Med: 22, Q3: 100, Max: 2550},
+		{Label: "MMKP-MDF/4", Min: 0.001, Q1: 0.003, Med: 0.005, Q3: 0.008, Max: 0.02},
+	}
+	LogBoxplot(&buf, "Search time", rows, 50)
+	out := buf.String()
+	for _, want := range []string{"Search time", "EX-MEM/4", "MMKP-MDF/4", "=", "|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Median markers must be ordered on the log axis: EX-MEM's median
+	// (22s) far right of MDF's (5ms).
+	var exPos, mdfPos int
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "EX-MEM/4") {
+			exPos = strings.Index(l, "|")
+		}
+		if strings.Contains(l, "MMKP-MDF/4") {
+			mdfPos = strings.Index(l, "|")
+		}
+	}
+	if exPos <= mdfPos {
+		t.Errorf("log axis ordering wrong: %d vs %d", exPos, mdfPos)
+	}
+	buf.Reset()
+	LogBoxplot(&buf, "empty", nil, 30)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty boxplot not flagged")
+	}
+}

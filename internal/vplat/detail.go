@@ -1,0 +1,117 @@
+package vplat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"adaptrm/internal/kpn"
+	"adaptrm/internal/platform"
+)
+
+// ProcessPlacement records where one Kahn process ran and for how long.
+type ProcessPlacement struct {
+	// Process is the process name.
+	Process string
+	// Core is the global core index within the allocation (cores of
+	// type 0 first).
+	Core int
+	// Type is the core's platform type index.
+	Type int
+	// Start and End bound the busy interval on the core.
+	Start, End float64
+}
+
+// Detail is the full design-time execution record of one benchmarked
+// run — the virtual analogue of the execution traces the paper's
+// design-time flow (SLX) extracts from instrumented runs.
+type Detail struct {
+	// Result is the aggregate time/energy.
+	Result Result
+	// Placements lists per-process busy intervals, core-major.
+	Placements []ProcessPlacement
+	// ComputeSec is the parallel compute portion of the makespan.
+	ComputeSec float64
+	// CommSec is the serialized communication time.
+	CommSec float64
+	// StartupSec is the fixed startup overhead.
+	StartupSec float64
+}
+
+// BenchmarkDetailed is Benchmark plus the per-process placement record.
+// It performs the identical computation (the aggregate Result matches
+// Benchmark exactly).
+func BenchmarkDetailed(g *kpn.Graph, v kpn.Variant, plat platform.Platform, alloc platform.Alloc) (*Detail, error) {
+	res, err := Benchmark(g, v, plat, alloc)
+	if err != nil {
+		return nil, err
+	}
+	// Re-run the list scheduling to extract placements; Benchmark is
+	// deterministic, so the assignment is identical.
+	type core struct {
+		typ  int
+		busy float64
+	}
+	var cores []core
+	for t, n := range alloc {
+		for i := 0; i < n; i++ {
+			cores = append(cores, core{typ: t})
+		}
+	}
+	speeds := make([]float64, plat.NumTypes())
+	for t, ct := range plat.Types {
+		speeds[t] = ct.Speed() / 1e9
+	}
+	procs := make([]kpn.Process, len(g.Processes))
+	copy(procs, g.Processes)
+	sort.SliceStable(procs, func(a, b int) bool { return procs[a].Work > procs[b].Work })
+	d := &Detail{Result: res, StartupSec: g.StartupSec}
+	for _, p := range procs {
+		bestCore, bestFinish := -1, 0.0
+		for ci := range cores {
+			finish := cores[ci].busy + p.Work*v.ComputeScale/speeds[cores[ci].typ]
+			if bestCore < 0 || finish < bestFinish-1e-12 {
+				bestFinish, bestCore = finish, ci
+			}
+		}
+		start := cores[bestCore].busy
+		cores[bestCore].busy = bestFinish
+		d.Placements = append(d.Placements, ProcessPlacement{
+			Process: p.Name,
+			Core:    bestCore,
+			Type:    cores[bestCore].typ,
+			Start:   start,
+			End:     bestFinish,
+		})
+	}
+	for _, c := range cores {
+		if c.busy > d.ComputeSec {
+			d.ComputeSec = c.busy
+		}
+	}
+	d.CommSec = res.TimeSec - g.StartupSec -
+		d.ComputeSec*(1+SyncOverheadPerCore*float64(alloc.Total()-1)) -
+		ThreadSpawnSec*float64(alloc.Total())
+	if d.CommSec < 0 {
+		d.CommSec = 0
+	}
+	sort.SliceStable(d.Placements, func(a, b int) bool {
+		if d.Placements[a].Core != d.Placements[b].Core {
+			return d.Placements[a].Core < d.Placements[b].Core
+		}
+		return d.Placements[a].Start < d.Placements[b].Start
+	})
+	return d, nil
+}
+
+// String renders the placement record, one line per process.
+func (d *Detail) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "total %.3fs (compute %.3fs, comm %.3fs, startup %.3fs), energy %.3fJ\n",
+		d.Result.TimeSec, d.ComputeSec, d.CommSec, d.StartupSec, d.Result.EnergyJ)
+	for _, p := range d.Placements {
+		fmt.Fprintf(&b, "  core %d (type %d): %-12s [%7.3f, %7.3f)\n",
+			p.Core, p.Type, p.Process, p.Start, p.End)
+	}
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package vplat
+
+import (
+	"strings"
+	"testing"
+
+	"adaptrm/internal/kpn"
+	"adaptrm/internal/platform"
+)
+
+func TestBenchmarkDetailedMatchesAggregate(t *testing.T) {
+	g := kpn.AudioFilter()
+	plat := platform.OdroidXU4()
+	alloc := platform.Alloc{2, 2}
+	agg, err := Benchmark(&g, med(), plat, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := BenchmarkDetailed(&g, med(), plat, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Result != agg {
+		t.Fatalf("detailed result %+v differs from aggregate %+v", d.Result, agg)
+	}
+	// Every process is placed exactly once.
+	seen := map[string]bool{}
+	for _, p := range d.Placements {
+		if seen[p.Process] {
+			t.Fatalf("process %s placed twice", p.Process)
+		}
+		seen[p.Process] = true
+		if p.Core < 0 || p.Core >= alloc.Total() {
+			t.Errorf("core %d out of range", p.Core)
+		}
+		if p.End <= p.Start-1e-12 {
+			t.Errorf("process %s empty interval", p.Process)
+		}
+	}
+	if len(seen) != len(g.Processes) {
+		t.Fatalf("%d processes placed, want %d", len(seen), len(g.Processes))
+	}
+	// Intervals on the same core must not overlap.
+	for i := 1; i < len(d.Placements); i++ {
+		a, b := d.Placements[i-1], d.Placements[i]
+		if a.Core == b.Core && b.Start < a.End-1e-9 {
+			t.Errorf("overlap on core %d: %v then %v", a.Core, a, b)
+		}
+	}
+	// Decomposition adds up: compute portion bounded by total.
+	if d.ComputeSec <= 0 || d.ComputeSec > d.Result.TimeSec {
+		t.Errorf("compute %v vs total %v", d.ComputeSec, d.Result.TimeSec)
+	}
+	if d.CommSec < 0 {
+		t.Errorf("negative comm %v", d.CommSec)
+	}
+	if s := d.String(); !strings.Contains(s, "fft-l") {
+		t.Errorf("render missing processes:\n%s", s)
+	}
+}
+
+func TestBenchmarkDetailedErrors(t *testing.T) {
+	g := kpn.AudioFilter()
+	if _, err := BenchmarkDetailed(&g, med(), platform.OdroidXU4(), platform.Alloc{0, 0}); err == nil {
+		t.Error("empty alloc accepted")
+	}
+}

@@ -1,0 +1,200 @@
+// Package vplat is the virtual platform: it plays the role of the Odroid
+// XU4 board plus the external power analyzer in the paper's experimental
+// setup. Given a dataflow application, a platform description and a core
+// allocation, it estimates the execution time (makespan) and energy of a
+// complete run.
+//
+// The model is deliberately simple but captures the effects that shape
+// the paper's operating-point tables:
+//
+//   - heterogeneous core speeds (big ≫ little) with per-process
+//     earliest-finish-time list scheduling, giving concave speedups that
+//     saturate at the application's process count and serial bottleneck;
+//   - communication costs on a shared interconnect: channels crossing
+//     cores serialize on the bus, and crossing the cluster boundary is
+//     more expensive — adding cores is not free;
+//   - a power model integrating per-core static power over the makespan
+//     and dynamic power over busy time, plus a platform uncore share, so
+//     that little-heavy allocations win energy and big-heavy allocations
+//     win time, with mixed allocations Pareto-optimal in between.
+//
+// A Measure variant adds multiplicative noise and averages repetitions,
+// emulating the paper's 50-sample measurement protocol.
+package vplat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"adaptrm/internal/kpn"
+	"adaptrm/internal/platform"
+)
+
+// Interconnect parameters of the virtual platform.
+const (
+	// IntraClusterMBps is the bandwidth for channels between cores of
+	// the same type.
+	IntraClusterMBps = 1800.0
+	// CrossClusterMBps is the bandwidth across the big/little boundary
+	// (through the CCI), markedly slower.
+	CrossClusterMBps = 650.0
+	// UncoreWatts is the always-on platform share (memory controller,
+	// interconnect) attributed to the application while it runs.
+	UncoreWatts = 0.18
+	// NoiseStdDev is the relative standard deviation of one simulated
+	// measurement.
+	NoiseStdDev = 0.02
+	// SyncOverheadPerCore inflates the makespan per additional core:
+	// barrier and FIFO synchronization grow with the thread count, so
+	// over-provisioned allocations lose time as well as energy (and
+	// fall off the Pareto front, as on the real board).
+	SyncOverheadPerCore = 0.035
+	// ThreadSpawnSec is the fixed per-core thread setup cost per run.
+	ThreadSpawnSec = 0.02
+)
+
+// Result is one benchmarked execution.
+type Result struct {
+	// TimeSec is the makespan of a complete run.
+	TimeSec float64
+	// EnergyJ is the energy of a complete run.
+	EnergyJ float64
+}
+
+// Benchmark deterministically estimates a complete run of graph g under
+// the given input variant on alloc cores of plat. It returns an error
+// for invalid inputs or an empty allocation.
+func Benchmark(g *kpn.Graph, v kpn.Variant, plat platform.Platform, alloc platform.Alloc) (Result, error) {
+	if err := g.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := plat.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(alloc) != plat.NumTypes() {
+		return Result{}, fmt.Errorf("vplat: alloc arity %d vs platform %d", len(alloc), plat.NumTypes())
+	}
+	if !alloc.NonNegative() || alloc.IsZero() {
+		return Result{}, fmt.Errorf("vplat: invalid allocation %v", alloc)
+	}
+	if !alloc.Fits(plat.Capacity()) {
+		return Result{}, fmt.Errorf("vplat: allocation %v exceeds capacity %v", alloc, plat.Capacity())
+	}
+	if v.ComputeScale <= 0 || v.TrafficScale < 0 {
+		return Result{}, fmt.Errorf("vplat: invalid variant scales %+v", v)
+	}
+
+	// Concrete core list: (type, speed, busy seconds).
+	type core struct {
+		typ  int
+		busy float64
+	}
+	var cores []core
+	for t, n := range alloc {
+		for i := 0; i < n; i++ {
+			cores = append(cores, core{typ: t})
+		}
+	}
+	speeds := make([]float64, plat.NumTypes())
+	for t, ct := range plat.Types {
+		speeds[t] = ct.Speed() / 1e9 // giga-ops per second
+	}
+
+	// Earliest-finish-time list scheduling, heaviest process first.
+	procs := make([]kpn.Process, len(g.Processes))
+	copy(procs, g.Processes)
+	sort.SliceStable(procs, func(a, b int) bool { return procs[a].Work > procs[b].Work })
+	procCore := make(map[string]int, len(procs))
+	for _, p := range procs {
+		bestCore, bestFinish := -1, math.Inf(1)
+		for ci := range cores {
+			finish := cores[ci].busy + p.Work*v.ComputeScale/speeds[cores[ci].typ]
+			if finish < bestFinish-1e-12 {
+				bestFinish, bestCore = finish, ci
+			}
+		}
+		cores[bestCore].busy += p.Work * v.ComputeScale / speeds[cores[bestCore].typ]
+		procCore[p.Name] = bestCore
+	}
+	makespan := 0.0
+	for _, c := range cores {
+		if c.busy > makespan {
+			makespan = c.busy
+		}
+	}
+
+	// Communication: channels whose endpoints share a core are free;
+	// same-cluster channels use the fast fabric, cross-cluster channels
+	// the CCI. Traffic serializes on the shared bus and extends the run.
+	comm := 0.0
+	for _, ch := range g.Channels {
+		cs, cd := procCore[ch.Src], procCore[ch.Dst]
+		if cs == cd {
+			continue
+		}
+		mb := ch.MBytes * v.TrafficScale
+		if cores[cs].typ == cores[cd].typ {
+			comm += mb / IntraClusterMBps
+		} else {
+			comm += mb / CrossClusterMBps
+		}
+	}
+	nCores := alloc.Total()
+	makespan *= 1 + SyncOverheadPerCore*float64(nCores-1)
+	total := g.StartupSec + makespan + comm + ThreadSpawnSec*float64(nCores)
+
+	// Energy: dynamic over busy time, static over the whole run for
+	// every allocated core, plus the uncore share. Startup and bus time
+	// burn one little-class core equivalent (or the slowest type's
+	// static+partial dynamic) — modeled as uncore plus the first
+	// allocated core's static draw.
+	energy := UncoreWatts * total
+	for _, c := range cores {
+		ct := plat.Types[c.typ]
+		energy += ct.StaticWatts*total + ct.DynamicWatts*c.busy
+	}
+	// The serialized communication keeps roughly one core's pipeline
+	// active; charge it at the cheapest allocated type's dynamic rate.
+	minDyn := math.Inf(1)
+	for t, n := range alloc {
+		if n > 0 && plat.Types[t].DynamicWatts < minDyn {
+			minDyn = plat.Types[t].DynamicWatts
+		}
+	}
+	energy += minDyn * (comm + g.StartupSec) * 0.5
+
+	return Result{TimeSec: total, EnergyJ: energy}, nil
+}
+
+// Measure emulates the paper's measurement protocol: reps noisy runs are
+// averaged. The noise is multiplicative with relative standard deviation
+// NoiseStdDev; rng must not be nil when reps > 0.
+func Measure(g *kpn.Graph, v kpn.Variant, plat platform.Platform, alloc platform.Alloc, reps int, rng *rand.Rand) (Result, error) {
+	base, err := Benchmark(g, v, plat, alloc)
+	if err != nil {
+		return Result{}, err
+	}
+	if reps <= 0 {
+		return base, nil
+	}
+	if rng == nil {
+		return Result{}, fmt.Errorf("vplat: Measure needs a random source")
+	}
+	var sumT, sumE float64
+	for i := 0; i < reps; i++ {
+		nt := 1 + rng.NormFloat64()*NoiseStdDev
+		ne := 1 + rng.NormFloat64()*NoiseStdDev
+		// Clamp pathological draws; a measurement cannot go negative.
+		if nt < 0.5 {
+			nt = 0.5
+		}
+		if ne < 0.5 {
+			ne = 0.5
+		}
+		sumT += base.TimeSec * nt
+		sumE += base.EnergyJ * ne
+	}
+	return Result{TimeSec: sumT / float64(reps), EnergyJ: sumE / float64(reps)}, nil
+}

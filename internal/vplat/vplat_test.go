@@ -1,0 +1,173 @@
+package vplat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adaptrm/internal/kpn"
+	"adaptrm/internal/platform"
+)
+
+func med() kpn.Variant { return kpn.DefaultVariants()[1] }
+
+func TestBenchmarkBasics(t *testing.T) {
+	g := kpn.AudioFilter()
+	plat := platform.OdroidXU4()
+	r, err := Benchmark(&g, med(), plat, platform.Alloc{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TimeSec <= 0 || r.EnergyJ <= 0 {
+		t.Fatalf("degenerate result %+v", r)
+	}
+}
+
+func TestBenchmarkRejectsBadInput(t *testing.T) {
+	g := kpn.AudioFilter()
+	plat := platform.OdroidXU4()
+	if _, err := Benchmark(&g, med(), plat, platform.Alloc{0, 0}); err == nil {
+		t.Error("empty alloc accepted")
+	}
+	if _, err := Benchmark(&g, med(), plat, platform.Alloc{9, 0}); err == nil {
+		t.Error("over-capacity alloc accepted")
+	}
+	if _, err := Benchmark(&g, med(), plat, platform.Alloc{1}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := Benchmark(&g, kpn.Variant{Name: "x", ComputeScale: 0}, plat, platform.Alloc{1, 0}); err == nil {
+		t.Error("zero compute scale accepted")
+	}
+	bad := kpn.Graph{Name: ""}
+	if _, err := Benchmark(&bad, med(), plat, platform.Alloc{1, 0}); err == nil {
+		t.Error("invalid graph accepted")
+	}
+	badPlat := platform.Platform{Name: "x"}
+	if _, err := Benchmark(&g, med(), badPlat, platform.Alloc{}); err == nil {
+		t.Error("invalid platform accepted")
+	}
+}
+
+// Physical sanity: one big core is faster but hungrier than one little
+// core; the paper's Table II rests on exactly this asymmetry.
+func TestBigFasterLittleCheaper(t *testing.T) {
+	g := kpn.SpeakerRecognition()
+	plat := platform.OdroidXU4()
+	little, err := Benchmark(&g, med(), plat, platform.Alloc{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Benchmark(&g, med(), plat, platform.Alloc{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.TimeSec >= little.TimeSec {
+		t.Errorf("big %.2fs not faster than little %.2fs", big.TimeSec, little.TimeSec)
+	}
+	if big.EnergyJ <= little.EnergyJ {
+		t.Errorf("big %.2fJ not hungrier than little %.2fJ", big.EnergyJ, little.EnergyJ)
+	}
+}
+
+// Concavity: the speedup from 1→2 little cores exceeds that from 3→4
+// (diminishing returns, exploited by [11] and visible in Table II).
+func TestConcaveSpeedup(t *testing.T) {
+	g := kpn.AudioFilter()
+	plat := platform.OdroidXU4()
+	times := make([]float64, 5)
+	for n := 1; n <= 4; n++ {
+		r, err := Benchmark(&g, med(), plat, platform.Alloc{n, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[n] = r.TimeSec
+	}
+	gain12 := times[1] / times[2]
+	gain34 := times[3] / times[4]
+	if gain12 <= gain34 {
+		t.Errorf("speedup not concave: 1→2 %.3f vs 3→4 %.3f", gain12, gain34)
+	}
+	// And more cores never slow the run down catastrophically.
+	if times[4] > times[1] {
+		t.Errorf("4 little (%.2fs) slower than 1 little (%.2fs)", times[4], times[1])
+	}
+}
+
+// Over-provisioning beyond the process count must waste energy without
+// gaining time, so such allocations fall off the Pareto front.
+func TestOverProvisioningPenalty(t *testing.T) {
+	g := kpn.PedestrianRecognition() // 6 processes
+	plat := platform.OdroidXU4()
+	six, err := Benchmark(&g, med(), plat, platform.Alloc{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := Benchmark(&g, med(), plat, platform.Alloc{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eight.TimeSec < six.TimeSec-1e-9 {
+		t.Errorf("8 cores (%.3fs) beat 6 cores (%.3fs) for a 6-process app", eight.TimeSec, six.TimeSec)
+	}
+	if eight.EnergyJ <= six.EnergyJ {
+		t.Errorf("idle cores should cost energy: %.2fJ vs %.2fJ", eight.EnergyJ, six.EnergyJ)
+	}
+}
+
+// Input variants scale monotonically.
+func TestVariantScaling(t *testing.T) {
+	g := kpn.AudioFilter()
+	plat := platform.OdroidXU4()
+	vs := kpn.DefaultVariants()
+	prevT, prevE := 0.0, 0.0
+	for _, v := range vs {
+		r, err := Benchmark(&g, v, plat, platform.Alloc{2, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.TimeSec <= prevT || r.EnergyJ <= prevE {
+			t.Errorf("%s not monotone over variants", v.Name)
+		}
+		prevT, prevE = r.TimeSec, r.EnergyJ
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	g := kpn.AudioFilter()
+	plat := platform.OdroidXU4()
+	base, err := Benchmark(&g, med(), plat, platform.Alloc{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// reps=0 falls back to the deterministic value.
+	got, err := Measure(&g, med(), plat, platform.Alloc{2, 2}, 0, nil)
+	if err != nil || got != base {
+		t.Errorf("Measure(0) = %+v err=%v, want %+v", got, err, base)
+	}
+	// With reps, averages must stay close to the deterministic value
+	// (the paper averages 50 runs for exactly this reason).
+	rng := rand.New(rand.NewSource(5))
+	avg, err := Measure(&g, med(), plat, platform.Alloc{2, 2}, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(avg.TimeSec-base.TimeSec)/base.TimeSec > 0.05 {
+		t.Errorf("averaged time %.3f too far from %.3f", avg.TimeSec, base.TimeSec)
+	}
+	if math.Abs(avg.EnergyJ-base.EnergyJ)/base.EnergyJ > 0.05 {
+		t.Errorf("averaged energy %.3f too far from %.3f", avg.EnergyJ, base.EnergyJ)
+	}
+	if _, err := Measure(&g, med(), plat, platform.Alloc{2, 2}, 5, nil); err == nil {
+		t.Error("nil rng with reps accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := kpn.SpeakerRecognition()
+	plat := platform.OdroidXU4()
+	a, _ := Benchmark(&g, med(), plat, platform.Alloc{3, 2})
+	b, _ := Benchmark(&g, med(), plat, platform.Alloc{3, 2})
+	if a != b {
+		t.Error("Benchmark not deterministic")
+	}
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"adaptrm/internal/job"
+	"adaptrm/internal/opset"
+)
+
+// suiteJSON is the on-disk representation of a test suite. Jobs refer to
+// operating-point tables by name; loading resolves them against a
+// library so that suites stay small and portable.
+type suiteJSON struct {
+	Cases []caseJSON `json:"cases"`
+}
+
+type caseJSON struct {
+	Name      string    `json:"name"`
+	Level     string    `json:"level"`
+	T0        float64   `json:"t0"`
+	SingleApp bool      `json:"single_app"`
+	Jobs      []jobJSON `json:"jobs"`
+}
+
+type jobJSON struct {
+	ID        int     `json:"id"`
+	App       string  `json:"app"`
+	Arrival   float64 `json:"arrival"`
+	Deadline  float64 `json:"deadline"`
+	Remaining float64 `json:"remaining"`
+}
+
+// WriteSuiteJSON serializes a suite (indented) to w.
+func WriteSuiteJSON(w io.Writer, cases []Case) error {
+	out := suiteJSON{Cases: make([]caseJSON, 0, len(cases))}
+	for _, c := range cases {
+		cj := caseJSON{Name: c.Name, Level: c.Level.String(), T0: c.T0, SingleApp: c.SingleApp}
+		for _, j := range c.Jobs {
+			cj.Jobs = append(cj.Jobs, jobJSON{
+				ID: j.ID, App: j.Table.Name(), Arrival: j.Arrival,
+				Deadline: j.Deadline, Remaining: j.Remaining,
+			})
+		}
+		out.Cases = append(out.Cases, cj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadSuiteJSON parses a suite written by WriteSuiteJSON, resolving
+// application names against the library and validating every case.
+func ReadSuiteJSON(r io.Reader, lib *opset.Library) ([]Case, error) {
+	var raw suiteJSON
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("workload: decoding suite: %w", err)
+	}
+	cases := make([]Case, 0, len(raw.Cases))
+	for i, cj := range raw.Cases {
+		c := Case{Name: cj.Name, T0: cj.T0, SingleApp: cj.SingleApp}
+		switch cj.Level {
+		case "weak":
+			c.Level = Weak
+		case "tight":
+			c.Level = Tight
+		default:
+			return nil, fmt.Errorf("workload: case %d: unknown level %q", i, cj.Level)
+		}
+		for _, jj := range cj.Jobs {
+			tbl := lib.Get(jj.App)
+			if tbl == nil {
+				return nil, fmt.Errorf("workload: case %q: unknown application %q", cj.Name, jj.App)
+			}
+			c.Jobs = append(c.Jobs, &job.Job{
+				ID: jj.ID, Table: tbl, Arrival: jj.Arrival,
+				Deadline: jj.Deadline, Remaining: jj.Remaining,
+			})
+		}
+		if err := c.Jobs.Validate(c.T0); err != nil {
+			return nil, fmt.Errorf("workload: case %q: %w", cj.Name, err)
+		}
+		cases = append(cases, c)
+	}
+	return cases, nil
+}
+
+// WriteTraceJSON serializes a dynamic trace (indented) to w.
+func WriteTraceJSON(w io.Writer, trace []Request) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(trace)
+}
+
+// ReadTraceJSON parses a trace written by WriteTraceJSON, validating
+// application names against the library.
+func ReadTraceJSON(r io.Reader, lib *opset.Library) ([]Request, error) {
+	var trace []Request
+	if err := json.NewDecoder(r).Decode(&trace); err != nil {
+		return nil, fmt.Errorf("workload: decoding trace: %w", err)
+	}
+	for i, req := range trace {
+		if lib.Get(req.App) == nil {
+			return nil, fmt.Errorf("workload: trace entry %d: unknown application %q", i, req.App)
+		}
+		if req.Deadline <= req.At {
+			return nil, fmt.Errorf("workload: trace entry %d: deadline %v not after arrival %v", i, req.Deadline, req.At)
+		}
+	}
+	return trace, nil
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSuiteJSONRoundTrip(t *testing.T) {
+	counts := map[Level][4]int{Weak: {2, 2, 0, 0}, Tight: {1, 0, 2, 1}}
+	cases, err := Suite(testLib, Params{Seed: 5, Counts: counts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSuiteJSON(&buf, cases); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSuiteJSON(&buf, testLib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cases) {
+		t.Fatalf("round trip: %d cases, want %d", len(got), len(cases))
+	}
+	for i := range cases {
+		a, b := cases[i], got[i]
+		if a.Name != b.Name || a.Level != b.Level || a.T0 != b.T0 || a.SingleApp != b.SingleApp {
+			t.Fatalf("case %d metadata mismatch", i)
+		}
+		if len(a.Jobs) != len(b.Jobs) {
+			t.Fatalf("case %d job count mismatch", i)
+		}
+		for j := range a.Jobs {
+			if a.Jobs[j].ID != b.Jobs[j].ID ||
+				a.Jobs[j].Deadline != b.Jobs[j].Deadline ||
+				a.Jobs[j].Remaining != b.Jobs[j].Remaining ||
+				a.Jobs[j].Table.Name() != b.Jobs[j].Table.Name() {
+				t.Fatalf("case %d job %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestReadSuiteJSONRejects(t *testing.T) {
+	if _, err := ReadSuiteJSON(strings.NewReader("{bad"), testLib); err == nil {
+		t.Error("garbage accepted")
+	}
+	unknownApp := `{"cases":[{"name":"x","level":"weak","t0":0,
+		"jobs":[{"id":1,"app":"nope","deadline":5,"remaining":1}]}]}`
+	if _, err := ReadSuiteJSON(strings.NewReader(unknownApp), testLib); err == nil {
+		t.Error("unknown app accepted")
+	}
+	badLevel := `{"cases":[{"name":"x","level":"medium","t0":0,"jobs":[]}]}`
+	if _, err := ReadSuiteJSON(strings.NewReader(badLevel), testLib); err == nil {
+		t.Error("bad level accepted")
+	}
+	app := testLib.Names()[0]
+	badJob := `{"cases":[{"name":"x","level":"weak","t0":0,
+		"jobs":[{"id":1,"app":"` + app + `","deadline":5,"remaining":7}]}]}`
+	if _, err := ReadSuiteJSON(strings.NewReader(badJob), testLib); err == nil {
+		t.Error("invalid job accepted")
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	trace, err := Trace(testLib, TraceParams{Rate: 0.3, Horizon: 60, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceJSON(&buf, testLib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(trace) {
+		t.Fatalf("round trip: %d, want %d", len(got), len(trace))
+	}
+	for i := range trace {
+		if trace[i] != got[i] {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+}
+
+func TestReadTraceJSONRejects(t *testing.T) {
+	if _, err := ReadTraceJSON(strings.NewReader("nope"), testLib); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadTraceJSON(strings.NewReader(`[{"At":0,"App":"nope","Deadline":5}]`), testLib); err == nil {
+		t.Error("unknown app accepted")
+	}
+	app := testLib.Names()[0]
+	if _, err := ReadTraceJSON(strings.NewReader(`[{"At":5,"App":"`+app+`","Deadline":3}]`), testLib); err == nil {
+		t.Error("deadline before arrival accepted")
+	}
+}

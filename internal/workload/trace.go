@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+
+	"adaptrm/internal/opset"
+)
+
+// Request is one arrival in a dynamic trace: at time At, the named
+// application variant is requested with the given absolute deadline.
+type Request struct {
+	// At is the arrival time.
+	At float64
+	// App names the requested table in the library.
+	App string
+	// Deadline is the absolute deadline.
+	Deadline float64
+}
+
+// TraceParams tunes dynamic trace generation.
+type TraceParams struct {
+	// Rate is the mean arrival rate in requests per second (Poisson).
+	Rate float64
+	// Horizon is the generation window in seconds.
+	Horizon float64
+	// Factor is the deadline scale range relative to a random operating
+	// point's full execution time (default 1.2–3).
+	Factor [2]float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Trace samples a Poisson request stream over the library, emulating the
+// dynamic multi-application workloads motivating the paper.
+func Trace(lib *opset.Library, p TraceParams) ([]Request, error) {
+	if lib == nil || lib.Len() == 0 {
+		return nil, errors.New("workload: empty library")
+	}
+	if p.Rate <= 0 || p.Horizon <= 0 {
+		return nil, errors.New("workload: rate and horizon must be positive")
+	}
+	if p.Factor == [2]float64{} {
+		p.Factor = [2]float64{1.2, 3}
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	tables := lib.Tables()
+	var out []Request
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() / p.Rate
+		if t >= p.Horizon {
+			break
+		}
+		tbl := tables[rng.Intn(len(tables))]
+		pt := tbl.Points[rng.Intn(tbl.Len())]
+		factor := p.Factor[0] + rng.Float64()*(p.Factor[1]-p.Factor[0])
+		out = append(out, Request{
+			At:       t,
+			App:      tbl.Name(),
+			Deadline: t + pt.Time*factor,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out, nil
+}

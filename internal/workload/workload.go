@@ -1,0 +1,181 @@
+// Package workload generates the multi-application test suite of the
+// paper's evaluation (Section VI.A, Table III): 1676 static scheduling
+// problems over the benchmark applications, differentiated by job count
+// (1–4) and deadline level (weak / tight), plus dynamic arrival traces
+// for the online runtime manager.
+//
+// Generation rules, from the paper:
+//
+//   - Table III counts: weak 15/255/255/230, tight 35/340/340/206;
+//   - 31.9% of the cases request a single application (uniform over
+//     applications and input sizes), the rest are mixes;
+//   - in ≈22.6% of the cases every job is in its initial state (ρ=1);
+//     otherwise the first job is initial and the others have progressed
+//     by a uniform ratio in [0, 0.9];
+//   - deadlines: pick a random operating point, compute the remaining
+//     time on it, and scale by a uniform factor — 2–6 for weak, 0.6–2
+//     for tight deadlines.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"adaptrm/internal/job"
+	"adaptrm/internal/opset"
+)
+
+// Level is the deadline tightness of a test case.
+type Level int
+
+const (
+	// Weak deadlines use scale factors 2–6; every algorithm schedules
+	// 100% of such cases in the paper.
+	Weak Level = iota
+	// Tight deadlines use scale factors 0.6–2.
+	Tight
+)
+
+// String returns "weak" or "tight".
+func (l Level) String() string {
+	if l == Tight {
+		return "tight"
+	}
+	return "weak"
+}
+
+// Case is one static scheduling problem: a set of jobs observed at T0.
+type Case struct {
+	// Name is a unique identifier like "tight/3jobs/0042".
+	Name string
+	// Level is the deadline tightness group.
+	Level Level
+	// Jobs is the job set at instant T0.
+	Jobs job.Set
+	// T0 is the scheduling instant.
+	T0 float64
+	// SingleApp reports whether all jobs run the same table.
+	SingleApp bool
+}
+
+// Table3Counts returns the paper's Table III case counts:
+// counts[level][jobs-1].
+func Table3Counts() map[Level][4]int {
+	return map[Level][4]int{
+		Weak:  {15, 255, 255, 230},
+		Tight: {35, 340, 340, 206},
+	}
+}
+
+// Params tunes suite generation. The zero value (plus a library)
+// reproduces the paper's setup.
+type Params struct {
+	// Counts per level and job count; nil means Table3Counts().
+	Counts map[Level][4]int
+	// Seed drives all randomness; suites are reproducible per seed.
+	Seed int64
+	// SingleAppShare is the fraction of single-application cases
+	// (default 0.319).
+	SingleAppShare float64
+	// InitialShare is the fraction of cases whose jobs all start fresh
+	// (default 0.226).
+	InitialShare float64
+	// MaxProgress bounds the progressed ratio of non-initial jobs
+	// (default 0.9).
+	MaxProgress float64
+	// WeakFactor and TightFactor are the deadline scale ranges
+	// (defaults 2–6 and 0.6–2).
+	WeakFactor, TightFactor [2]float64
+}
+
+func (p *Params) setDefaults() {
+	if p.Counts == nil {
+		p.Counts = Table3Counts()
+	}
+	if p.SingleAppShare == 0 {
+		p.SingleAppShare = 0.319
+	}
+	if p.InitialShare == 0 {
+		p.InitialShare = 0.226
+	}
+	if p.MaxProgress == 0 {
+		p.MaxProgress = 0.9
+	}
+	if p.WeakFactor == [2]float64{} {
+		p.WeakFactor = [2]float64{2, 6}
+	}
+	if p.TightFactor == [2]float64{} {
+		p.TightFactor = [2]float64{0.6, 2}
+	}
+}
+
+// Suite generates the full test suite from the application library.
+func Suite(lib *opset.Library, p Params) ([]Case, error) {
+	if lib == nil || lib.Len() == 0 {
+		return nil, errors.New("workload: empty library")
+	}
+	p.setDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	tables := lib.Tables()
+	var cases []Case
+	for _, level := range []Level{Weak, Tight} {
+		counts := p.Counts[level]
+		for nj := 1; nj <= 4; nj++ {
+			for i := 0; i < counts[nj-1]; i++ {
+				c := generate(rng, tables, level, nj, &p)
+				c.Name = fmt.Sprintf("%s/%djobs/%04d", level, nj, i)
+				cases = append(cases, c)
+			}
+		}
+	}
+	return cases, nil
+}
+
+// generate builds one case.
+func generate(rng *rand.Rand, tables []*opset.Table, level Level, nj int, p *Params) Case {
+	c := Case{Level: level, T0: 0}
+	c.SingleApp = rng.Float64() < p.SingleAppShare
+	var fixed *opset.Table
+	if c.SingleApp {
+		fixed = tables[rng.Intn(len(tables))]
+	}
+	allInitial := rng.Float64() < p.InitialShare
+	lo, hi := p.WeakFactor[0], p.WeakFactor[1]
+	if level == Tight {
+		lo, hi = p.TightFactor[0], p.TightFactor[1]
+	}
+	for j := 0; j < nj; j++ {
+		tbl := fixed
+		if tbl == nil {
+			tbl = tables[rng.Intn(len(tables))]
+		}
+		rho := 1.0
+		if !allInitial && j > 0 {
+			rho = 1 - rng.Float64()*p.MaxProgress
+		}
+		// Deadline: remaining time on a random point, scaled.
+		pt := tbl.Points[rng.Intn(tbl.Len())]
+		factor := lo + rng.Float64()*(hi-lo)
+		deadline := c.T0 + pt.RemainingTime(rho)*factor
+		c.Jobs = append(c.Jobs, &job.Job{
+			ID:        j + 1,
+			Table:     tbl,
+			Arrival:   c.T0,
+			Deadline:  deadline,
+			Remaining: rho,
+		})
+	}
+	return c
+}
+
+// CountByGroup tallies a suite like Table III: result[level][jobs-1].
+func CountByGroup(cases []Case) map[Level][4]int {
+	out := map[Level][4]int{}
+	for _, c := range cases {
+		arr := out[c.Level]
+		arr[len(c.Jobs)-1]++
+		out[c.Level] = arr
+	}
+	return out
+}

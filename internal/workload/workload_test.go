@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"adaptrm/internal/dse"
+	"adaptrm/internal/opset"
+	"adaptrm/internal/platform"
+)
+
+var testLib = func() *opset.Library {
+	lib, err := dse.StandardLibrary(platform.OdroidXU4())
+	if err != nil {
+		panic(err)
+	}
+	return lib
+}()
+
+func TestSuiteReproducesTable3(t *testing.T) {
+	cases, err := Suite(testLib, Params{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 1676 {
+		t.Fatalf("suite has %d cases, want 1676", len(cases))
+	}
+	got := CountByGroup(cases)
+	want := Table3Counts()
+	for level, arr := range want {
+		if got[level] != arr {
+			t.Errorf("%v counts = %v, want %v", level, got[level], arr)
+		}
+	}
+}
+
+func TestSuiteJobsValid(t *testing.T) {
+	cases, err := Suite(testLib, Params{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, c := range cases {
+		if names[c.Name] {
+			t.Fatalf("duplicate case name %q", c.Name)
+		}
+		names[c.Name] = true
+		if err := c.Jobs.Validate(c.T0); err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		for j, jb := range c.Jobs {
+			if j == 0 && jb.Remaining != 1 {
+				t.Errorf("%s: first job progressed (ρ=%v)", c.Name, jb.Remaining)
+			}
+			if jb.Remaining < 0.1-1e-9 {
+				t.Errorf("%s: ρ=%v below progress cap", c.Name, jb.Remaining)
+			}
+		}
+		if c.SingleApp {
+			for _, jb := range c.Jobs {
+				if jb.Table != c.Jobs[0].Table {
+					t.Errorf("%s: single-app case mixes tables", c.Name)
+				}
+			}
+		}
+	}
+}
+
+// Statistical shape: single-app share near 31.9%, initial share near
+// 22.6%, and tight deadlines strictly tighter than weak on average.
+func TestSuiteDistributions(t *testing.T) {
+	cases, err := Suite(testLib, Params{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, initial := 0, 0
+	var weakSlack, tightSlack []float64
+	for _, c := range cases {
+		if c.SingleApp {
+			single++
+		}
+		allInit := true
+		for _, jb := range c.Jobs {
+			if jb.Remaining != 1 {
+				allInit = false
+			}
+		}
+		if allInit {
+			initial++
+		}
+		for _, jb := range c.Jobs {
+			rel := jb.Deadline / (jb.Table.FastestTime() * jb.Remaining)
+			if c.Level == Weak {
+				weakSlack = append(weakSlack, rel)
+			} else {
+				tightSlack = append(tightSlack, rel)
+			}
+		}
+	}
+	n := float64(len(cases))
+	if share := float64(single) / n; math.Abs(share-0.319) > 0.05 {
+		t.Errorf("single-app share = %.3f, want ≈0.319", share)
+	}
+	// All 1-job cases count as "all initial" too; the paper's 22.6% is
+	// over the full suite, tolerate a wider band.
+	if share := float64(initial) / n; share < 0.15 || share > 0.40 {
+		t.Errorf("initial share = %.3f, want ≈0.226 band", share)
+	}
+	mw, mt := 0.0, 0.0
+	for _, v := range weakSlack {
+		mw += v
+	}
+	for _, v := range tightSlack {
+		mt += v
+	}
+	mw /= float64(len(weakSlack))
+	mt /= float64(len(tightSlack))
+	if mt >= mw {
+		t.Errorf("tight deadlines (%.2f) not tighter than weak (%.2f)", mt, mw)
+	}
+}
+
+func TestSuiteReproducible(t *testing.T) {
+	a, _ := Suite(testLib, Params{Seed: 7})
+	b, _ := Suite(testLib, Params{Seed: 7})
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Jobs) != len(b[i].Jobs) {
+			t.Fatal("suite not reproducible")
+		}
+		for j := range a[i].Jobs {
+			if a[i].Jobs[j].Deadline != b[i].Jobs[j].Deadline ||
+				a[i].Jobs[j].Remaining != b[i].Jobs[j].Remaining {
+				t.Fatal("job parameters not reproducible")
+			}
+		}
+	}
+	c, _ := Suite(testLib, Params{Seed: 8})
+	diff := false
+	for i := range a {
+		if a[i].Jobs[0].Deadline != c[i].Jobs[0].Deadline {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds produce identical suites")
+	}
+}
+
+func TestSuiteErrors(t *testing.T) {
+	if _, err := Suite(nil, Params{}); err == nil {
+		t.Error("nil library accepted")
+	}
+	if _, err := Suite(opset.NewLibrary(), Params{}); err == nil {
+		t.Error("empty library accepted")
+	}
+}
+
+func TestCustomCounts(t *testing.T) {
+	p := Params{Seed: 1, Counts: map[Level][4]int{Weak: {2, 0, 0, 0}, Tight: {0, 3, 0, 0}}}
+	cases, err := Suite(testLib, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 5 {
+		t.Fatalf("%d cases, want 5", len(cases))
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if Weak.String() != "weak" || Tight.String() != "tight" {
+		t.Error("level strings wrong")
+	}
+}
+
+func TestTrace(t *testing.T) {
+	reqs, err := Trace(testLib, TraceParams{Rate: 0.5, Horizon: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) < 20 || len(reqs) > 90 {
+		t.Errorf("%d requests for rate 0.5 over 100s", len(reqs))
+	}
+	prev := 0.0
+	for _, r := range reqs {
+		if r.At < prev {
+			t.Fatal("trace not time-ordered")
+		}
+		prev = r.At
+		if r.Deadline <= r.At {
+			t.Errorf("request at %v has deadline %v", r.At, r.Deadline)
+		}
+		if testLib.Get(r.App) == nil {
+			t.Errorf("request names unknown app %q", r.App)
+		}
+	}
+	if _, err := Trace(nil, TraceParams{Rate: 1, Horizon: 1}); err == nil {
+		t.Error("nil library accepted")
+	}
+	if _, err := Trace(testLib, TraceParams{Rate: 0, Horizon: 1}); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
