@@ -7,6 +7,7 @@ import (
 	"adaptrm/internal/dse"
 	"adaptrm/internal/exmem"
 	"adaptrm/internal/fixedmap"
+	"adaptrm/internal/fleet"
 	"adaptrm/internal/greedy"
 	"adaptrm/internal/job"
 	"adaptrm/internal/kpn"
@@ -16,6 +17,7 @@ import (
 	"adaptrm/internal/predict"
 	"adaptrm/internal/rm"
 	"adaptrm/internal/sched"
+	"adaptrm/internal/schedcache"
 	"adaptrm/internal/schedule"
 	"adaptrm/internal/workload"
 )
@@ -64,6 +66,24 @@ type (
 	TraceRequest = workload.Request
 	// TraceParams tunes dynamic trace generation.
 	TraceParams = workload.TraceParams
+	// Fleet is the concurrent multi-device runtime-management service.
+	Fleet = fleet.Fleet
+	// FleetDevice describes one device of a fleet.
+	FleetDevice = fleet.DeviceConfig
+	// FleetOptions tunes the fleet front-end (shards, mailboxes, cache).
+	FleetOptions = fleet.Options
+	// FleetStats aggregates fleet-wide activity.
+	FleetStats = fleet.Stats
+	// FleetRequest is one arrival of a multi-tenant fleet trace.
+	FleetRequest = workload.FleetRequest
+	// FleetTraceParams tunes multi-tenant fleet trace generation.
+	FleetTraceParams = workload.FleetTraceParams
+	// ScheduleCache memoizes solved schedules by workload shape.
+	ScheduleCache = schedcache.Cache
+	// ScheduleCacheParams tunes signature buckets and cache capacity.
+	ScheduleCacheParams = schedcache.Params
+	// ScheduleCacheStats counts schedule-cache activity.
+	ScheduleCacheStats = schedcache.Stats
 )
 
 // ErrInfeasible is returned by schedulers when no feasible schedule
@@ -188,4 +208,33 @@ func GenerateSuite(lib *Library, p WorkloadParams) ([]WorkloadCase, error) {
 // for online runtime-manager experiments.
 func GenerateTrace(lib *Library, p TraceParams) ([]TraceRequest, error) {
 	return workload.Trace(lib, p)
+}
+
+// NewFleet builds a concurrent multi-device runtime-management service
+// and starts its shard workers; see FleetOptions for sharding, mailbox
+// and schedule-cache tuning. Close the fleet to drain all devices and
+// collect errors.
+func NewFleet(devices []FleetDevice, opt FleetOptions) (*Fleet, error) {
+	return fleet.New(devices, opt)
+}
+
+// GenerateFleetTrace samples one Poisson request stream per device from
+// a single seed and merges them into a time-ordered multi-tenant trace.
+func GenerateFleetTrace(lib *Library, p FleetTraceParams) ([]FleetRequest, error) {
+	return workload.FleetTrace(lib, p)
+}
+
+// NewScheduleCache creates a goroutine-safe memoizing schedule cache.
+func NewScheduleCache(p ScheduleCacheParams) *ScheduleCache {
+	return schedcache.New(p)
+}
+
+// NewCachingScheduler wraps a scheduler with a memoizing schedule cache:
+// repeated workload shapes (same application mix at similar progress and
+// deadline slack on the same platform) skip the solve. Cached results
+// are re-validated against the concrete job set before reuse, so the
+// wrapper never admits a schedule the constraints forbid. A nil cache
+// allocates a private one with default parameters.
+func NewCachingScheduler(inner Scheduler, cache *ScheduleCache) Scheduler {
+	return schedcache.Wrap(inner, cache)
 }

@@ -1,0 +1,135 @@
+// Command rmserve runs the fleet service: it spins up M devices behind K
+// shard workers, replays a generated multi-tenant request trace through
+// the concurrent front-end, and prints an aggregate fleet report —
+// accept rate, energy, deadline misses, scheduler wall time, schedule-
+// cache effectiveness and end-to-end throughput. It is the service-layer
+// counterpart of cmd/rmsim's single-device simulation.
+//
+// Usage:
+//
+//	rmserve [-devices M] [-shards K] [-sched mdf|lr|exmem|greedy|fixed|fixed-remap]
+//	        [-rate R] [-spread S] [-horizon T] [-seed N]
+//	        [-cache] [-cache-size N] [-cache-slack F] [-mailbox N]
+//	        [-resched] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"adaptrm/internal/dse"
+	"adaptrm/internal/fleet"
+	"adaptrm/internal/platform"
+	"adaptrm/internal/rm"
+	"adaptrm/internal/schedcache"
+	"adaptrm/internal/schedreg"
+	"adaptrm/internal/workload"
+)
+
+func main() {
+	devices := flag.Int("devices", 8, "number of devices in the fleet")
+	shards := flag.Int("shards", 4, "number of shard worker goroutines")
+	schedName := flag.String("sched", "mdf", "scheduler: "+schedreg.Names())
+	rate := flag.Float64("rate", 0.05, "base mean arrivals per second per device")
+	spread := flag.Float64("spread", 0.5, "per-device rate heterogeneity in [0,1)")
+	horizon := flag.Float64("horizon", 300, "trace duration in seconds")
+	seed := flag.Int64("seed", 1, "trace seed")
+	cache := flag.Bool("cache", true, "enable the per-device schedule cache")
+	cacheSize := flag.Int("cache-size", schedcache.DefaultCapacity, "schedule-cache capacity per device")
+	cacheSlack := flag.Float64("cache-slack", schedcache.DefaultSlackBucket, "relative slack bucket of the cache signature")
+	mailbox := flag.Int("mailbox", 64, "per-shard mailbox size")
+	resched := flag.Bool("resched", false, "re-run the scheduler at every job completion")
+	verbose := flag.Bool("v", false, "print per-device statistics")
+	flag.Parse()
+
+	plat := platform.OdroidXU4()
+	lib, err := dse.StandardLibrary(plat)
+	if err != nil {
+		fatal(err)
+	}
+	trace, err := workload.FleetTrace(lib, workload.FleetTraceParams{
+		Devices: *devices, Rate: *rate, RateSpread: *spread,
+		Horizon: *horizon, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	devs := make([]fleet.DeviceConfig, *devices)
+	for i := range devs {
+		s, err := schedreg.New(*schedName)
+		if err != nil {
+			fatal(err)
+		}
+		devs[i] = fleet.DeviceConfig{Platform: plat, Library: lib, Scheduler: s}
+	}
+	f, err := fleet.New(devs, fleet.Options{
+		Shards:      *shards,
+		MailboxSize: *mailbox,
+		Manager:     rm.Options{RescheduleOnFinish: *resched},
+		Cache:       *cache,
+		CacheParams: schedcache.Params{Capacity: *cacheSize, SlackBucket: *cacheSlack},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("platform:  %s\n", plat)
+	fmt.Printf("fleet:     %d devices, %d shards, scheduler %s, cache %v\n",
+		*devices, *shards, *schedName, *cache)
+	fmt.Printf("trace:     %d requests over %.0fs (rate %.3g/s ±%.0f%% per device, seed %d)\n\n",
+		len(trace), *horizon, *rate, *spread*100, *seed)
+
+	start := time.Now()
+	if err := f.Replay(trace); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "rmserve: device errors:", err)
+	}
+	wall := time.Since(start)
+
+	s := f.Stats()
+	fmt.Println("fleet report")
+	fmt.Println("------------")
+	fmt.Printf("requests:        %d submitted, %d accepted, %d rejected (accept rate %.1f%%)\n",
+		s.Submitted, s.Accepted, s.Rejected, 100*s.AcceptRate())
+	fmt.Printf("completions:     %d jobs, %d deadline misses\n", s.Completed, s.DeadlineMisses)
+	fmt.Printf("energy:          %.2f J total, %.3f J/job\n", s.Energy, perJob(s.Energy, s.Completed))
+	fmt.Printf("scheduler:       %d activations, %v wall time (%.1f µs/activation)\n",
+		s.Activations, s.SchedulingTime.Round(time.Microsecond),
+		perJob(float64(s.SchedulingTime.Microseconds()), s.Activations))
+	if *cache {
+		fmt.Printf("schedule cache:  %d hits / %d misses (%.1f%% hit rate, %d re-packs, %d stale, %d evictions)\n",
+			s.CacheHits, s.CacheMisses, 100*s.CacheHitRate(), s.CacheRepacks, s.CacheStale, s.CacheEvictions)
+	}
+	fmt.Printf("service:         %v wall clock, %.0f requests/sec, max queue depth %d\n",
+		wall.Round(time.Millisecond), float64(s.Submitted)/wall.Seconds(), s.MaxQueueDepth)
+
+	if *verbose {
+		fmt.Println()
+		fmt.Println("per-device")
+		for d := 0; d < *devices; d++ {
+			ds, err := f.DeviceStats(d)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  dev %2d: %3d submitted, %3d accepted, %2d missed, %8.2f J\n",
+				d, ds.Submitted, ds.Accepted, ds.DeadlineMisses, ds.Energy)
+		}
+	}
+}
+
+func perJob(total float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rmserve:", err)
+	os.Exit(1)
+}

@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	rmsim [-sched mdf|lr|exmem|fixed|fixed-remap] [-rate R] [-horizon T]
-//	      [-seed S] [-resched] [-motivational]
+//	rmsim [-sched mdf|lr|exmem|greedy|fixed|fixed-remap] [-rate R]
+//	      [-horizon T] [-seed S] [-resched] [-motivational]
 package main
 
 import (
@@ -15,24 +15,20 @@ import (
 	"fmt"
 	"os"
 
-	"adaptrm/internal/core"
 	"adaptrm/internal/desim"
 	"adaptrm/internal/dse"
-	"adaptrm/internal/exmem"
-	"adaptrm/internal/fixedmap"
 	"adaptrm/internal/job"
-	"adaptrm/internal/lagrange"
 	"adaptrm/internal/motiv"
 	"adaptrm/internal/opset"
 	"adaptrm/internal/platform"
 	"adaptrm/internal/rm"
-	"adaptrm/internal/sched"
+	"adaptrm/internal/schedreg"
 	"adaptrm/internal/schedule"
 	"adaptrm/internal/workload"
 )
 
 func main() {
-	schedName := flag.String("sched", "mdf", "scheduler: mdf|lr|exmem|fixed|fixed-remap")
+	schedName := flag.String("sched", "mdf", "scheduler: "+schedreg.Names())
 	rate := flag.Float64("rate", 0.15, "mean arrivals per second")
 	horizon := flag.Float64("horizon", 300, "trace duration in seconds")
 	seed := flag.Int64("seed", 1, "trace seed")
@@ -40,7 +36,7 @@ func main() {
 	motivational := flag.Bool("motivational", false, "replay the paper's Section III scenario instead of a random trace")
 	flag.Parse()
 
-	scheduler, err := pick(*schedName)
+	scheduler, err := schedreg.New(*schedName)
 	if err != nil {
 		fatal(err)
 	}
@@ -113,23 +109,6 @@ func collectJobs(res *desim.Result, lib *opset.Library, trace []workload.Request
 		}
 	}
 	return jobs
-}
-
-func pick(name string) (sched.Scheduler, error) {
-	switch name {
-	case "mdf":
-		return core.New(), nil
-	case "lr":
-		return lagrange.New(), nil
-	case "exmem":
-		return exmem.New(), nil
-	case "fixed":
-		return fixedmap.New(fixedmap.OnArrival), nil
-	case "fixed-remap":
-		return fixedmap.New(fixedmap.Remap), nil
-	default:
-		return nil, fmt.Errorf("unknown scheduler %q", name)
-	}
 }
 
 func fatal(err error) {

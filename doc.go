@@ -15,7 +15,18 @@
 //     fixed-mapping baselines, and an online runtime manager with
 //     admission control, progress tracking and energy accounting;
 //   - evaluation: the 1676-case workload generator of Table III and the
-//     harness regenerating Table IV and Figures 2–4.
+//     harness regenerating Table IV and Figures 2–4;
+//   - service: a concurrent fleet front-end (NewFleet) hosting many
+//     independent devices — each a platform plus its own runtime
+//     manager — behind sharded worker goroutines with buffered
+//     mailboxes, per-device virtual clocks and aggregated fleet
+//     statistics, plus a memoizing schedule cache
+//     (NewCachingScheduler) that lets repeated workload shapes skip
+//     the MMKP-MDF solve; cached results are re-validated against the
+//     concrete job set before reuse, so admission correctness never
+//     depends on the cache. Multi-tenant traces for fleet experiments
+//     come from GenerateFleetTrace, and cmd/rmserve replays them end
+//     to end.
 //
 // # Quickstart
 //

@@ -63,3 +63,60 @@ func TestFacadeDVFS(t *testing.T) {
 		t.Error("misses")
 	}
 }
+
+func TestFacadeFleet(t *testing.T) {
+	lib := motiv.Library()
+	trace, err := GenerateFleetTrace(lib, FleetTraceParams{
+		Devices: 3, Rate: 0.1, Horizon: 60, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) == 0 {
+		t.Fatal("empty fleet trace")
+	}
+	devs := make([]FleetDevice, 3)
+	for i := range devs {
+		devs[i] = FleetDevice{
+			Platform:  Motivational2L2B(),
+			Library:   lib,
+			Scheduler: NewMMKPMDF(),
+		}
+	}
+	f, err := NewFleet(devs, FleetOptions{Shards: 2, Cache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Replay(trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s := f.Stats()
+	if s.Submitted != len(trace) {
+		t.Errorf("submitted %d of %d", s.Submitted, len(trace))
+	}
+	if s.Completed != s.Accepted {
+		t.Errorf("drain incomplete: %+v", s)
+	}
+}
+
+func TestFacadeCachingScheduler(t *testing.T) {
+	cache := NewScheduleCache(ScheduleCacheParams{Capacity: 16})
+	s := NewCachingScheduler(NewMMKPMDF(), cache)
+	if s.Name() != "MMKP-MDF+cache" {
+		t.Errorf("name = %q", s.Name())
+	}
+	jobs := JobSet(motiv.ScenarioS1AtT1())
+	if _, err := ScheduleJobs(s, jobs, Motivational2L2B(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScheduleJobs(s, jobs, Motivational2L2B(), 1); err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("cache stats = %+v, want 1 hit / 1 miss", st)
+	}
+}

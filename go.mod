@@ -1,0 +1,3 @@
+module adaptrm
+
+go 1.24

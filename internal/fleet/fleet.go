@@ -1,0 +1,359 @@
+// Package fleet hosts many independent runtime-managed devices behind one
+// goroutine-safe front-end, opening the concurrency dimension the
+// single-device manager of package rm cannot: a service process serving
+// request streams for a whole fleet of heterogeneous boards.
+//
+// Each device pairs a platform with its own rm.Manager (and, optionally,
+// a private schedule cache); devices are statically assigned to shards,
+// and each shard runs one worker goroutine draining a buffered mailbox.
+// Per-device request order is preserved — a device always maps to the
+// same shard and mailboxes are FIFO — so every device evolves exactly as
+// it would under the sequential manager, and fleet-wide aggregates are
+// deterministic for a given per-device request order regardless of shard
+// count or goroutine interleaving. Wall-clock quantities (scheduling
+// time, queue high-water marks) are the only nondeterministic outputs.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptrm/internal/opset"
+	"adaptrm/internal/platform"
+	"adaptrm/internal/rm"
+	"adaptrm/internal/sched"
+	"adaptrm/internal/schedcache"
+	"adaptrm/internal/workload"
+)
+
+// DeviceConfig describes one device of the fleet.
+type DeviceConfig struct {
+	// Platform is the device's hardware model.
+	Platform platform.Platform
+	// Library provides the operating-point tables served on the device.
+	Library *opset.Library
+	// Scheduler plans schedules for this device. Each device needs its
+	// own instance unless the implementation is known to be stateless
+	// and goroutine-safe; the fleet never shares it across devices.
+	Scheduler sched.Scheduler
+}
+
+// Options tunes the fleet front-end.
+type Options struct {
+	// Shards is the number of worker goroutines; devices are assigned
+	// round-robin (device i → shard i mod Shards). Zero means 1.
+	Shards int
+	// MailboxSize is the per-shard request buffer; Submit blocks when
+	// the target shard's mailbox is full (backpressure). Zero means 64.
+	MailboxSize int
+	// Manager configures every device's runtime manager.
+	Manager rm.Options
+	// Cache enables the per-device memoizing schedule cache, letting
+	// repeated workload shapes skip the solve.
+	Cache bool
+	// CacheParams tunes the per-device caches when Cache is set.
+	CacheParams schedcache.Params
+}
+
+func (o *Options) normalize() {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.MailboxSize <= 0 {
+		o.MailboxSize = 64
+	}
+}
+
+// Stats aggregates fleet-wide activity. All counters except
+// SchedulingTime and MaxQueueDepth are deterministic for a given
+// per-device request order.
+type Stats struct {
+	// Devices is the fleet size, Shards the worker count.
+	Devices, Shards int
+	// Submitted counts all requests, Accepted and Rejected its split.
+	Submitted, Accepted, Rejected int
+	// Completed counts finished jobs, DeadlineMisses the violations.
+	Completed, DeadlineMisses int
+	// Energy is the total energy of all executed schedule fractions (J).
+	Energy float64
+	// Activations counts scheduler invocations fleet-wide (cache hits
+	// included — a hit is still a manager activation), SchedulingTime
+	// their cumulative wall time.
+	Activations    int
+	SchedulingTime time.Duration
+	// CacheHits/CacheMisses/CacheStale/CacheEvictions/CacheRepacks sum
+	// the per-device schedule-cache counters (zero when caching is off).
+	CacheHits, CacheMisses, CacheStale, CacheEvictions, CacheRepacks int
+	// MaxQueueDepth is the high-water mark of pending requests over all
+	// shard mailboxes (operational, not deterministic).
+	MaxQueueDepth int
+}
+
+// AcceptRate returns Accepted / Submitted, or 0 when idle.
+func (s Stats) AcceptRate() float64 {
+	if s.Submitted == 0 {
+		return 0
+	}
+	return float64(s.Accepted) / float64(s.Submitted)
+}
+
+// CacheHitRate returns CacheHits / (CacheHits + CacheMisses), or 0.
+func (s Stats) CacheHitRate() float64 {
+	if s.CacheHits+s.CacheMisses == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)
+}
+
+// device is one managed board plus its synchronisation: the mutex
+// serialises the owning shard worker against Stats snapshots.
+type device struct {
+	id    int
+	mu    sync.Mutex
+	mgr   *rm.Manager
+	cache *schedcache.Cache
+	errs  []error
+}
+
+// opKind discriminates mailbox operations.
+type opKind int
+
+const (
+	opSubmit opKind = iota
+	opAdvance
+)
+
+// op is one mailbox entry.
+type op struct {
+	kind         opKind
+	dev          *device
+	at, deadline float64
+	app          string
+}
+
+// shard is one worker goroutine's mailbox and queue-depth tracking.
+type shard struct {
+	mailbox  chan op
+	depth    atomic.Int64
+	maxDepth atomic.Int64
+}
+
+func (s *shard) enqueue(o op) {
+	d := s.depth.Add(1)
+	for {
+		max := s.maxDepth.Load()
+		if d <= max || s.maxDepth.CompareAndSwap(max, d) {
+			break
+		}
+	}
+	s.mailbox <- o
+}
+
+// Fleet is the concurrent multi-device runtime-management service.
+type Fleet struct {
+	devices []*device
+	shards  []*shard
+	wg      sync.WaitGroup
+	// mu guards closed: submitters hold it shared for the whole
+	// enqueue, Close holds it exclusively while marking the fleet
+	// closed, so no send can race the channel close.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// New builds a fleet and starts its shard workers. Every device is
+// validated eagerly (platform, library, scheduler) so a misconfigured
+// fleet fails at construction, not mid-traffic.
+func New(devs []DeviceConfig, opt Options) (*Fleet, error) {
+	if len(devs) == 0 {
+		return nil, errors.New("fleet: no devices")
+	}
+	opt.normalize()
+	f := &Fleet{}
+	for i, dc := range devs {
+		s := dc.Scheduler
+		var cache *schedcache.Cache
+		if opt.Cache {
+			cache = schedcache.New(opt.CacheParams)
+			s = schedcache.Wrap(s, cache)
+		}
+		mgr, err := rm.New(dc.Platform, dc.Library, s, opt.Manager)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: device %d: %w", i, err)
+		}
+		f.devices = append(f.devices, &device{id: i, mgr: mgr, cache: cache})
+	}
+	f.shards = make([]*shard, opt.Shards)
+	for i := range f.shards {
+		f.shards[i] = &shard{mailbox: make(chan op, opt.MailboxSize)}
+	}
+	f.wg.Add(len(f.shards))
+	for _, sh := range f.shards {
+		go f.worker(sh)
+	}
+	return f, nil
+}
+
+// NumDevices returns the fleet size.
+func (f *Fleet) NumDevices() int { return len(f.devices) }
+
+// shardOf returns the shard owning a device; the assignment is static so
+// per-device mailbox order is preserved.
+func (f *Fleet) shardOf(dev int) *shard { return f.shards[dev%len(f.shards)] }
+
+// worker drains one shard's mailbox, applying each operation under the
+// target device's lock. Manager errors (unknown application, time moving
+// backwards) are recorded on the device and surfaced by Close.
+func (f *Fleet) worker(sh *shard) {
+	defer f.wg.Done()
+	for o := range sh.mailbox {
+		d := o.dev
+		d.mu.Lock()
+		switch o.kind {
+		case opSubmit:
+			if _, _, _, err := d.mgr.Submit(o.at, o.app, o.deadline); err != nil {
+				d.errs = append(d.errs, fmt.Errorf("fleet: device %d: %w", d.id, err))
+			}
+		case opAdvance:
+			if _, err := d.mgr.AdvanceTo(o.at); err != nil {
+				d.errs = append(d.errs, fmt.Errorf("fleet: device %d: %w", d.id, err))
+			}
+		}
+		d.mu.Unlock()
+		sh.depth.Add(-1)
+	}
+}
+
+// post validates the device index and enqueues the operation while
+// holding the submit lock shared, so the send cannot race Close closing
+// the mailbox. The send may block on a full mailbox; Close then waits
+// for it to land before closing, which is safe because workers keep
+// draining until the channels close.
+func (f *Fleet) post(dev int, o op) error {
+	if dev < 0 || dev >= len(f.devices) {
+		return fmt.Errorf("fleet: device %d out of range [0,%d)", dev, len(f.devices))
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.closed {
+		return errors.New("fleet: closed")
+	}
+	o.dev = f.devices[dev]
+	f.shardOf(dev).enqueue(o)
+	return nil
+}
+
+// Submit enqueues a request for a device: at virtual time at, the named
+// application with the given absolute deadline. It blocks when the
+// owning shard's mailbox is full. Requests for one device must be
+// submitted in non-decreasing virtual-time order (its clock never runs
+// backwards); requests for different devices are independent.
+func (f *Fleet) Submit(dev int, at float64, app string, deadline float64) error {
+	return f.post(dev, op{kind: opSubmit, at: at, app: app, deadline: deadline})
+}
+
+// Advance enqueues a pure clock advance for a device, accounting
+// progress and energy along its current schedule up to virtual time to.
+func (f *Fleet) Advance(dev int, to float64) error {
+	return f.post(dev, op{kind: opAdvance, at: to})
+}
+
+// Replay submits a merged fleet trace (e.g. workload.FleetTrace output,
+// already sorted per device) and returns on the first addressing error.
+func (f *Fleet) Replay(trace []workload.FleetRequest) error {
+	for i, r := range trace {
+		if err := f.Submit(r.Device, r.At, r.App, r.Deadline); err != nil {
+			return fmt.Errorf("fleet: replay entry %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Close stops accepting work, waits for all mailboxes to drain, then
+// drains every device's manager (running all admitted jobs to
+// completion). It returns the join of all recorded device errors.
+// Concurrent Submits racing a Close either enqueue before it or report
+// the fleet closed; a second Close returns an error.
+func (f *Fleet) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return errors.New("fleet: already closed")
+	}
+	f.closed = true
+	f.mu.Unlock()
+	for _, sh := range f.shards {
+		close(sh.mailbox)
+	}
+	f.wg.Wait()
+	var errs []error
+	for _, d := range f.devices {
+		d.mu.Lock()
+		if _, err := d.mgr.Drain(); err != nil {
+			errs = append(errs, fmt.Errorf("fleet: device %d drain: %w", d.id, err))
+		}
+		errs = append(errs, d.errs...)
+		d.mu.Unlock()
+	}
+	return errors.Join(errs...)
+}
+
+// Stats aggregates per-device statistics in device order. It may be
+// called while traffic is flowing (each device is snapshotted under its
+// lock) or after Close for final figures.
+func (f *Fleet) Stats() Stats {
+	out := Stats{Devices: len(f.devices), Shards: len(f.shards)}
+	for _, d := range f.devices {
+		d.mu.Lock()
+		ms := d.mgr.Stats()
+		var cs schedcache.Stats
+		if d.cache != nil {
+			cs = d.cache.Stats()
+		}
+		d.mu.Unlock()
+		out.Submitted += ms.Submitted
+		out.Accepted += ms.Accepted
+		out.Rejected += ms.Rejected
+		out.Completed += ms.Completed
+		out.DeadlineMisses += ms.DeadlineMisses
+		out.Energy += ms.Energy
+		out.Activations += ms.Activations
+		out.SchedulingTime += ms.SchedulingTime
+		out.CacheHits += cs.Hits
+		out.CacheMisses += cs.Misses
+		out.CacheStale += cs.Stale
+		out.CacheEvictions += cs.Evictions
+		out.CacheRepacks += cs.Repacks
+	}
+	for _, sh := range f.shards {
+		if m := int(sh.maxDepth.Load()); m > out.MaxQueueDepth {
+			out.MaxQueueDepth = m
+		}
+	}
+	return out
+}
+
+// DeviceStats returns one device's manager statistics.
+func (f *Fleet) DeviceStats(dev int) (rm.Stats, error) {
+	if dev < 0 || dev >= len(f.devices) {
+		return rm.Stats{}, fmt.Errorf("fleet: device %d out of range [0,%d)", dev, len(f.devices))
+	}
+	d := f.devices[dev]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.mgr.Stats(), nil
+}
+
+// DeviceNow returns a device's current virtual time.
+func (f *Fleet) DeviceNow(dev int) (float64, error) {
+	if dev < 0 || dev >= len(f.devices) {
+		return 0, fmt.Errorf("fleet: device %d out of range [0,%d)", dev, len(f.devices))
+	}
+	d := f.devices[dev]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.mgr.Now(), nil
+}

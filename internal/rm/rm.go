@@ -110,8 +110,10 @@ func (m *Manager) Stats() Stats { return m.stats }
 // ActiveJobs returns a snapshot of the unfinished admitted jobs.
 func (m *Manager) ActiveJobs() job.Set { return m.active.Clone() }
 
-// CurrentSchedule returns the active schedule (do not mutate).
-func (m *Manager) CurrentSchedule() *schedule.Schedule { return m.current }
+// CurrentSchedule returns a deep copy of the active schedule, so callers
+// (Gantt renderers, fleet shards snapshotting mid-traffic) can hold or
+// mutate it without racing the manager's own bookkeeping.
+func (m *Manager) CurrentSchedule() *schedule.Schedule { return m.current.Clone() }
 
 // ExecutedTimeline returns the segments actually executed so far, for
 // Gantt rendering and audits.
@@ -250,6 +252,8 @@ func (m *Manager) OnCompletion() {
 }
 
 // schedule invokes the pluggable scheduler with stats accounting.
+// Schedulers declaring sched.SelfValidating skip the re-validation —
+// their results are already checked against (jobs, plat, t).
 func (m *Manager) schedule(jobs job.Set, t float64) (*schedule.Schedule, error) {
 	m.stats.Activations++
 	start := time.Now()
@@ -258,8 +262,10 @@ func (m *Manager) schedule(jobs job.Set, t float64) (*schedule.Schedule, error) 
 	if err != nil {
 		return nil, err
 	}
-	if verr := k.Validate(m.plat, jobs, t); verr != nil {
-		return nil, fmt.Errorf("rm: scheduler %s produced invalid schedule: %w", m.scheduler.Name(), verr)
+	if sv, ok := m.scheduler.(sched.SelfValidating); !ok || !sv.ValidatesOutput() {
+		if verr := k.Validate(m.plat, jobs, t); verr != nil {
+			return nil, fmt.Errorf("rm: scheduler %s produced invalid schedule: %w", m.scheduler.Name(), verr)
+		}
 	}
 	return k, nil
 }

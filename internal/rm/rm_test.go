@@ -187,3 +187,26 @@ func TestRescheduleOnFinish(t *testing.T) {
 		t.Errorf("reschedule-on-finish energy %.3f worse than plan", st.Energy)
 	}
 }
+
+// CurrentSchedule must return a snapshot: mutating it cannot corrupt the
+// manager's active plan (fleet shards snapshot mid-traffic).
+func TestCurrentScheduleIsDeepCopy(t *testing.T) {
+	m := newMgr(t, Options{})
+	if _, ok, _, _ := m.Submit(0, "lambda1", 9); !ok {
+		t.Fatal("λ1 rejected")
+	}
+	snap := m.CurrentSchedule()
+	if snap.IsEmpty() {
+		t.Fatal("empty schedule for an admitted job")
+	}
+	snap.Segments[0].Placements[0].Point = -1
+	snap.Segments[0].End = -5
+	snap.Segments = snap.Segments[:0]
+	cur := m.CurrentSchedule()
+	if cur.IsEmpty() || cur.Segments[0].End < 0 || cur.Segments[0].Placements[0].Point == -1 {
+		t.Fatal("mutating the snapshot corrupted the manager's schedule")
+	}
+	if _, err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -31,6 +31,17 @@ type Scheduler interface {
 	Schedule(jobs job.Set, plat platform.Platform, t float64) (*schedule.Schedule, error)
 }
 
+// SelfValidating is implemented by schedulers that guarantee every
+// schedule they return has already passed Schedule.Validate against the
+// exact (jobs, platform, t) it was requested for. The runtime manager
+// then skips its own re-validation — one validation per activation
+// instead of two on the memoized hot path.
+type SelfValidating interface {
+	// ValidatesOutput reports whether returned schedules are
+	// pre-validated.
+	ValidatesOutput() bool
+}
+
 // Func adapts a function to the Scheduler interface.
 type Func struct {
 	// ID is the reported name.

@@ -1,0 +1,424 @@
+// Package schedcache memoizes scheduler results across activations: when
+// the runtime manager repeatedly faces the same workload shape — the same
+// application mix at similar progress and deadline slack on the same
+// platform — the previously computed segmented schedule is reused instead
+// of re-running the MMKP-MDF solve. This is the first hot-path
+// optimisation of the repo: on steady request streams most activations
+// involve one or two well-known job shapes, and a solve costs orders of
+// magnitude more than a signature lookup.
+//
+// Correctness does not depend on the signature buckets: a cached result
+// is re-validated against the concrete job set (constraints 2b–2e of the
+// paper) before being reused, and falls through to the wrapped scheduler
+// when validation fails. The cache therefore never returns a schedule the
+// solver itself would have been forbidden to return.
+//
+// Reuse happens at two levels. When the concrete problem matches the
+// cached one exactly (same remaining ratios, deadlines no tighter), the
+// memoized schedule is replayed verbatim. Otherwise — the common case for
+// in-progress job sets, whose remaining ratios never repeat exactly — the
+// cached operating-point assignment is re-packed with sched.PackEDF
+// against the concrete remaining ratios and deadlines. Packing is linear
+// in segments while the MMKP-MDF solve explores many assignments, so a
+// re-pack hit still skips nearly all of the solve cost; the energy choice
+// is inherited from a problem at most one bucket away.
+package schedcache
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+
+	"adaptrm/internal/job"
+	"adaptrm/internal/platform"
+	"adaptrm/internal/sched"
+	"adaptrm/internal/schedule"
+)
+
+// Default bucket widths of the signature quantisation.
+const (
+	// DefaultProgressBucket quantises the remaining ratio ρ ∈ (0, 1].
+	DefaultProgressBucket = 1.0 / 16
+	// DefaultSlackBucket quantises the deadline slack δ − t in relative
+	// steps: two slacks fall into the same bucket when they differ by
+	// less than this fraction. Relative bucketing matches deadline
+	// ranges spanning orders of magnitude; the re-pack reuse path keeps
+	// coarse buckets safe, since the concrete deadlines are always
+	// honoured and only the point choice is inherited.
+	DefaultSlackBucket = 0.25
+)
+
+// Params tunes signature construction and cache capacity.
+type Params struct {
+	// Capacity bounds the number of cached schedules; once full, the
+	// least-recently-used entry is evicted. Zero means DefaultCapacity.
+	Capacity int
+	// ProgressBucket is the quantisation width for remaining ratios;
+	// zero means DefaultProgressBucket.
+	ProgressBucket float64
+	// SlackBucket is the relative quantisation step for deadline slack
+	// (0.25 ⇒ slacks within 25% share a bucket); zero means
+	// DefaultSlackBucket.
+	SlackBucket float64
+}
+
+// DefaultCapacity is the cache capacity when Params.Capacity is zero.
+const DefaultCapacity = 1024
+
+func (p *Params) normalize() {
+	if p.Capacity <= 0 {
+		p.Capacity = DefaultCapacity
+	}
+	if p.ProgressBucket <= 0 {
+		p.ProgressBucket = DefaultProgressBucket
+	}
+	if p.SlackBucket <= 0 {
+		p.SlackBucket = DefaultSlackBucket
+	}
+}
+
+// Stats counts cache activity. Hits are lookups whose cached result
+// validated against the concrete job set; Repacks counts the subset of
+// hits served by re-packing the cached assignment rather than replaying
+// the schedule verbatim. Stale counts lookups that found a signature
+// match which failed both reuse paths (counted as misses too, since they
+// trigger a solve).
+type Stats struct {
+	Hits, Misses, Stale, Evictions, Repacks int
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 when idle.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// PlatformHash fingerprints a platform over its full type list (name,
+// count, frequency, IPC, power, DVFS levels). Equal hashes mean
+// identical platforms only with overwhelming probability — it is a
+// 64-bit FNV digest, not an equality proof — which is safe here solely
+// because every cached result is re-validated against the concrete
+// platform before reuse. Do not build validation-free sharing on it.
+func PlatformHash(p platform.Platform) uint64 {
+	h := fnv.New64a()
+	write := func(s string) { h.Write([]byte(s)); h.Write([]byte{0}) }
+	write(p.Name)
+	for _, t := range p.Types {
+		write(t.Name)
+		write(strconv.Itoa(t.Count))
+		write(strconv.FormatFloat(t.FreqHz, 'g', -1, 64))
+		write(strconv.FormatFloat(t.IPC, 'g', -1, 64))
+		write(strconv.FormatFloat(t.StaticWatts, 'g', -1, 64))
+		write(strconv.FormatFloat(t.DynamicWatts, 'g', -1, 64))
+		for _, l := range t.Levels {
+			write(strconv.FormatFloat(l.FreqHz, 'g', -1, 64))
+			write(strconv.FormatFloat(l.VoltScale, 'g', -1, 64))
+		}
+	}
+	return h.Sum64()
+}
+
+// sigEntry is one job's contribution to a signature.
+type sigEntry struct {
+	table    string
+	progress int // bucketed remaining ratio
+	slack    int // bucketed deadline slack
+}
+
+// Signature is the canonical cache key of a scheduling problem: the
+// platform fingerprint plus the multiset of job shapes (table name,
+// progress bucket, slack bucket), order-independent over the job set.
+type Signature string
+
+// NewSignature canonicalises (jobs, plat, t) into a Signature. Job IDs
+// and absolute times do not participate: two problems with the same
+// shapes at different instants share a signature.
+func NewSignature(jobs job.Set, plat platform.Platform, t float64, p Params) Signature {
+	p.normalize()
+	entries, _ := canonical(jobs, t, p)
+	return signature(plat, entries)
+}
+
+func signature(plat platform.Platform, entries []sigEntry) Signature {
+	var b []byte
+	b = strconv.AppendUint(b, PlatformHash(plat), 16)
+	for _, e := range entries {
+		b = append(b, '|')
+		b = append(b, e.table...)
+		b = append(b, ';')
+		b = strconv.AppendInt(b, int64(e.progress), 10)
+		b = append(b, ';')
+		b = strconv.AppendInt(b, int64(e.slack), 10)
+	}
+	return Signature(b)
+}
+
+// slackBucket maps a slack to its logarithmic bucket index: slacks
+// within a factor of (1 + width) share an index. Non-positive slack
+// (which no feasible schedule can serve anyway) collapses to a sentinel.
+func slackBucket(slack, width float64) int {
+	if slack <= 0 {
+		return math.MinInt32
+	}
+	return int(math.Floor(math.Log(slack) / math.Log1p(width)))
+}
+
+// canonical buckets every job and sorts by (table, progress bucket,
+// slack bucket), breaking exact ties by (remaining, deadline, ID). It
+// returns the sorted entries (the signature basis) together with the
+// job indices in that order (the placement-remapping basis), so the
+// bucket and ordering logic exists exactly once.
+func canonical(jobs job.Set, t float64, p Params) ([]sigEntry, []int) {
+	entries := make([]sigEntry, len(jobs))
+	order := make([]int, len(jobs))
+	for i, j := range jobs {
+		entries[i] = sigEntry{
+			table:    j.Table.Name(),
+			progress: int(math.Round(j.Remaining / p.ProgressBucket)),
+			slack:    slackBucket(j.Slack(t), p.SlackBucket),
+		}
+		order[i] = i
+	}
+	sort.Slice(order, func(i, k int) bool {
+		a, b := entries[order[i]], entries[order[k]]
+		if a.table != b.table {
+			return a.table < b.table
+		}
+		if a.progress != b.progress {
+			return a.progress < b.progress
+		}
+		if a.slack != b.slack {
+			return a.slack < b.slack
+		}
+		ja, jb := jobs[order[i]], jobs[order[k]]
+		if ja.Remaining != jb.Remaining {
+			return ja.Remaining < jb.Remaining
+		}
+		if ja.Deadline != jb.Deadline {
+			return ja.Deadline < jb.Deadline
+		}
+		return ja.ID < jb.ID
+	})
+	sorted := make([]sigEntry, len(jobs))
+	for i, idx := range order {
+		sorted[i] = entries[idx]
+	}
+	return sorted, order
+}
+
+// entry is one cached result in canonical form: segment times are
+// relative to the scheduling instant and placements reference canonical
+// job positions instead of concrete job IDs. When every job used exactly
+// one operating point throughout the schedule (always true for MMKP-MDF
+// output), assignment[pos] holds that point index and enables the
+// re-pack reuse path; otherwise assignment is nil and only verbatim
+// replay applies.
+type entry struct {
+	sig        Signature
+	segments   []schedule.Segment // Start/End relative to t0; JobID = canonical index
+	assignment []int              // per canonical position; nil when points vary
+	njobs      int
+}
+
+// Cache is a goroutine-safe LRU of canonicalised schedules.
+type Cache struct {
+	mu     sync.Mutex
+	params Params
+	lru    *list.List // front = most recent; values are *entry
+	index  map[Signature]*list.Element
+	stats  Stats
+}
+
+// New creates a cache with the given parameters.
+func New(p Params) *Cache {
+	p.normalize()
+	return &Cache{
+		params: p,
+		lru:    list.New(),
+		index:  make(map[Signature]*list.Element),
+	}
+}
+
+// Params returns the normalised cache parameters.
+func (c *Cache) Params() Params { return c.params }
+
+// Len returns the number of cached schedules.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats returns a snapshot of the activity counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Lookup returns a schedule for (jobs, plat, t) reconstructed from a
+// cached canonical entry, or ok=false on a miss. Verbatim replay is
+// tried first (exact progress match); when it fails, the cached
+// operating-point assignment is re-packed against the concrete job set.
+// A signature match failing both paths is reported as a miss (and
+// counted in Stats.Stale); the stale entry stays cached, since other job
+// sets in the same bucket may still validate.
+func (c *Cache) Lookup(jobs job.Set, plat platform.Platform, t float64) (*schedule.Schedule, bool) {
+	entries, order := canonical(jobs, t, c.params)
+	return c.lookup(signature(plat, entries), order, jobs, plat, t)
+}
+
+// lookup is Lookup with the signature and canonical order precomputed,
+// so the wrapper's miss path reuses them for the store.
+func (c *Cache) lookup(sig Signature, order []int, jobs job.Set, plat platform.Platform, t float64) (*schedule.Schedule, bool) {
+	c.mu.Lock()
+	el, ok := c.index[sig]
+	var e *entry
+	if ok {
+		c.lru.MoveToFront(el)
+		e = el.Value.(*entry)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.miss()
+		return nil, false
+	}
+	if k, err := c.reconstruct(e, jobs, order, t); err == nil {
+		if err := k.Validate(plat, jobs, t); err == nil {
+			c.hit(false)
+			return k, true
+		}
+	}
+	if k, err := c.repack(e, jobs, order, plat, t); err == nil {
+		if err := k.Validate(plat, jobs, t); err == nil {
+			c.hit(true)
+			return k, true
+		}
+	}
+	c.stale()
+	return nil, false
+}
+
+// repack rebuilds a schedule from the cached operating-point assignment
+// via EDF packing against the concrete remaining ratios and deadlines.
+func (c *Cache) repack(e *entry, jobs job.Set, order []int, plat platform.Platform, t float64) (*schedule.Schedule, error) {
+	if e.assignment == nil || e.njobs != len(jobs) {
+		return nil, fmt.Errorf("schedcache: no assignment for %d jobs", len(jobs))
+	}
+	asg := make(sched.Assignment, len(jobs))
+	for pos, pt := range e.assignment {
+		asg[jobs[order[pos]].ID] = pt
+	}
+	return sched.PackEDF(jobs, asg, plat, t)
+}
+
+// Store canonicalises and caches the schedule computed for (jobs, t),
+// evicting the least-recently-used entry when over capacity.
+func (c *Cache) Store(jobs job.Set, plat platform.Platform, t float64, k *schedule.Schedule) {
+	entries, order := canonical(jobs, t, c.params)
+	c.store(signature(plat, entries), order, jobs, t, k)
+}
+
+// store is Store with the signature and canonical order precomputed.
+func (c *Cache) store(sig Signature, order []int, jobs job.Set, t float64, k *schedule.Schedule) {
+	pos := make(map[int]int, len(order)) // job ID -> canonical position
+	for ci, idx := range order {
+		pos[jobs[idx].ID] = ci
+	}
+	segs := make([]schedule.Segment, 0, len(k.Segments))
+	assignment := make([]int, len(jobs))
+	for i := range assignment {
+		assignment[i] = -1
+	}
+	for _, seg := range k.Segments {
+		ps := make([]schedule.Placement, 0, len(seg.Placements))
+		for _, p := range seg.Placements {
+			ci, ok := pos[p.JobID]
+			if !ok {
+				return // foreign job ID: refuse to cache
+			}
+			if assignment != nil {
+				switch assignment[ci] {
+				case -1, p.Point:
+					assignment[ci] = p.Point
+				default:
+					assignment = nil // job switches points: verbatim-only entry
+				}
+			}
+			ps = append(ps, schedule.Placement{JobID: ci, Point: p.Point})
+		}
+		segs = append(segs, schedule.Segment{Start: seg.Start - t, End: seg.End - t, Placements: ps})
+	}
+	if assignment != nil {
+		for _, a := range assignment {
+			if a == -1 {
+				assignment = nil // job never scheduled: cannot re-pack
+				break
+			}
+		}
+	}
+	e := &entry{sig: sig, segments: segs, assignment: assignment, njobs: len(jobs)}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[sig]; ok {
+		el.Value = e
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.index[sig] = c.lru.PushFront(e)
+	for c.lru.Len() > c.params.Capacity {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.index, back.Value.(*entry).sig)
+		c.stats.Evictions++
+	}
+}
+
+// reconstruct rebinds a canonical entry to the concrete job set at
+// instant t: canonical positions map to the job set's canonical order and
+// segment times shift by t.
+func (c *Cache) reconstruct(e *entry, jobs job.Set, order []int, t float64) (*schedule.Schedule, error) {
+	if e.njobs != len(jobs) {
+		return nil, fmt.Errorf("schedcache: entry for %d jobs, got %d", e.njobs, len(jobs))
+	}
+	k := &schedule.Schedule{Segments: make([]schedule.Segment, len(e.segments))}
+	for i, seg := range e.segments {
+		ps := make([]schedule.Placement, len(seg.Placements))
+		for pi, p := range seg.Placements {
+			if p.JobID < 0 || p.JobID >= len(order) {
+				return nil, fmt.Errorf("schedcache: canonical index %d out of range", p.JobID)
+			}
+			ps[pi] = schedule.Placement{JobID: jobs[order[p.JobID]].ID, Point: p.Point}
+		}
+		k.Segments[i] = schedule.Segment{Start: seg.Start + t, End: seg.End + t, Placements: ps}
+	}
+	return k, nil
+}
+
+func (c *Cache) hit(repacked bool) {
+	c.mu.Lock()
+	c.stats.Hits++
+	if repacked {
+		c.stats.Repacks++
+	}
+	c.mu.Unlock()
+}
+
+func (c *Cache) miss() {
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+}
+
+func (c *Cache) stale() {
+	c.mu.Lock()
+	c.stats.Misses++
+	c.stats.Stale++
+	c.mu.Unlock()
+}

@@ -1,0 +1,223 @@
+package schedcache
+
+import (
+	"testing"
+
+	"adaptrm/internal/core"
+	"adaptrm/internal/job"
+	"adaptrm/internal/motiv"
+	"adaptrm/internal/platform"
+	"adaptrm/internal/sched"
+	"adaptrm/internal/schedule"
+)
+
+func testJob(id int, app string, t, deadline, remaining float64) *job.Job {
+	tbl := motiv.Library().Get(app)
+	if tbl == nil {
+		panic("unknown app " + app)
+	}
+	return &job.Job{ID: id, Table: tbl, Arrival: t, Deadline: deadline, Remaining: remaining}
+}
+
+func TestSignatureCanonicalisation(t *testing.T) {
+	plat := motiv.Platform()
+	p := Params{}
+	a := job.Set{testJob(1, "lambda1", 0, 9, 1), testJob(2, "lambda2", 0, 5, 1)}
+	b := job.Set{testJob(7, "lambda2", 0, 5, 1), testJob(3, "lambda1", 0, 9, 1)}
+	if NewSignature(a, plat, 0, p) != NewSignature(b, plat, 0, p) {
+		t.Error("signature depends on job order or IDs")
+	}
+	// Absolute time must not matter, only slack.
+	c := job.Set{testJob(1, "lambda1", 10, 19, 1), testJob(2, "lambda2", 10, 15, 1)}
+	if NewSignature(a, plat, 0, p) != NewSignature(c, plat, 10, p) {
+		t.Error("signature depends on absolute time")
+	}
+	// A different progress bucket must change the signature.
+	d := job.Set{testJob(1, "lambda1", 0, 9, 0.5), testJob(2, "lambda2", 0, 5, 1)}
+	if NewSignature(a, plat, 0, p) == NewSignature(d, plat, 0, p) {
+		t.Error("signature ignores progress")
+	}
+	// Slack outside the bucket must change the signature.
+	e := job.Set{testJob(1, "lambda1", 0, 30, 1), testJob(2, "lambda2", 0, 5, 1)}
+	if NewSignature(a, plat, 0, p) == NewSignature(e, plat, 0, p) {
+		t.Error("signature ignores slack")
+	}
+	// A different platform must change the signature.
+	if NewSignature(a, plat, 0, p) == NewSignature(a, platform.OdroidXU4(), 0, p) {
+		t.Error("signature ignores platform")
+	}
+}
+
+func TestPlatformHashDistinguishes(t *testing.T) {
+	a := motiv.Platform()
+	b := motiv.Platform()
+	if PlatformHash(a) != PlatformHash(b) {
+		t.Error("equal platforms hash differently")
+	}
+	c := motiv.Platform()
+	c.Types = append([]platform.CoreType{}, c.Types...)
+	c.Types[0].Count++
+	if PlatformHash(a) == PlatformHash(c) {
+		t.Error("different core counts hash equally")
+	}
+}
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	plat := motiv.Platform()
+	cache := New(Params{})
+	jobs := job.Set{testJob(1, "lambda1", 0, 9, 1), testJob(2, "lambda2", 0, 5, 1)}
+	if _, ok := cache.Lookup(jobs, plat, 0); ok {
+		t.Fatal("hit on empty cache")
+	}
+	k, err := core.New().Schedule(jobs, plat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Store(jobs, plat, 0, k)
+	got, ok := cache.Lookup(jobs, plat, 0)
+	if !ok {
+		t.Fatal("miss after store")
+	}
+	if err := got.Validate(plat, jobs, 0); err != nil {
+		t.Fatalf("cached schedule invalid: %v", err)
+	}
+	// Same shape at a later instant with different job IDs must hit and
+	// produce a validly shifted schedule.
+	later := job.Set{testJob(8, "lambda2", 5, 10, 1), testJob(9, "lambda1", 5, 14, 1)}
+	shifted, ok := cache.Lookup(later, plat, 5)
+	if !ok {
+		t.Fatal("time-shifted lookup missed")
+	}
+	if err := shifted.Validate(plat, later, 5); err != nil {
+		t.Fatalf("shifted schedule invalid: %v", err)
+	}
+	if shifted.Segments[0].Start != 5 {
+		t.Fatalf("shifted schedule starts at %v, want 5", shifted.Segments[0].Start)
+	}
+	s := cache.Stats()
+	if s.Hits != 2 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 hits / 1 miss", s)
+	}
+	if got := s.HitRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("hit rate = %v", got)
+	}
+}
+
+func TestCacheStaleEntryFallsThrough(t *testing.T) {
+	plat := motiv.Platform()
+	cache := New(Params{})
+	jobs := job.Set{testJob(1, "lambda1", 0, 9, 1)}
+	k, err := core.New().Schedule(jobs, plat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Store(jobs, plat, 0, k)
+	// Same slack bucket but a tighter deadline than the cached schedule's
+	// finish time: validation must fail and the lookup count as stale.
+	finish := k.Horizon(0)
+	tight := job.Set{testJob(1, "lambda1", 0, finish-0.1, 1)}
+	if NewSignature(jobs, plat, 0, cache.Params()) != NewSignature(tight, plat, 0, cache.Params()) {
+		t.Skip("deadline pair crosses a slack bucket; adjust fixture")
+	}
+	if _, ok := cache.Lookup(tight, plat, 0); ok {
+		t.Fatal("stale schedule reused")
+	}
+	s := cache.Stats()
+	if s.Stale != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 stale / 1 miss", s)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	plat := motiv.Platform()
+	cache := New(Params{Capacity: 2, SlackBucket: 0.1})
+	mk := func(deadline float64) job.Set {
+		return job.Set{testJob(1, "lambda1", 0, deadline, 1)}
+	}
+	s := core.New()
+	for _, dl := range []float64{9, 12, 15} {
+		jobs := mk(dl)
+		k, err := s.Schedule(jobs, plat, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cache.Store(jobs, plat, 0, k)
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("len = %d, want 2", cache.Len())
+	}
+	if cache.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", cache.Stats().Evictions)
+	}
+	// The oldest entry (deadline 9) must be gone, the newer two present.
+	if _, ok := cache.Lookup(mk(9), plat, 0); ok {
+		t.Error("evicted entry still served")
+	}
+	if _, ok := cache.Lookup(mk(12), plat, 0); !ok {
+		t.Error("recent entry evicted")
+	}
+	if _, ok := cache.Lookup(mk(15), plat, 0); !ok {
+		t.Error("most recent entry evicted")
+	}
+	// Lookups refresh recency: touching deadline-12 then storing a fourth
+	// entry must evict deadline-15.
+	if _, ok := cache.Lookup(mk(12), plat, 0); !ok {
+		t.Fatal("refresh lookup missed")
+	}
+	jobs := mk(18)
+	k, err := s.Schedule(jobs, plat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Store(jobs, plat, 0, k)
+	if _, ok := cache.Lookup(mk(15), plat, 0); ok {
+		t.Error("LRU order ignores lookup recency")
+	}
+	if _, ok := cache.Lookup(mk(12), plat, 0); !ok {
+		t.Error("refreshed entry evicted")
+	}
+}
+
+func TestWrapSchedulerCachesSolves(t *testing.T) {
+	plat := motiv.Platform()
+	solves := 0
+	inner := sched.Func{ID: "counted", F: func(jobs job.Set, p platform.Platform, t float64) (*schedule.Schedule, error) {
+		solves++
+		return core.New().Schedule(jobs, p, t)
+	}}
+	s := Wrap(inner, nil)
+	if s.Name() != "counted+cache" {
+		t.Fatalf("name = %q", s.Name())
+	}
+	jobs := job.Set{testJob(1, "lambda1", 0, 9, 1), testJob(2, "lambda2", 0, 5, 1)}
+	for i := 0; i < 5; i++ {
+		k, err := s.Schedule(jobs.Clone(), plat, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Validate(plat, jobs, 0); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+	if solves != 1 {
+		t.Fatalf("inner solved %d times, want 1", solves)
+	}
+	if st := s.Cache().Stats(); st.Hits != 4 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWrapDoesNotCacheInfeasible(t *testing.T) {
+	plat := motiv.Platform()
+	s := Wrap(core.New(), nil)
+	// Impossible deadline: always infeasible, never cached.
+	jobs := job.Set{testJob(1, "lambda1", 0, 0.01, 1)}
+	for i := 0; i < 2; i++ {
+		if _, err := s.Schedule(jobs.Clone(), plat, 0); err == nil {
+			t.Fatal("infeasible job scheduled")
+		}
+	}
+	if s.Cache().Len() != 0 {
+		t.Fatal("infeasible outcome cached")
+	}
+}

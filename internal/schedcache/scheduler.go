@@ -1,0 +1,62 @@
+package schedcache
+
+import (
+	"fmt"
+
+	"adaptrm/internal/job"
+	"adaptrm/internal/platform"
+	"adaptrm/internal/sched"
+	"adaptrm/internal/schedule"
+)
+
+// Scheduler wraps an inner scheduler with the memoizing cache: lookups
+// that validate skip the solve entirely; misses are solved by the inner
+// scheduler and stored. Infeasible outcomes are not cached — a later
+// problem in the same bucket may well be feasible, and negative caching
+// would turn the bucket into a false rejection.
+type Scheduler struct {
+	inner sched.Scheduler
+	cache *Cache
+}
+
+// Wrap builds a caching scheduler around inner. A nil cache allocates a
+// fresh one with default parameters.
+func Wrap(inner sched.Scheduler, cache *Cache) *Scheduler {
+	if cache == nil {
+		cache = New(Params{})
+	}
+	return &Scheduler{inner: inner, cache: cache}
+}
+
+// Name implements sched.Scheduler; the wrapped name is kept so reports
+// stay comparable, with a "+cache" suffix marking the memoized path.
+func (s *Scheduler) Name() string { return s.inner.Name() + "+cache" }
+
+// Cache exposes the underlying cache for stats inspection and sharing.
+func (s *Scheduler) Cache() *Cache { return s.cache }
+
+// ValidatesOutput implements sched.SelfValidating: hits are validated
+// by the cache lookup and misses by Schedule before caching, so the
+// runtime manager need not validate again.
+func (s *Scheduler) ValidatesOutput() bool { return true }
+
+// Schedule implements sched.Scheduler. Cache hits are validated inside
+// Lookup; inner-solver results are validated here before being cached
+// or returned, keeping the SelfValidating guarantee and ensuring the
+// cache only ever stores constraint-satisfying schedules.
+func (s *Scheduler) Schedule(jobs job.Set, plat platform.Platform, t float64) (*schedule.Schedule, error) {
+	entries, order := canonical(jobs, t, s.cache.params)
+	sig := signature(plat, entries)
+	if k, ok := s.cache.lookup(sig, order, jobs, plat, t); ok {
+		return k, nil
+	}
+	k, err := s.inner.Schedule(jobs, plat, t)
+	if err != nil {
+		return nil, err
+	}
+	if err := k.Validate(plat, jobs, t); err != nil {
+		return nil, fmt.Errorf("schedcache: scheduler %s produced invalid schedule: %w", s.inner.Name(), err)
+	}
+	s.cache.store(sig, order, jobs, t, k)
+	return k, nil
+}

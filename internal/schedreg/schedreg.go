@@ -1,0 +1,42 @@
+// Package schedreg is the shared scheduler registry of the cmd tools:
+// one mapping from -sched flag values to constructors, so every binary
+// accepts the same names and new schedulers cannot silently miss one.
+package schedreg
+
+import (
+	"fmt"
+	"strings"
+
+	"adaptrm/internal/core"
+	"adaptrm/internal/exmem"
+	"adaptrm/internal/fixedmap"
+	"adaptrm/internal/greedy"
+	"adaptrm/internal/lagrange"
+	"adaptrm/internal/sched"
+)
+
+// constructors maps flag names to fresh-instance constructors. A
+// constructor per call matters: the fleet needs one scheduler instance
+// per device, and some implementations are stateful.
+var constructors = map[string]func() sched.Scheduler{
+	"mdf":         func() sched.Scheduler { return core.New() },
+	"lr":          func() sched.Scheduler { return lagrange.New() },
+	"exmem":       func() sched.Scheduler { return exmem.New() },
+	"greedy":      func() sched.Scheduler { return greedy.New() },
+	"fixed":       func() sched.Scheduler { return fixedmap.New(fixedmap.OnArrival) },
+	"fixed-remap": func() sched.Scheduler { return fixedmap.New(fixedmap.Remap) },
+}
+
+// Names lists the accepted scheduler names for flag usage strings.
+func Names() string {
+	return "mdf|lr|exmem|greedy|fixed|fixed-remap"
+}
+
+// New returns a fresh scheduler instance for the given flag name.
+func New(name string) (sched.Scheduler, error) {
+	c, ok := constructors[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("unknown scheduler %q (want %s)", name, Names())
+	}
+	return c(), nil
+}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"adaptrm/internal/opset"
+)
+
+// FleetRequest is one arrival in a multi-tenant fleet trace: at time At,
+// the named application is requested on the given device with the given
+// absolute deadline. Times are per-device virtual clocks sharing a
+// common origin, so a merged trace can be replayed in global time order.
+type FleetRequest struct {
+	// Device indexes the target device in [0, Devices).
+	Device int `json:"device"`
+	// At is the arrival time.
+	At float64 `json:"at"`
+	// App names the requested table in the library.
+	App string `json:"app"`
+	// Deadline is the absolute deadline.
+	Deadline float64 `json:"deadline"`
+}
+
+// FleetTraceParams tunes multi-tenant fleet trace generation. Every
+// device runs an independent Poisson arrival process; all randomness
+// (per-device sub-seeds, rates, applications, deadlines) derives from the
+// single Seed, so a trace is fully reproducible.
+type FleetTraceParams struct {
+	// Devices is the number of devices in the fleet.
+	Devices int
+	// Rate is the base mean arrival rate per device in requests per
+	// second. Ignored when Rates is set.
+	Rate float64
+	// RateSpread makes devices heterogeneous: device rates are drawn
+	// uniformly from [Rate·(1−S), Rate·(1+S)] with S = RateSpread,
+	// which must lie in [0, 1) (FleetTrace rejects other values).
+	// Zero keeps all devices at Rate.
+	RateSpread float64
+	// Rates optionally fixes one rate per device (len must equal
+	// Devices), overriding Rate and RateSpread.
+	Rates []float64
+	// Horizon is the generation window in seconds.
+	Horizon float64
+	// Factor is the deadline scale range relative to a random operating
+	// point's full execution time (default 1.2–3, as in TraceParams).
+	Factor [2]float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// FleetTrace samples one Poisson request stream per device and merges
+// them into a single trace sorted by arrival time (ties by device). Each
+// device's sub-stream is identical to a workload.Trace with the derived
+// per-device seed, so single-device behaviour is unchanged by fleet
+// membership.
+func FleetTrace(lib *opset.Library, p FleetTraceParams) ([]FleetRequest, error) {
+	if p.Devices <= 0 {
+		return nil, errors.New("workload: fleet needs at least one device")
+	}
+	if p.Rates != nil && len(p.Rates) != p.Devices {
+		return nil, fmt.Errorf("workload: %d rates for %d devices", len(p.Rates), p.Devices)
+	}
+	if p.Rates == nil && p.Rate <= 0 {
+		return nil, errors.New("workload: rate must be positive")
+	}
+	if p.RateSpread < 0 || p.RateSpread >= 1 {
+		return nil, fmt.Errorf("workload: rate spread %v out of [0,1)", p.RateSpread)
+	}
+	master := rand.New(rand.NewSource(p.Seed))
+	var out []FleetRequest
+	for d := 0; d < p.Devices; d++ {
+		// Draw the device's seed and rate from the master stream in a
+		// fixed order so every device's sub-stream is a pure function of
+		// (Seed, device index).
+		subSeed := master.Int63()
+		rate := p.Rate
+		if p.Rates != nil {
+			rate = p.Rates[d]
+		} else if p.RateSpread > 0 {
+			rate *= 1 - p.RateSpread + 2*p.RateSpread*master.Float64()
+		}
+		reqs, err := Trace(lib, TraceParams{
+			Rate: rate, Horizon: p.Horizon, Factor: p.Factor, Seed: subSeed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("workload: device %d: %w", d, err)
+		}
+		for _, r := range reqs {
+			out = append(out, FleetRequest{Device: d, At: r.At, App: r.App, Deadline: r.Deadline})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Device < out[j].Device
+	})
+	return out, nil
+}
+
+// SplitByDevice partitions a merged fleet trace into per-device streams,
+// each sorted by arrival time. The result always has exactly devices
+// entries (empty slices for idle devices); requests addressed outside
+// [0, devices) are reported as an error.
+func SplitByDevice(trace []FleetRequest, devices int) ([][]FleetRequest, error) {
+	out := make([][]FleetRequest, devices)
+	for i, r := range trace {
+		if r.Device < 0 || r.Device >= devices {
+			return nil, fmt.Errorf("workload: trace entry %d targets device %d of %d", i, r.Device, devices)
+		}
+		out[r.Device] = append(out[r.Device], r)
+	}
+	return out, nil
+}

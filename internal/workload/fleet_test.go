@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestFleetTraceDeterministicPerSeed(t *testing.T) {
+	p := FleetTraceParams{Devices: 4, Rate: 0.3, RateSpread: 0.5, Horizon: 80, Seed: 11}
+	a, err := FleetTrace(testLib, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FleetTrace(testLib, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	p.Seed = 12
+	c, err := FleetTrace(testLib, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestFleetTraceSortedAndAddressed(t *testing.T) {
+	p := FleetTraceParams{Devices: 3, Rate: 0.4, Horizon: 60, Seed: 2}
+	trace, err := FleetTrace(testLib, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	if !sort.SliceIsSorted(trace, func(i, j int) bool { return trace[i].At < trace[j].At }) {
+		t.Error("trace not sorted by arrival")
+	}
+	seen := map[int]int{}
+	for i, r := range trace {
+		if r.Device < 0 || r.Device >= p.Devices {
+			t.Fatalf("entry %d targets device %d", i, r.Device)
+		}
+		if r.Deadline <= r.At {
+			t.Fatalf("entry %d: deadline %v not after arrival %v", i, r.Deadline, r.At)
+		}
+		if testLib.Get(r.App) == nil {
+			t.Fatalf("entry %d: unknown app %q", i, r.App)
+		}
+		seen[r.Device]++
+	}
+	if len(seen) != p.Devices {
+		t.Errorf("only %d of %d devices received requests", len(seen), p.Devices)
+	}
+}
+
+func TestFleetTracePerDeviceRates(t *testing.T) {
+	p := FleetTraceParams{
+		Devices: 2, Rates: []float64{0.05, 1.0}, Horizon: 200, Seed: 3,
+	}
+	trace, err := FleetTrace(testLib, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams, err := SplitByDevice(trace, p.Devices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams[1]) <= 2*len(streams[0]) {
+		t.Errorf("rates ignored: device 0 got %d, device 1 got %d", len(streams[0]), len(streams[1]))
+	}
+}
+
+func TestFleetTraceValidation(t *testing.T) {
+	if _, err := FleetTrace(testLib, FleetTraceParams{Devices: 0, Rate: 1, Horizon: 10}); err == nil {
+		t.Error("zero devices accepted")
+	}
+	if _, err := FleetTrace(testLib, FleetTraceParams{Devices: 2, Rate: 0, Horizon: 10}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := FleetTrace(testLib, FleetTraceParams{Devices: 2, Rate: 1, RateSpread: 1.5, Horizon: 10}); err == nil {
+		t.Error("spread out of range accepted")
+	}
+	if _, err := FleetTrace(testLib, FleetTraceParams{Devices: 2, Rates: []float64{1}, Horizon: 10}); err == nil {
+		t.Error("rate count mismatch accepted")
+	}
+	if _, err := SplitByDevice([]FleetRequest{{Device: 5}}, 2); err == nil {
+		t.Error("out-of-range device accepted")
+	}
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Compare benchmarks/latest.txt against benchmarks/baseline.txt and fail
+# when any benchmark's ns/op regressed by more than
+# BENCH_MAX_REGRESSION_PCT percent (default: 5). Benchmarks present in
+# only one of the files are reported but do not fail the comparison.
+# Keep baseline and compare runs on the same goos/goarch/host to avoid
+# false regressions.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MAX_PCT=${BENCH_MAX_REGRESSION_PCT:-5}
+if [[ ! -f benchmarks/baseline.txt ]]; then
+	echo "no benchmarks/baseline.txt — nothing to compare" >&2
+	exit 0
+fi
+if [[ ! -f benchmarks/latest.txt ]]; then
+	echo "benchmarks/latest.txt missing — run scripts/bench.sh first" >&2
+	exit 1
+fi
+
+awk -v max="$MAX_PCT" '
+	# go test bench lines: "BenchmarkName-8  <iters>  <ns> ns/op  ..."
+	FNR == NR && /^Benchmark/ { base[$1] = $3; next }
+	FNR != NR && /^Benchmark/ {
+		seen[$1] = 1
+		if (!($1 in base)) { printf "new:       %s\n", $1; next }
+		pct = base[$1] > 0 ? 100 * ($3 - base[$1]) / base[$1] : 0
+		if (pct > max) { printf "REGRESSED: %s %+.1f%% (%s -> %s ns/op)\n", $1, pct, base[$1], $3; bad = 1 }
+		else          { printf "ok:        %s %+.1f%%\n", $1, pct }
+	}
+	END {
+		for (b in base) if (!(b in seen)) printf "removed:   %s\n", b
+		exit bad
+	}
+' benchmarks/baseline.txt benchmarks/latest.txt

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Run the benchmark suite and record the results as benchmarks/latest.txt.
+#
+# Environment knobs:
+#   BENCH_PATTERN  regex of benchmarks to run   (default: .)
+#   BENCH_TIME     go test -benchtime argument  (default: 1x)
+#   BENCH_COUNT    go test -count argument      (default: 1)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH_PATTERN=${BENCH_PATTERN:-.}
+BENCH_TIME=${BENCH_TIME:-1x}
+BENCH_COUNT=${BENCH_COUNT:-1}
+
+mkdir -p benchmarks
+go test -run '^$' -bench "$BENCH_PATTERN" -benchtime "$BENCH_TIME" \
+	-count "$BENCH_COUNT" -timeout 60m . | tee benchmarks/latest.txt
+echo "wrote benchmarks/latest.txt"
