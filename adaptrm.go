@@ -2,13 +2,16 @@ package adaptrm
 
 import (
 	"io"
+	"net/http"
 
+	"adaptrm/internal/api"
 	"adaptrm/internal/core"
 	"adaptrm/internal/dse"
 	"adaptrm/internal/exmem"
 	"adaptrm/internal/fixedmap"
 	"adaptrm/internal/fleet"
 	"adaptrm/internal/greedy"
+	"adaptrm/internal/httpapi"
 	"adaptrm/internal/job"
 	"adaptrm/internal/kpn"
 	"adaptrm/internal/lagrange"
@@ -84,6 +87,88 @@ type (
 	ScheduleCacheParams = schedcache.Params
 	// ScheduleCacheStats counts schedule-cache activity.
 	ScheduleCacheStats = schedcache.Stats
+)
+
+// Service-protocol types, re-exported for downstream users. The
+// protocol (internal/api) is transport-agnostic: the in-process fleet
+// view ((*Fleet).Service()) and the HTTP client (NewHTTPClient) both
+// implement Service and are behaviourally interchangeable — same typed
+// results, same error taxonomy, same deterministic statistics for the
+// same per-device request order.
+type (
+	// Service is the transport-agnostic runtime-management interface:
+	// Submit/Advance/Cancel/Stats, each taking a context and returning
+	// typed results and taxonomy errors.
+	Service = api.Service
+	// SubmitRequest asks a device to admit one application request.
+	SubmitRequest = api.SubmitRequest
+	// SubmitResult carries the admission decision: job id, verdict and
+	// the completions observed while the device clock advanced.
+	SubmitResult = api.SubmitResult
+	// AdvanceRequest moves a device's virtual clock forward.
+	AdvanceRequest = api.AdvanceRequest
+	// AdvanceResult lists the completions an advance produced.
+	AdvanceResult = api.AdvanceResult
+	// CancelRequest aborts an active job, freeing its resources.
+	CancelRequest = api.CancelRequest
+	// CancelResult acknowledges a cancellation.
+	CancelResult = api.CancelResult
+	// StatsRequest fetches fleet-wide or per-device statistics.
+	StatsRequest = api.StatsRequest
+	// StatsResult aggregates service activity; Deterministic() strips
+	// the wall-clock fields for cross-transport comparison.
+	StatsResult = api.StatsResult
+	// ServiceCompletion reports one finished job on the wire (the
+	// protocol form of Completion).
+	ServiceCompletion = api.Completion
+	// ServiceError is the serialisable taxonomy error: a stable code
+	// plus a message; errors.Is matches by code across transports.
+	ServiceError = api.Error
+	// FleetService is the fleet's in-process Service implementation,
+	// obtained from (*Fleet).Service().
+	FleetService = fleet.Service
+	// HTTPServer serves a Service over JSON/HTTP with per-tenant
+	// authentication, device authorisation and request quotas.
+	HTTPServer = httpapi.Server
+	// HTTPServerOptions configures the HTTP front-end (tenant list).
+	HTTPServerOptions = httpapi.ServerOptions
+	// HTTPClient is the Go client of the daemon protocol; it is itself
+	// a Service.
+	HTTPClient = httpapi.Client
+	// Tenant is one authenticated client of the daemon: token, allowed
+	// devices and request budget.
+	Tenant = httpapi.Tenant
+)
+
+// Service error taxonomy, re-exported. All survive serialisation:
+// errors.Is holds against a live daemon exactly as in process.
+var (
+	// ErrRejected is the admission verdict "reject" (taxonomy code
+	// "infeasible") — the service-level counterpart of ErrInfeasible,
+	// which remains the scheduler-level sentinel.
+	ErrRejected = api.ErrInfeasible
+	// ErrUnknownDevice: the request addressed a device outside the fleet.
+	ErrUnknownDevice = api.ErrUnknownDevice
+	// ErrUnknownApp: the application is not in the device's library.
+	ErrUnknownApp = api.ErrUnknownApp
+	// ErrUnknownJob: the job id names no active job on the device.
+	ErrUnknownJob = api.ErrUnknownJob
+	// ErrBadRequest: malformed request (bad payload, deadline ≤ arrival,
+	// time moving backwards).
+	ErrBadRequest = api.ErrBadRequest
+	// ErrPayloadTooLarge: the request body exceeds the transport limit.
+	ErrPayloadTooLarge = api.ErrPayloadTooLarge
+	// ErrOverloaded: backpressure — the device mailbox stayed full for
+	// the whole context lifetime.
+	ErrOverloaded = api.ErrOverloaded
+	// ErrQuotaExceeded: the tenant spent its request budget.
+	ErrQuotaExceeded = api.ErrQuotaExceeded
+	// ErrUnauthorized: missing or unknown tenant token.
+	ErrUnauthorized = api.ErrUnauthorized
+	// ErrForbidden: the tenant may not address the device.
+	ErrForbidden = api.ErrForbidden
+	// ErrServiceClosed: the service is shutting down.
+	ErrServiceClosed = api.ErrClosed
 )
 
 // ErrInfeasible is returned by schedulers when no feasible schedule
@@ -222,6 +307,26 @@ func NewFleet(devices []FleetDevice, opt FleetOptions) (*Fleet, error) {
 // a single seed and merges them into a time-ordered multi-tenant trace.
 func GenerateFleetTrace(lib *Library, p FleetTraceParams) ([]FleetRequest, error) {
 	return workload.FleetTrace(lib, p)
+}
+
+// NewHTTPServer wraps a Service (typically (*Fleet).Service()) in the
+// JSON/HTTP front-end: POST /v1/submit, /v1/advance, /v1/cancel, GET
+// /v1/stats and /healthz, with optional per-tenant bearer-token
+// authentication, device authorisation and request quotas. It fails on
+// tenant lists with empty or duplicate tokens. The result is an
+// http.Handler; serve it with net/http. cmd/rmserve -listen is the
+// ready-made daemon.
+func NewHTTPServer(svc Service, opt HTTPServerOptions) (*HTTPServer, error) {
+	return httpapi.NewServer(svc, opt)
+}
+
+// NewHTTPClient builds the Go client of a daemon at baseURL (e.g.
+// "http://localhost:8080"). The client implements Service, so code
+// written against the in-process fleet runs unchanged against a remote
+// daemon. token may be empty against an open server; hc may be nil for
+// http.DefaultClient.
+func NewHTTPClient(baseURL, token string, hc *http.Client) *HTTPClient {
+	return httpapi.NewClient(baseURL, token, hc)
 }
 
 // NewScheduleCache creates a goroutine-safe memoizing schedule cache.

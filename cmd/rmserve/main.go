@@ -1,9 +1,21 @@
-// Command rmserve runs the fleet service: it spins up M devices behind K
-// shard workers, replays a generated multi-tenant request trace through
-// the concurrent front-end, and prints an aggregate fleet report —
-// accept rate, energy, deadline misses, scheduler wall time, schedule-
-// cache effectiveness and end-to-end throughput. It is the service-layer
-// counterpart of cmd/rmsim's single-device simulation.
+// Command rmserve runs the fleet service in one of two modes.
+//
+// Replay mode (default): spin up M devices behind K shard workers,
+// replay a generated multi-tenant request trace through the concurrent
+// front-end, and print an aggregate fleet report — accept rate, energy,
+// deadline misses, scheduler wall time, schedule-cache effectiveness and
+// end-to-end throughput. It is the service-layer counterpart of
+// cmd/rmsim's single-device simulation.
+//
+// Daemon mode (-listen): expose the same fleet as a JSON/HTTP service
+// (package httpapi) implementing the transport-agnostic api.Service
+// protocol — POST /v1/submit, /v1/advance, /v1/cancel, GET /v1/stats
+// and /healthz — with optional per-tenant bearer-token authentication,
+// device authorisation and request quotas. The daemon shuts down
+// gracefully on SIGINT/SIGTERM, drains every device and prints the same
+// fleet report. Clients use httpapi.NewClient (or plain curl); the
+// in-process fleet service and the HTTP client are behaviourally
+// interchangeable.
 //
 // Usage:
 //
@@ -11,16 +23,29 @@
 //	        [-rate R] [-spread S] [-horizon T] [-seed N]
 //	        [-cache] [-cache-size N] [-cache-slack F] [-mailbox N]
 //	        [-resched] [-v]
+//	rmserve -listen :8080 [-token SECRET | -tenants FILE.json]
+//	        [-devices M] [-shards K] [-sched NAME] [-cache] ...
+//
+// A tenants file is a JSON list:
+//
+//	[{"name":"acme","token":"s3cret","devices":[0,1],"max_requests":1000},
+//	 {"name":"ops","token":"t0ken"}]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"adaptrm/internal/dse"
 	"adaptrm/internal/fleet"
+	"adaptrm/internal/httpapi"
 	"adaptrm/internal/platform"
 	"adaptrm/internal/rm"
 	"adaptrm/internal/schedcache"
@@ -32,27 +57,23 @@ func main() {
 	devices := flag.Int("devices", 8, "number of devices in the fleet")
 	shards := flag.Int("shards", 4, "number of shard worker goroutines")
 	schedName := flag.String("sched", "mdf", "scheduler: "+schedreg.Names())
-	rate := flag.Float64("rate", 0.05, "base mean arrivals per second per device")
-	spread := flag.Float64("spread", 0.5, "per-device rate heterogeneity in [0,1)")
-	horizon := flag.Float64("horizon", 300, "trace duration in seconds")
-	seed := flag.Int64("seed", 1, "trace seed")
+	rate := flag.Float64("rate", 0.05, "base mean arrivals per second per device (replay mode)")
+	spread := flag.Float64("spread", 0.5, "per-device rate heterogeneity in [0,1) (replay mode)")
+	horizon := flag.Float64("horizon", 300, "trace duration in seconds (replay mode)")
+	seed := flag.Int64("seed", 1, "trace seed (replay mode)")
 	cache := flag.Bool("cache", true, "enable the per-device schedule cache")
 	cacheSize := flag.Int("cache-size", schedcache.DefaultCapacity, "schedule-cache capacity per device")
 	cacheSlack := flag.Float64("cache-slack", schedcache.DefaultSlackBucket, "relative slack bucket of the cache signature")
 	mailbox := flag.Int("mailbox", 64, "per-shard mailbox size")
 	resched := flag.Bool("resched", false, "re-run the scheduler at every job completion")
 	verbose := flag.Bool("v", false, "print per-device statistics")
+	listen := flag.String("listen", "", "daemon mode: serve the fleet over HTTP on this address (e.g. :8080)")
+	token := flag.String("token", "", "daemon mode: single-tenant bearer token (all devices, no quota)")
+	tenantsPath := flag.String("tenants", "", "daemon mode: JSON tenant file (overrides -token)")
 	flag.Parse()
 
 	plat := platform.OdroidXU4()
 	lib, err := dse.StandardLibrary(plat)
-	if err != nil {
-		fatal(err)
-	}
-	trace, err := workload.FleetTrace(lib, workload.FleetTraceParams{
-		Devices: *devices, Rate: *rate, RateSpread: *spread,
-		Horizon: *horizon, Seed: *seed,
-	})
 	if err != nil {
 		fatal(err)
 	}
@@ -79,6 +100,19 @@ func main() {
 	fmt.Printf("platform:  %s\n", plat)
 	fmt.Printf("fleet:     %d devices, %d shards, scheduler %s, cache %v\n",
 		*devices, *shards, *schedName, *cache)
+
+	if *listen != "" {
+		serveDaemon(f, *listen, *token, *tenantsPath, *cache, *verbose, *devices)
+		return
+	}
+
+	trace, err := workload.FleetTrace(lib, workload.FleetTraceParams{
+		Devices: *devices, Rate: *rate, RateSpread: *spread,
+		Horizon: *horizon, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("trace:     %d requests over %.0fs (rate %.3g/s ±%.0f%% per device, seed %d)\n\n",
 		len(trace), *horizon, *rate, *spread*100, *seed)
 
@@ -89,8 +123,79 @@ func main() {
 	if err := f.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "rmserve: device errors:", err)
 	}
-	wall := time.Since(start)
+	report(f, time.Since(start), *cache, *verbose, false, *devices)
+}
 
+// serveDaemon exposes the fleet over HTTP until SIGINT/SIGTERM, then
+// drains it and prints the final report.
+func serveDaemon(f *fleet.Fleet, listen, token, tenantsPath string, cache, verbose bool, devices int) {
+	var opt httpapi.ServerOptions
+	switch {
+	case tenantsPath != "":
+		data, err := os.ReadFile(tenantsPath)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Tenants, err = httpapi.ReadTenantsJSON(data)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("tenants:   %d configured from %s\n", len(opt.Tenants), tenantsPath)
+	case token != "":
+		opt.Tenants = []httpapi.Tenant{{Name: "default", Token: token}}
+		fmt.Println("tenants:   single default tenant (bearer token)")
+	default:
+		fmt.Println("tenants:   open access (no -token/-tenants)")
+	}
+
+	handler, err := httpapi.NewServer(f.Service(), opt)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{
+		Addr:    listen,
+		Handler: handler,
+		// A network daemon needs bounds against slow or hostile
+		// clients; requests themselves are small (the request body is
+		// capped inside the handler).
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	start := time.Now()
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("listening: %s (POST /v1/submit /v1/advance /v1/cancel, GET /v1/stats /healthz)\n", listen)
+
+	select {
+	case <-ctx.Done():
+		// Restore default signal handling immediately: a second
+		// SIGINT/SIGTERM during a stuck drain must still kill us.
+		stop()
+		fmt.Fprintln(os.Stderr, "\nrmserve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "rmserve: shutdown:", err)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "rmserve: device errors:", err)
+	}
+	report(f, time.Since(start), cache, verbose, true, devices)
+}
+
+// report prints the aggregate fleet figures. daemon suppresses the
+// requests/sec figure: wall clock is uptime there (mostly idle
+// listening), not replay time, so a rate over it would be meaningless.
+func report(f *fleet.Fleet, wall time.Duration, cache, verbose, daemon bool, devices int) {
 	s := f.Stats()
 	fmt.Println("fleet report")
 	fmt.Println("------------")
@@ -101,17 +206,22 @@ func main() {
 	fmt.Printf("scheduler:       %d activations, %v wall time (%.1f µs/activation)\n",
 		s.Activations, s.SchedulingTime.Round(time.Microsecond),
 		perJob(float64(s.SchedulingTime.Microseconds()), s.Activations))
-	if *cache {
+	if cache {
 		fmt.Printf("schedule cache:  %d hits / %d misses (%.1f%% hit rate, %d re-packs, %d stale, %d evictions)\n",
 			s.CacheHits, s.CacheMisses, 100*s.CacheHitRate(), s.CacheRepacks, s.CacheStale, s.CacheEvictions)
 	}
-	fmt.Printf("service:         %v wall clock, %.0f requests/sec, max queue depth %d\n",
-		wall.Round(time.Millisecond), float64(s.Submitted)/wall.Seconds(), s.MaxQueueDepth)
+	if daemon {
+		fmt.Printf("service:         %v uptime, max queue depth %d\n",
+			wall.Round(time.Millisecond), s.MaxQueueDepth)
+	} else {
+		fmt.Printf("service:         %v wall clock, %.0f requests/sec, max queue depth %d\n",
+			wall.Round(time.Millisecond), float64(s.Submitted)/wall.Seconds(), s.MaxQueueDepth)
+	}
 
-	if *verbose {
+	if verbose {
 		fmt.Println()
 		fmt.Println("per-device")
-		for d := 0; d < *devices; d++ {
+		for d := 0; d < devices; d++ {
 			ds, err := f.DeviceStats(d)
 			if err != nil {
 				fatal(err)

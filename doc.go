@@ -27,6 +27,20 @@
 //     depends on the cache. Multi-tenant traces for fleet experiments
 //     come from GenerateFleetTrace, and cmd/rmserve replays them end
 //     to end.
+//   - protocol: a transport-agnostic service API (Service) with typed
+//     request/response messages — SubmitRequest → SubmitResult carrying
+//     the job id, the accept/reject verdict and the completions — a
+//     context.Context on every call, and a structured error taxonomy
+//     (ErrRejected, ErrUnknownDevice, ErrOverloaded, ErrQuotaExceeded,
+//     ...) that survives serialisation: errors.Is matches by taxonomy
+//     code on both sides of a wire. (*Fleet).Service() is the
+//     in-process implementation; NewHTTPServer exposes any Service as
+//     a JSON/HTTP daemon with per-tenant bearer tokens, device
+//     authorisation and request quotas, and NewHTTPClient is the
+//     matching Go client — itself a Service, behaviourally
+//     interchangeable with the in-process fleet (the test suite holds
+//     both to identical deterministic results). cmd/rmserve -listen
+//     runs the ready-made daemon.
 //
 // # Quickstart
 //

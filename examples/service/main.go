@@ -1,0 +1,116 @@
+// Service: run the fleet as a JSON/HTTP daemon and negotiate admission
+// through the typed client — the same adaptrm.Service interface the
+// in-process fleet implements, so swapping transports changes one
+// constructor call. Demonstrates per-request decisions, typed
+// rejections, job cancellation, per-tenant quotas and the stats
+// endpoint.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"adaptrm"
+)
+
+func main() {
+	plat := adaptrm.OdroidXU4()
+	lib, err := adaptrm.StandardLibrary(plat)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A two-device fleet, one MMKP-MDF scheduler per device.
+	devs := make([]adaptrm.FleetDevice, 2)
+	for i := range devs {
+		devs[i] = adaptrm.FleetDevice{Platform: plat, Library: lib, Scheduler: adaptrm.NewMMKPMDF()}
+	}
+	f, err := adaptrm.NewFleet(devs, adaptrm.FleetOptions{Shards: 2, Cache: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Expose it over HTTP with one budgeted tenant. Port :0 picks a free
+	// port; a real deployment uses cmd/rmserve -listen instead.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	server, err := adaptrm.NewHTTPServer(f.Service(), adaptrm.HTTPServerOptions{
+		Tenants: []adaptrm.Tenant{{Name: "demo", Token: "s3cret", MaxRequests: 6}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(ln, server) }()
+	baseURL := "http://" + ln.Addr().String()
+	fmt.Println("daemon listening on", baseURL)
+
+	// The client is itself an adaptrm.Service — everything below would
+	// work identically against f.Service() directly.
+	var svc adaptrm.Service = adaptrm.NewHTTPClient(baseURL, "s3cret", nil)
+	ctx := context.Background()
+
+	// Negotiate a few admissions on device 0. The tight 6-second
+	// deadline of the third request is infeasible next to the others —
+	// the daemon says so with a typed, transport-surviving error.
+	for _, req := range []adaptrm.SubmitRequest{
+		{Device: 0, At: 0, App: "audio-filter/medium", Deadline: 20},
+		{Device: 0, At: 1, App: "pedestrian-recognition/medium", Deadline: 30},
+		{Device: 0, At: 2, App: "speaker-recognition/large", Deadline: 8},
+	} {
+		res, err := svc.Submit(ctx, req)
+		switch {
+		case errors.Is(err, adaptrm.ErrRejected):
+			fmt.Printf("t=%.0f: %-30s → rejected (infeasible)\n", req.At, req.App)
+		case err != nil:
+			log.Fatal(err)
+		default:
+			fmt.Printf("t=%.0f: %-30s → accepted as job %d\n", req.At, req.App, res.JobID)
+		}
+	}
+
+	// The user aborts job 1; its resources are reclaimed immediately.
+	if _, err := svc.Cancel(ctx, adaptrm.CancelRequest{Device: 0, JobID: 1}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cancelled job 1 — device re-planned the remaining jobs")
+
+	// Advance the device clock; completions come back to the caller.
+	adv, err := svc.Advance(ctx, adaptrm.AdvanceRequest{Device: 0, To: 40})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range adv.Completions {
+		fmt.Printf("t=%.1f: job %d completed (missed=%v)\n", c.At, c.JobID, c.Missed)
+	}
+
+	// The tenant's 6-request budget is now spent: 3 submits + 1 cancel +
+	// 1 advance leave room for exactly one more mutating call.
+	if _, err := svc.Submit(ctx, adaptrm.SubmitRequest{Device: 1, At: 0, App: "audio-filter/small", Deadline: 25}); err == nil {
+		fmt.Println("device 1: one more admission within budget")
+	}
+	_, err = svc.Submit(ctx, adaptrm.SubmitRequest{Device: 1, At: 1, App: "audio-filter/small", Deadline: 26})
+	if errors.Is(err, adaptrm.ErrQuotaExceeded) {
+		fmt.Println("tenant budget spent → quota_exceeded (HTTP 429)")
+	}
+
+	// Stats are free and identical to the in-process view.
+	st, err := svc.Stats(ctx, adaptrm.StatsRequest{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfleet: %d submitted, %d accepted, %d rejected, %.2f J so far\n",
+		st.Submitted, st.Accepted, st.Rejected, st.Energy)
+
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	final := f.Stats()
+	fmt.Printf("after drain: %d completed, %d deadline misses, %.2f J total\n",
+		final.Completed, final.DeadlineMisses, final.Energy)
+}

@@ -1,6 +1,9 @@
 package adaptrm
 
 import (
+	"context"
+	"errors"
+	"net/http/httptest"
 	"testing"
 
 	"adaptrm/internal/motiv"
@@ -99,6 +102,70 @@ func TestFacadeFleet(t *testing.T) {
 	}
 	if s.Completed != s.Accepted {
 		t.Errorf("drain incomplete: %+v", s)
+	}
+}
+
+// TestFacadeService exercises the re-exported protocol surface: the
+// in-process fleet service and the HTTP client both satisfy Service,
+// agree on decisions, and surface the taxonomy sentinels.
+func TestFacadeService(t *testing.T) {
+	lib := motiv.Library()
+	newFleet := func() *Fleet {
+		devs := []FleetDevice{{Platform: Motivational2L2B(), Library: lib, Scheduler: NewMMKPMDF()}}
+		f, err := NewFleet(devs, FleetOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	ctx := context.Background()
+
+	inproc := newFleet()
+	t.Cleanup(func() { _ = inproc.Close() })
+	backend := newFleet()
+	t.Cleanup(func() { _ = backend.Close() })
+	srv, err := NewHTTPServer(backend.Service(), HTTPServerOptions{
+		Tenants: []Tenant{{Name: "t", Token: "tok", MaxRequests: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	// Misconfigured tenant lists fail at construction.
+	if _, err := NewHTTPServer(backend.Service(), HTTPServerOptions{
+		Tenants: []Tenant{{Name: "a", Token: "x"}, {Name: "b", Token: "x"}},
+	}); err == nil {
+		t.Error("duplicate tenant tokens accepted")
+	}
+
+	for name, svc := range map[string]Service{
+		"in-process": inproc.Service(),
+		"http":       NewHTTPClient(ts.URL, "tok", ts.Client()),
+	} {
+		res, err := svc.Submit(ctx, SubmitRequest{Device: 0, At: 0, App: "lambda1", Deadline: 9})
+		if err != nil || !res.Accepted || res.JobID != 1 {
+			t.Fatalf("%s: submit = %+v, %v", name, res, err)
+		}
+		if _, err := svc.Submit(ctx, SubmitRequest{Device: 0, At: 0, App: "lambda1", Deadline: 9}); !errors.Is(err, ErrRejected) {
+			t.Errorf("%s: second λ1: %v, want ErrRejected", name, err)
+		}
+		if _, err := svc.Cancel(ctx, CancelRequest{Device: 0, JobID: 999}); !errors.Is(err, ErrUnknownJob) {
+			t.Errorf("%s: cancel: %v, want ErrUnknownJob", name, err)
+		}
+		st, err := svc.Stats(ctx, StatsRequest{})
+		if err != nil || st.Accepted != 1 || st.Rejected != 1 {
+			t.Errorf("%s: stats = %+v, %v", name, st, err)
+		}
+	}
+	// The budgeted HTTP tenant has spent 3 of 4 mutating calls; two more
+	// exhaust the quota with a typed error.
+	client := NewHTTPClient(ts.URL, "tok", ts.Client())
+	if _, err := client.Advance(ctx, AdvanceRequest{Device: 0, To: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Advance(ctx, AdvanceRequest{Device: 0, To: 2}); !errors.Is(err, ErrQuotaExceeded) {
+		t.Errorf("quota: %v, want ErrQuotaExceeded", err)
 	}
 }
 

@@ -1,0 +1,129 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Error codes of the service protocol. Codes — not Go error identities —
+// are what crosses a transport: a server serialises the code of the
+// sentinel found in the error chain, a client rebuilds an *Error with
+// the same code, and errors.Is matches it back to the sentinel. New
+// codes may be added; clients must treat unknown codes as CodeInternal.
+const (
+	// CodeInfeasible: the admission decision was "reject" — no schedule
+	// satisfies all deadlines with the new request included.
+	CodeInfeasible = "infeasible"
+	// CodeUnknownDevice: the request addressed a device index outside
+	// the fleet.
+	CodeUnknownDevice = "unknown_device"
+	// CodeUnknownApp: the named application is not in the device's
+	// operating-point library.
+	CodeUnknownApp = "unknown_app"
+	// CodeUnknownJob: the job id does not name an active job on the
+	// device (never admitted, already finished, or already cancelled).
+	CodeUnknownJob = "unknown_job"
+	// CodeBadRequest: the request is malformed (undecodable payload,
+	// deadline not after arrival, time moving backwards, ...).
+	CodeBadRequest = "bad_request"
+	// CodePayloadTooLarge: the request body exceeds the transport's
+	// size limit.
+	CodePayloadTooLarge = "payload_too_large"
+	// CodeOverloaded: backpressure — the device's mailbox stayed full
+	// for the whole context lifetime; retry later.
+	CodeOverloaded = "overloaded"
+	// CodeQuotaExceeded: the tenant spent its request quota.
+	CodeQuotaExceeded = "quota_exceeded"
+	// CodeUnauthorized: missing or unknown tenant token.
+	CodeUnauthorized = "unauthorized"
+	// CodeForbidden: valid tenant, but the addressed device is outside
+	// its device set.
+	CodeForbidden = "forbidden"
+	// CodeClosed: the service is shutting down and accepts no new work.
+	CodeClosed = "closed"
+	// CodeInternal: unclassified server-side failure.
+	CodeInternal = "internal"
+)
+
+// Error is the serialisable service error: a stable machine-readable
+// Code plus a human-readable Message. Two *Error values compare equal
+// under errors.Is when their codes match, so a sentinel survives a
+// marshal/unmarshal round-trip even though the pointer identity does
+// not.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Message == "" {
+		return "api: " + e.Code
+	}
+	return "api: " + e.Code + ": " + e.Message
+}
+
+// Is reports code equality, making errors.Is(decoded, Err...) work on
+// errors reconstructed from the wire.
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	return ok && t.Code == e.Code
+}
+
+// Sentinels of the error taxonomy. Wrap them with fmt.Errorf("%w: ...")
+// to attach detail; ErrorCode and the HTTP layer find the sentinel in
+// the chain via errors.As.
+var (
+	ErrInfeasible      = &Error{Code: CodeInfeasible, Message: "no feasible schedule for the request"}
+	ErrUnknownDevice   = &Error{Code: CodeUnknownDevice, Message: "no such device"}
+	ErrUnknownApp      = &Error{Code: CodeUnknownApp, Message: "no such application"}
+	ErrUnknownJob      = &Error{Code: CodeUnknownJob, Message: "no such active job"}
+	ErrBadRequest      = &Error{Code: CodeBadRequest, Message: "malformed request"}
+	ErrPayloadTooLarge = &Error{Code: CodePayloadTooLarge, Message: "request body too large"}
+	ErrOverloaded      = &Error{Code: CodeOverloaded, Message: "service overloaded"}
+	ErrQuotaExceeded   = &Error{Code: CodeQuotaExceeded, Message: "tenant request quota exceeded"}
+	ErrUnauthorized    = &Error{Code: CodeUnauthorized, Message: "missing or unknown token"}
+	ErrForbidden       = &Error{Code: CodeForbidden, Message: "device not permitted for tenant"}
+	ErrClosed          = &Error{Code: CodeClosed, Message: "service closed"}
+	ErrInternal        = &Error{Code: CodeInternal, Message: "internal error"}
+)
+
+// knownCodes is the closed set a client of this package version can
+// match; FromCode folds anything else into CodeInternal.
+var knownCodes = map[string]bool{
+	CodeInfeasible: true, CodeUnknownDevice: true, CodeUnknownApp: true,
+	CodeUnknownJob: true, CodeBadRequest: true, CodePayloadTooLarge: true,
+	CodeOverloaded: true, CodeQuotaExceeded: true, CodeUnauthorized: true,
+	CodeForbidden: true, CodeClosed: true, CodeInternal: true,
+}
+
+// ErrorCode extracts the taxonomy code from an error chain, or
+// CodeInternal when no *Error is present.
+func ErrorCode(err error) string {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code
+	}
+	return CodeInternal
+}
+
+// FromCode rebuilds the wire form of an error: an *Error carrying the
+// transmitted code and message. errors.Is matches it against the
+// sentinel with the same code. Codes this package version does not know
+// (a newer server's) are folded into CodeInternal, preserving the raw
+// code in the message, so every decoded error matches some sentinel.
+func FromCode(code, message string) *Error {
+	if !knownCodes[code] {
+		if code != "" {
+			message = code + ": " + message
+		}
+		code = CodeInternal
+	}
+	return &Error{Code: code, Message: message}
+}
+
+// Errf wraps a sentinel with detail while keeping it errors.Is-findable:
+// Errf(ErrUnknownDevice, "device %d of %d", 9, 4).
+func Errf(sentinel *Error, format string, args ...any) error {
+	return fmt.Errorf("%w: %s", sentinel, fmt.Sprintf(format, args...))
+}

@@ -15,12 +15,14 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"adaptrm/internal/api"
 	"adaptrm/internal/opset"
 	"adaptrm/internal/platform"
 	"adaptrm/internal/rm"
@@ -124,7 +126,16 @@ type opKind int
 const (
 	opSubmit opKind = iota
 	opAdvance
+	opCancel
 )
+
+// opReply is the outcome of one mailbox operation.
+type opReply struct {
+	jobID    int
+	accepted bool
+	done     []rm.Completion
+	err      error
+}
 
 // op is one mailbox entry.
 type op struct {
@@ -132,6 +143,11 @@ type op struct {
 	dev          *device
 	at, deadline float64
 	app          string
+	jobID        int
+	// reply, when non-nil, receives the outcome (buffered size 1, so an
+	// abandoned caller never blocks the worker); when nil, errors are
+	// recorded on the device and surfaced by Close (async replay path).
+	reply chan opReply
 }
 
 // shard is one worker goroutine's mailbox and queue-depth tracking.
@@ -141,15 +157,58 @@ type shard struct {
 	maxDepth atomic.Int64
 }
 
-func (s *shard) enqueue(o op) {
+// Internal sentinels distinguishing why an operation never landed, so
+// the Service layer can map them onto the api taxonomy. (Replay and the
+// snapshot accessors keep the historical messages; the deprecated
+// Submit/Advance wrappers route through Service and return its
+// api-wrapped errors.)
+var (
+	errClosed     = errors.New("fleet: closed")
+	errOutOfRange = errors.New("out of range")
+	// errMailboxBlocked marks a send that actually waited on a full
+	// mailbox until the context ended — backpressure, as opposed to a
+	// context that was already dead on arrival.
+	errMailboxBlocked = errors.New("fleet: mailbox full")
+)
+
+// deviceErr formats the historical out-of-range message around the
+// errOutOfRange sentinel.
+func (f *Fleet) deviceErr(dev int) error {
+	return fmt.Errorf("fleet: device %d %w [0,%d)", dev, errOutOfRange, len(f.devices))
+}
+
+// enqueue posts an operation, blocking on a full mailbox until space
+// frees up or the context ends (backpressure). The high-water mark is
+// published only for sends that land, so an aborted attempt does not
+// publish its own depth (a concurrently landing send may still observe
+// — and publish — the aborted attempt's transient contribution; the
+// mark is an approximate operational metric, not a deterministic one).
+func (s *shard) enqueue(ctx context.Context, o op) error {
 	d := s.depth.Add(1)
-	for {
-		max := s.maxDepth.Load()
-		if d <= max || s.maxDepth.CompareAndSwap(max, d) {
-			break
-		}
+	if err := ctx.Err(); err != nil {
+		s.depth.Add(-1)
+		return err
 	}
-	s.mailbox <- o
+	select {
+	case s.mailbox <- o:
+		for {
+			max := s.maxDepth.Load()
+			if d <= max || s.maxDepth.CompareAndSwap(max, d) {
+				return nil
+			}
+		}
+	case <-ctx.Done():
+		s.depth.Add(-1)
+		// Classify: a still-full mailbox means the send genuinely
+		// waited out the context (backpressure); otherwise the caller's
+		// context just ended first (the select may pick Done even when
+		// space opened up). The len check is a snapshot, but the race
+		// window only misattributes an error the caller caused anyway.
+		if len(s.mailbox) == cap(s.mailbox) {
+			return fmt.Errorf("%w: %w", errMailboxBlocked, ctx.Err())
+		}
+		return ctx.Err()
+	}
 }
 
 // Fleet is the concurrent multi-device runtime-management service.
@@ -205,67 +264,101 @@ func (f *Fleet) NumDevices() int { return len(f.devices) }
 func (f *Fleet) shardOf(dev int) *shard { return f.shards[dev%len(f.shards)] }
 
 // worker drains one shard's mailbox, applying each operation under the
-// target device's lock. Manager errors (unknown application, time moving
-// backwards) are recorded on the device and surfaced by Close.
+// target device's lock. Outcomes go to the op's reply channel when one
+// is attached (service path); otherwise errors are recorded on the
+// device and surfaced by Close (async replay path).
 func (f *Fleet) worker(sh *shard) {
 	defer f.wg.Done()
 	for o := range sh.mailbox {
 		d := o.dev
+		var r opReply
 		d.mu.Lock()
 		switch o.kind {
 		case opSubmit:
-			if _, _, _, err := d.mgr.Submit(o.at, o.app, o.deadline); err != nil {
-				d.errs = append(d.errs, fmt.Errorf("fleet: device %d: %w", d.id, err))
-			}
+			r.jobID, r.accepted, r.done, r.err = d.mgr.Submit(o.at, o.app, o.deadline)
 		case opAdvance:
-			if _, err := d.mgr.AdvanceTo(o.at); err != nil {
-				d.errs = append(d.errs, fmt.Errorf("fleet: device %d: %w", d.id, err))
-			}
+			r.done, r.err = d.mgr.AdvanceTo(o.at)
+		case opCancel:
+			r.err = d.mgr.Cancel(o.jobID)
+		}
+		if o.reply == nil && r.err != nil {
+			d.errs = append(d.errs, fmt.Errorf("fleet: device %d: %w", d.id, r.err))
 		}
 		d.mu.Unlock()
+		if o.reply != nil {
+			o.reply <- r
+		}
 		sh.depth.Add(-1)
 	}
 }
 
 // post validates the device index and enqueues the operation while
 // holding the submit lock shared, so the send cannot race Close closing
-// the mailbox. The send may block on a full mailbox; Close then waits
-// for it to land before closing, which is safe because workers keep
-// draining until the channels close.
-func (f *Fleet) post(dev int, o op) error {
+// the mailbox. The send may block on a full mailbox until the context
+// ends; Close waits for a blocked send to land before closing, which is
+// safe because workers keep draining until the channels close.
+func (f *Fleet) post(ctx context.Context, dev int, o op) error {
 	if dev < 0 || dev >= len(f.devices) {
-		return fmt.Errorf("fleet: device %d out of range [0,%d)", dev, len(f.devices))
+		return f.deviceErr(dev)
 	}
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	if f.closed {
-		return errors.New("fleet: closed")
+		return errClosed
 	}
 	o.dev = f.devices[dev]
-	f.shardOf(dev).enqueue(o)
-	return nil
+	return f.shardOf(dev).enqueue(ctx, o)
 }
 
-// Submit enqueues a request for a device: at virtual time at, the named
-// application with the given absolute deadline. It blocks when the
-// owning shard's mailbox is full. Requests for one device must be
-// submitted in non-decreasing virtual-time order (its clock never runs
-// backwards); requests for different devices are independent.
+// Submit submits a request for a device — at virtual time at, the named
+// application with the given absolute deadline — and waits for the
+// decision, discarding it. Requests for one device must be submitted in
+// non-decreasing virtual-time order (its clock never runs backwards);
+// requests for different devices are independent.
+//
+// Deprecated: thin wrapper over [Service.Submit], which additionally
+// returns the job id, the admission verdict and the completions.
+// Rejections (api.ErrInfeasible) are swallowed here for backward
+// compatibility; every other error is returned.
 func (f *Fleet) Submit(dev int, at float64, app string, deadline float64) error {
-	return f.post(dev, op{kind: opSubmit, at: at, app: app, deadline: deadline})
+	_, err := f.Service().Submit(context.Background(),
+		api.SubmitRequest{Device: dev, At: at, App: app, Deadline: deadline})
+	if errors.Is(err, api.ErrInfeasible) {
+		return nil
+	}
+	return err
 }
 
-// Advance enqueues a pure clock advance for a device, accounting
-// progress and energy along its current schedule up to virtual time to.
+// Advance moves a device's virtual clock to time to, accounting
+// progress and energy along its current schedule, and waits for it to
+// take effect.
+//
+// Deprecated: thin wrapper over [Service.Advance], which additionally
+// returns the completions the advance produced.
 func (f *Fleet) Advance(dev int, to float64) error {
-	return f.post(dev, op{kind: opAdvance, at: to})
+	_, err := f.Service().Advance(context.Background(), api.AdvanceRequest{Device: dev, To: to})
+	return err
+}
+
+// Cancel aborts an active job on a device, reclaiming its resources for
+// the remaining jobs (the device re-plans them immediately). It waits
+// for the cancellation to take effect; see [Service.Cancel] for the
+// context-aware form.
+func (f *Fleet) Cancel(dev, jobID int) error {
+	_, err := f.Service().Cancel(context.Background(), api.CancelRequest{Device: dev, JobID: jobID})
+	return err
 }
 
 // Replay submits a merged fleet trace (e.g. workload.FleetTrace output,
 // already sorted per device) and returns on the first addressing error.
+// Unlike Submit it stays fire-and-forget — requests are enqueued without
+// waiting for decisions, pipelining the shard workers — so per-request
+// manager errors surface at Close, not here.
 func (f *Fleet) Replay(trace []workload.FleetRequest) error {
+	ctx := context.Background()
 	for i, r := range trace {
-		if err := f.Submit(r.Device, r.At, r.App, r.Deadline); err != nil {
+		o := op{kind: opSubmit, at: r.At, app: r.App, deadline: r.Deadline}
+		if err := f.post(ctx, r.Device, o); err != nil {
 			return fmt.Errorf("fleet: replay entry %d: %w", i, err)
 		}
 	}
@@ -339,7 +432,7 @@ func (f *Fleet) Stats() Stats {
 // DeviceStats returns one device's manager statistics.
 func (f *Fleet) DeviceStats(dev int) (rm.Stats, error) {
 	if dev < 0 || dev >= len(f.devices) {
-		return rm.Stats{}, fmt.Errorf("fleet: device %d out of range [0,%d)", dev, len(f.devices))
+		return rm.Stats{}, f.deviceErr(dev)
 	}
 	d := f.devices[dev]
 	d.mu.Lock()
@@ -350,7 +443,7 @@ func (f *Fleet) DeviceStats(dev int) (rm.Stats, error) {
 // DeviceNow returns a device's current virtual time.
 func (f *Fleet) DeviceNow(dev int) (float64, error) {
 	if dev < 0 || dev >= len(f.devices) {
-		return 0, fmt.Errorf("fleet: device %d out of range [0,%d)", dev, len(f.devices))
+		return 0, f.deviceErr(dev)
 	}
 	d := f.devices[dev]
 	d.mu.Lock()

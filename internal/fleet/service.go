@@ -1,0 +1,163 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"adaptrm/internal/api"
+	"adaptrm/internal/rm"
+)
+
+// Service is the fleet's native implementation of the transport-agnostic
+// api.Service protocol: every mailbox operation carries a reply channel,
+// so callers receive the per-request outcome — job id, admission
+// verdict, completions — instead of the fire-and-forget legacy path.
+// Context cancellation is honoured both while blocked on a full mailbox
+// (backpressure, api.ErrOverloaded) and while waiting for the device's
+// worker to reply.
+type Service struct {
+	f *Fleet
+}
+
+var _ api.Service = (*Service)(nil)
+
+// Service returns the api.Service view of the fleet. The view shares
+// the fleet's shards and devices; mixing Service calls with the legacy
+// methods is safe, and per-device FIFO order spans both.
+func (f *Fleet) Service() *Service { return &Service{f: f} }
+
+// do posts one operation with a reply channel and waits for its
+// outcome, mapping fleet and manager errors onto the api taxonomy.
+func (s *Service) do(ctx context.Context, dev int, o op) (opReply, error) {
+	o.reply = make(chan opReply, 1)
+	switch err := s.f.post(ctx, dev, o); {
+	case err == nil:
+	case errors.Is(err, errOutOfRange):
+		return opReply{}, fmt.Errorf("%w: %w", api.ErrUnknownDevice, err)
+	case errors.Is(err, errClosed):
+		return opReply{}, fmt.Errorf("%w: %w", api.ErrClosed, err)
+	case errors.Is(err, errMailboxBlocked):
+		// The send waited on a full mailbox for the whole context
+		// lifetime: backpressure. The context error rides along so
+		// callers can also match context.Canceled / DeadlineExceeded.
+		return opReply{}, fmt.Errorf("%w: device %d: %w", api.ErrOverloaded, dev, err)
+	default:
+		// The context was already dead before the send was attempted —
+		// the caller's problem, not overload.
+		return opReply{}, fmt.Errorf("fleet: device %d: %w", dev, err)
+	}
+	select {
+	case r := <-o.reply:
+		return r, mapManagerError(r.err)
+	case <-ctx.Done():
+		// The op is already enqueued and will still execute (per-device
+		// FIFO order must not develop holes); only the caller gives up.
+		return opReply{}, fmt.Errorf("fleet: abandoned waiting for device %d: %w", dev, ctx.Err())
+	}
+}
+
+// mapManagerError lifts rm sentinels onto the api taxonomy.
+func mapManagerError(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, rm.ErrUnknownApp):
+		return fmt.Errorf("%w: %w", api.ErrUnknownApp, err)
+	case errors.Is(err, rm.ErrBadDeadline), errors.Is(err, rm.ErrTimeBackwards):
+		return fmt.Errorf("%w: %w", api.ErrBadRequest, err)
+	case errors.Is(err, rm.ErrNoSuchJob):
+		return fmt.Errorf("%w: %w", api.ErrUnknownJob, err)
+	default:
+		return fmt.Errorf("%w: %w", api.ErrInternal, err)
+	}
+}
+
+// completions converts manager completions to their wire form.
+func completions(done []rm.Completion) []api.Completion {
+	if len(done) == 0 {
+		return nil
+	}
+	out := make([]api.Completion, len(done))
+	for i, c := range done {
+		out[i] = api.Completion{JobID: c.JobID, At: c.At, Missed: c.Missed}
+	}
+	return out
+}
+
+// Submit implements api.Service: it negotiates admission of one request
+// and returns the decision. A rejection returns the result (carrying
+// any completions observed while the device advanced) together with
+// api.ErrInfeasible.
+func (s *Service) Submit(ctx context.Context, req api.SubmitRequest) (api.SubmitResult, error) {
+	r, err := s.do(ctx, req.Device, op{kind: opSubmit, at: req.At, app: req.App, deadline: req.Deadline})
+	res := api.SubmitResult{JobID: r.jobID, Accepted: r.accepted, Completions: completions(r.done)}
+	if err != nil {
+		return res, err
+	}
+	if !r.accepted {
+		return res, api.Errf(api.ErrInfeasible, "device %d rejected %q (arrival %v, deadline %v)",
+			req.Device, req.App, req.At, req.Deadline)
+	}
+	return res, nil
+}
+
+// Advance implements api.Service: it moves a device's virtual clock
+// forward and returns the completions that produced.
+func (s *Service) Advance(ctx context.Context, req api.AdvanceRequest) (api.AdvanceResult, error) {
+	r, err := s.do(ctx, req.Device, op{kind: opAdvance, at: req.To})
+	return api.AdvanceResult{Completions: completions(r.done)}, err
+}
+
+// Cancel implements api.Service: it aborts an active job, reclaiming
+// its resources for the remaining jobs.
+func (s *Service) Cancel(ctx context.Context, req api.CancelRequest) (api.CancelResult, error) {
+	_, err := s.do(ctx, req.Device, op{kind: opCancel, jobID: req.JobID})
+	return api.CancelResult{Cancelled: err == nil}, err
+}
+
+// Stats implements api.Service: fleet-wide when req.Device is nil,
+// otherwise for the single addressed device. Snapshots are taken under
+// the device locks, not through the mailboxes, so they may be observed
+// mid-traffic exactly like Fleet.Stats.
+func (s *Service) Stats(ctx context.Context, req api.StatsRequest) (api.StatsResult, error) {
+	if err := ctx.Err(); err != nil {
+		return api.StatsResult{}, err
+	}
+	if req.Device != nil {
+		ds, err := s.f.DeviceStats(*req.Device)
+		if err != nil {
+			return api.StatsResult{}, fmt.Errorf("%w: %w", api.ErrUnknownDevice, err)
+		}
+		return api.StatsResult{
+			Devices:        1,
+			Submitted:      ds.Submitted,
+			Accepted:       ds.Accepted,
+			Rejected:       ds.Rejected,
+			Completed:      ds.Completed,
+			DeadlineMisses: ds.DeadlineMisses,
+			Energy:         ds.Energy,
+			Activations:    ds.Activations,
+			SchedulingTime: ds.SchedulingTime,
+		}, nil
+	}
+	fs := s.f.Stats()
+	return api.StatsResult{
+		Devices:        fs.Devices,
+		Shards:         fs.Shards,
+		Submitted:      fs.Submitted,
+		Accepted:       fs.Accepted,
+		Rejected:       fs.Rejected,
+		Completed:      fs.Completed,
+		DeadlineMisses: fs.DeadlineMisses,
+		Energy:         fs.Energy,
+		Activations:    fs.Activations,
+		SchedulingTime: fs.SchedulingTime,
+		CacheHits:      fs.CacheHits,
+		CacheMisses:    fs.CacheMisses,
+		CacheStale:     fs.CacheStale,
+		CacheEvictions: fs.CacheEvictions,
+		CacheRepacks:   fs.CacheRepacks,
+		MaxQueueDepth:  fs.MaxQueueDepth,
+	}, nil
+}

@@ -1,0 +1,392 @@
+// Package httpapi exposes an api.Service over JSON/HTTP and provides a
+// Go client that is itself an api.Service, so every caller — tests,
+// examples, tools — can run against the in-process fleet or a live
+// daemon interchangeably.
+//
+// Wire protocol (v1):
+//
+//	POST /v1/submit   SubmitRequest  → SubmitResult
+//	POST /v1/advance  AdvanceRequest → AdvanceResult
+//	POST /v1/cancel   CancelRequest  → CancelResult
+//	GET  /v1/stats[?device=N]        → StatsResult
+//	GET  /healthz                    → {"status":"ok"}
+//
+// Successful calls return 200 with the result object. Failures return a
+// taxonomy-derived status code and an envelope
+//
+//	{"error":{"code":"...","message":"..."},"result":{...}}
+//
+// whose optional result carries the partial outcome (e.g. the
+// completions observed while a rejected submission advanced the device
+// clock), so the HTTP round-trip loses nothing the in-process service
+// reports. The client rebuilds the error from its code; errors.Is
+// against the api sentinels holds on both sides of the wire.
+//
+// Authentication is per-tenant bearer tokens. A tenant may be
+// restricted to a set of devices (403 outside it, including the
+// fleet-wide stats aggregate, which only unrestricted tenants may read)
+// and given a request budget (429 once spent). A server configured with
+// no tenants is open.
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"adaptrm/internal/api"
+)
+
+// Tenant is one authenticated client of the daemon.
+type Tenant struct {
+	// Name identifies the tenant in logs and errors.
+	Name string `json:"name"`
+	// Token is the bearer token presented in the Authorization header.
+	Token string `json:"token"`
+	// Devices lists the device indices the tenant may address; empty
+	// means all devices.
+	Devices []int `json:"devices,omitempty"`
+	// MaxRequests is the tenant's total budget of mutating calls
+	// (submit, advance, cancel); 0 means unlimited. Stats and health
+	// checks are free.
+	MaxRequests int `json:"max_requests,omitempty"`
+}
+
+// ServerOptions tunes the HTTP front-end.
+type ServerOptions struct {
+	// Tenants is the access-control list; empty leaves the server open
+	// (every request allowed, no quotas).
+	Tenants []Tenant
+}
+
+// tenantState is a Tenant plus its spent-request counter.
+type tenantState struct {
+	Tenant
+	used atomic.Int64
+}
+
+func (t *tenantState) allowed(dev int) bool {
+	if len(t.Devices) == 0 {
+		return true
+	}
+	for _, d := range t.Devices {
+		if d == dev {
+			return true
+		}
+	}
+	return false
+}
+
+// charge reserves one unit of the tenant's request budget, failing once
+// the budget is spent. The check-then-add is a single atomic add with
+// rollback, so concurrent requests cannot overdraw. A nil receiver
+// (open server) is a no-op.
+func (t *tenantState) charge() error {
+	if t == nil || t.MaxRequests <= 0 {
+		return nil
+	}
+	if t.used.Add(1) > int64(t.MaxRequests) {
+		t.used.Add(-1)
+		return api.Errf(api.ErrQuotaExceeded, "tenant %q spent its %d-request budget", t.Name, t.MaxRequests)
+	}
+	return nil
+}
+
+// refund returns a reserved unit when the operation never reached a
+// device (backpressure, shutdown, bad address), so the budget keeps
+// meaning "mutating operations executed", not "attempts made". A nil
+// receiver (open server) is a no-op.
+func (t *tenantState) refund() {
+	if t != nil && t.MaxRequests > 0 {
+		t.used.Add(-1)
+	}
+}
+
+// refundable reports errors that should hand the budget unit back:
+// operations that never executed on a device (backpressure, shutdown,
+// bad address), plus bare context errors — the caller vanished before
+// or while the operation ran and received nothing, so charging would
+// drain budgets on disconnects. (An abandoned op may still execute on
+// the device; the transport cannot observe the difference, and the
+// policy errs toward the tenant.)
+func refundable(err error) bool {
+	if errors.Is(err, api.ErrOverloaded) || errors.Is(err, api.ErrClosed) ||
+		errors.Is(err, api.ErrUnknownDevice) {
+		return true
+	}
+	var coded *api.Error
+	return !errors.As(err, &coded) &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+}
+
+// Server serves an api.Service over JSON/HTTP.
+type Server struct {
+	svc     api.Service
+	mux     *http.ServeMux
+	tenants map[string]*tenantState
+}
+
+// NewServer wraps a Service (typically fleet.Service, but any
+// implementation works — servers compose) in the HTTP front-end. It
+// rejects tenant lists with empty or duplicate tokens — a duplicate
+// would silently shadow the first tenant's device restrictions and
+// quota.
+func NewServer(svc api.Service, opt ServerOptions) (*Server, error) {
+	s := &Server{svc: svc, mux: http.NewServeMux()}
+	if len(opt.Tenants) > 0 {
+		if err := validateTenants(opt.Tenants); err != nil {
+			return nil, err
+		}
+		s.tenants = make(map[string]*tenantState, len(opt.Tenants))
+		for _, t := range opt.Tenants {
+			s.tenants[t.Token] = &tenantState{Tenant: t}
+		}
+	}
+	s.mux.HandleFunc("POST /v1/submit", handle(s, s.svc.Submit))
+	s.mux.HandleFunc("POST /v1/advance", handle(s, s.svc.Advance))
+	s.mux.HandleFunc("POST /v1/cancel", handle(s, s.svc.Cancel))
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// statusOf maps taxonomy codes onto HTTP status codes.
+func statusOf(code string) int {
+	switch code {
+	case api.CodeInfeasible:
+		return http.StatusUnprocessableEntity
+	case api.CodeUnknownDevice, api.CodeUnknownApp, api.CodeUnknownJob:
+		return http.StatusNotFound
+	case api.CodeBadRequest:
+		return http.StatusBadRequest
+	case api.CodePayloadTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case api.CodeUnauthorized:
+		return http.StatusUnauthorized
+	case api.CodeForbidden:
+		return http.StatusForbidden
+	case api.CodeQuotaExceeded:
+		return http.StatusTooManyRequests
+	case api.CodeOverloaded, api.CodeClosed:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// errEnvelope is the wire form of a failed call.
+type errEnvelope struct {
+	Error  *api.Error `json:"error"`
+	Result any        `json:"result,omitempty"`
+}
+
+// writeJSON writes a JSON body with the given status.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// writeError serialises an error chain: the first *Error in the chain
+// donates the code, the full chain text the message (minus the
+// sentinel's own prefix, which the client-side *Error re-adds — without
+// the trim every hop would stack another "api: <code>:"). A non-nil
+// partial result rides along so rejected submissions keep their
+// completions.
+func writeError(w http.ResponseWriter, err error, partial any) {
+	code := api.ErrorCode(err)
+	msg := strings.TrimPrefix(err.Error(), "api: "+code+": ")
+	writeJSON(w, statusOf(code), errEnvelope{
+		Error:  api.FromCode(code, msg),
+		Result: partial,
+	})
+}
+
+// tenantOf authenticates the request's bearer token — and nothing
+// else, so it can run before any body is read. The returned tenant is
+// nil on an open server.
+func (s *Server) tenantOf(r *http.Request) (*tenantState, error) {
+	if s.tenants == nil {
+		return nil, nil
+	}
+	token := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+	t, ok := s.tenants[token]
+	if !ok || token == "" {
+		return nil, api.Errf(api.ErrUnauthorized, "missing or unknown bearer token")
+	}
+	return t, nil
+}
+
+// allow checks a tenant's device authorisation. dev < 0 means
+// fleet-wide scope, which only device-unrestricted tenants may read — a
+// tenant confined to some devices must not see aggregates that include
+// the others. A nil tenant (open server) may do anything.
+func allow(t *tenantState, dev int) error {
+	if t == nil {
+		return nil
+	}
+	if dev < 0 && len(t.Devices) > 0 {
+		return api.Errf(api.ErrForbidden, "tenant %q is device-restricted; query per-device stats instead", t.Name)
+	}
+	if dev >= 0 && !t.allowed(dev) {
+		return api.Errf(api.ErrForbidden, "tenant %q may not address device %d", t.Name, dev)
+	}
+	return nil
+}
+
+// maxBodyBytes bounds mutating-request payloads; the protocol messages
+// are a few hundred bytes, so 1 MiB is generous.
+const maxBodyBytes = 1 << 20
+
+// decode reads a bounded JSON request body; failures map to
+// bad_request, except an over-limit body, which gets its own 413 code
+// so clients can tell "shrink the payload" from "fix the JSON".
+func decode(w http.ResponseWriter, r *http.Request, into any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return api.Errf(api.ErrPayloadTooLarge, "body exceeds %d bytes", tooBig.Limit)
+		}
+		return api.Errf(api.ErrBadRequest, "undecodable payload: %v", err)
+	}
+	return nil
+}
+
+// settle refunds the reserved unit when the operation never executed on
+// a device, so budgets count work done rather than attempts.
+func settle(t *tenantState, err error) {
+	if refundable(err) {
+		t.refund()
+	}
+}
+
+// handle builds the shared mutating-call pipeline for one service verb:
+// authenticate the token (before any body work reaches the parser),
+// decode the typed body, authorise the addressed device, reserve a
+// budget unit, run the call, settle the budget, and write the result or
+// the error envelope (with the partial result riding along).
+func handle[Req interface{ TargetDevice() int }, Res any](s *Server, call func(context.Context, Req) (Res, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t, err := s.tenantOf(r)
+		if err != nil {
+			writeError(w, err, nil)
+			return
+		}
+		var req Req
+		if err := decode(w, r, &req); err != nil {
+			writeError(w, err, nil)
+			return
+		}
+		// A negative device is not fleet-wide scope here — it is simply
+		// an unknown device, and the service reports it as such (the
+		// budget unit comes back via the refund rules).
+		if dev := req.TargetDevice(); dev >= 0 {
+			err = allow(t, dev)
+		}
+		if err == nil {
+			err = t.charge()
+		}
+		if err != nil {
+			writeError(w, err, nil)
+			return
+		}
+		res, err := call(r.Context(), req)
+		if err != nil {
+			settle(t, err)
+			writeError(w, err, res)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// Authenticate before touching any request input, matching the
+	// mutating pipeline's ordering.
+	t, err := s.tenantOf(r)
+	if err != nil {
+		writeError(w, err, nil)
+		return
+	}
+	var req api.StatsRequest
+	if q := r.URL.Query().Get("device"); q == "" {
+		// No device parameter: fleet-wide scope, unrestricted tenants
+		// only.
+		if err := allow(t, -1); err != nil {
+			writeError(w, err, nil)
+			return
+		}
+	} else {
+		n, err := strconv.Atoi(q)
+		if err != nil {
+			writeError(w, api.Errf(api.ErrBadRequest, "device query %q: %v", q, err), nil)
+			return
+		}
+		req.Device = &n
+		// An explicit negative device is an unknown device, not
+		// fleet-wide scope — skip allow (like the mutating pipeline)
+		// and let the service report it uniformly.
+		if n >= 0 {
+			if err := allow(t, n); err != nil {
+				writeError(w, err, nil)
+				return
+			}
+		}
+	}
+	res, err := s.svc.Stats(r.Context(), req)
+	if err != nil {
+		writeError(w, err, nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// validateTenants rejects tenant lists with empty or duplicate tokens —
+// a duplicate would silently shadow the first tenant's device
+// restrictions and quota. It is the single source of this invariant for
+// both NewServer and ReadTenantsJSON.
+func validateTenants(ts []Tenant) error {
+	seen := make(map[string]string, len(ts))
+	for i, t := range ts {
+		if t.Token == "" {
+			return fmt.Errorf("httpapi: tenant %d (%q): empty token", i, t.Name)
+		}
+		if prev, dup := seen[t.Token]; dup {
+			return fmt.Errorf("httpapi: tenants %q and %q share a token", prev, t.Name)
+		}
+		seen[t.Token] = t.Name
+	}
+	return nil
+}
+
+// ReadTenantsJSON parses a tenant list from JSON ([{"name":...,
+// "token":..., "devices":[...], "max_requests":N}, ...]), validating
+// that the list is non-empty and every tenant has a distinct non-empty
+// token.
+func ReadTenantsJSON(data []byte) ([]Tenant, error) {
+	var ts []Tenant
+	if err := json.Unmarshal(data, &ts); err != nil {
+		return nil, fmt.Errorf("httpapi: tenants: %w", err)
+	}
+	if len(ts) == 0 {
+		return nil, errors.New("httpapi: tenants: empty list")
+	}
+	if err := validateTenants(ts); err != nil {
+		return nil, err
+	}
+	return ts, nil
+}

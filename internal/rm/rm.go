@@ -24,6 +24,22 @@ import (
 	"adaptrm/internal/schedule"
 )
 
+// Sentinel errors of the manager, exported so service front-ends can
+// map them onto a transport-level taxonomy with errors.Is instead of
+// string matching. All are returned wrapped with contextual detail.
+var (
+	// ErrUnknownApp: the request names an application absent from the
+	// library.
+	ErrUnknownApp = errors.New("rm: unknown application")
+	// ErrBadDeadline: the deadline is not strictly after the arrival.
+	ErrBadDeadline = errors.New("rm: deadline not after arrival")
+	// ErrTimeBackwards: a request or advance targets a time before the
+	// manager's clock.
+	ErrTimeBackwards = errors.New("rm: time moved backwards")
+	// ErrNoSuchJob: a cancellation names a job that is not active.
+	ErrNoSuchJob = errors.New("rm: no active job")
+)
+
 // Completion describes one finished job.
 type Completion struct {
 	// JobID is the finished job.
@@ -144,7 +160,7 @@ func (m *Manager) NextCompletion() (float64, bool) {
 // completions that occurred in (now, t].
 func (m *Manager) AdvanceTo(t float64) ([]Completion, error) {
 	if t < m.now-schedule.Eps {
-		return nil, fmt.Errorf("rm: time moved backwards: %v < %v", t, m.now)
+		return nil, fmt.Errorf("%w: %v < %v", ErrTimeBackwards, t, m.now)
 	}
 	var done []Completion
 	for si := range m.current.Segments {
@@ -202,23 +218,25 @@ func (m *Manager) removeJob(id int) {
 // Submit is the RM activation for a new request at time t: the manager
 // advances to t, builds the candidate job, and attempts to schedule the
 // whole job set. On success the request is admitted and the schedule
-// replaced; on failure the request is rejected and the previous schedule
-// stays in force (admitted jobs are never compromised). It returns the
-// assigned job ID, the admission verdict, and the completions that
-// occurred while advancing.
+// replaced; on sched.ErrInfeasible the request is rejected and the
+// previous schedule stays in force (admitted jobs are never
+// compromised). Any other scheduler failure is an error, not a verdict
+// — it is returned (and excluded from the Submitted/Rejected counters)
+// rather than masquerading as a rejection. It returns the assigned job
+// ID, the admission verdict, and the completions that occurred while
+// advancing.
 func (m *Manager) Submit(t float64, app string, deadline float64) (id int, accepted bool, done []Completion, err error) {
 	tbl := m.lib.Get(app)
 	if tbl == nil {
-		return 0, false, nil, fmt.Errorf("rm: unknown application %q", app)
+		return 0, false, nil, fmt.Errorf("%w: %q", ErrUnknownApp, app)
 	}
 	if deadline <= t {
-		return 0, false, nil, fmt.Errorf("rm: deadline %v not after arrival %v", deadline, t)
+		return 0, false, nil, fmt.Errorf("%w: %v ≤ %v", ErrBadDeadline, deadline, t)
 	}
 	done, err = m.AdvanceTo(t)
 	if err != nil {
 		return 0, false, done, err
 	}
-	m.stats.Submitted++
 	cand := &job.Job{
 		ID:        m.nextID,
 		Table:     tbl,
@@ -228,6 +246,10 @@ func (m *Manager) Submit(t float64, app string, deadline float64) (id int, accep
 	}
 	trial := append(m.active.Clone(), cand)
 	k, serr := m.schedule(trial, t)
+	if serr != nil && !errors.Is(serr, sched.ErrInfeasible) {
+		return 0, false, done, fmt.Errorf("rm: scheduler failure: %w", serr)
+	}
+	m.stats.Submitted++
 	if serr != nil {
 		m.stats.Rejected++
 		return 0, false, done, nil
@@ -277,7 +299,7 @@ func (m *Manager) schedule(jobs job.Set, t float64) (*schedule.Schedule, error) 
 // the remaining jobs infeasible, since they keep their placements).
 func (m *Manager) Cancel(jobID int) error {
 	if m.active.ByID(jobID) == nil {
-		return fmt.Errorf("rm: no active job %d", jobID)
+		return fmt.Errorf("%w: %d", ErrNoSuchJob, jobID)
 	}
 	m.removeJob(jobID)
 	if len(m.active) == 0 {

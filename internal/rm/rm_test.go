@@ -1,13 +1,17 @@
 package rm
 
 import (
+	"errors"
 	"math"
 	"testing"
 
 	"adaptrm/internal/core"
+	"adaptrm/internal/job"
 	"adaptrm/internal/motiv"
 	"adaptrm/internal/opset"
 	"adaptrm/internal/platform"
+	"adaptrm/internal/sched"
+	"adaptrm/internal/schedule"
 )
 
 func newMgr(t *testing.T, opt Options) *Manager {
@@ -208,5 +212,44 @@ func TestCurrentScheduleIsDeepCopy(t *testing.T) {
 	}
 	if _, err := m.Drain(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSubmitSchedulerFailureIsError: only sched.ErrInfeasible is an
+// admission verdict; any other scheduler failure must surface as an
+// error and stay out of the Submitted/Rejected counters.
+func TestSubmitSchedulerFailureIsError(t *testing.T) {
+	boom := errors.New("boom")
+	bad := sched.Func{ID: "bad", F: func(job.Set, platform.Platform, float64) (*schedule.Schedule, error) {
+		return nil, boom
+	}}
+	m, err := New(motiv.Platform(), motiv.Library(), bad, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, accepted, _, err := m.Submit(0, "lambda1", 9)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the scheduler failure", err)
+	}
+	if accepted {
+		t.Error("failed solve reported as accepted")
+	}
+	st := m.Stats()
+	if st.Submitted != 0 || st.Rejected != 0 {
+		t.Errorf("counters absorbed a scheduler failure: %+v", st)
+	}
+	// Infeasibility stays a clean rejection.
+	infeasible := sched.Func{ID: "never", F: func(job.Set, platform.Platform, float64) (*schedule.Schedule, error) {
+		return nil, sched.ErrInfeasible
+	}}
+	m2, err := New(motiv.Platform(), motiv.Library(), infeasible, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, accepted, _, err := m2.Submit(0, "lambda1", 9); err != nil || accepted {
+		t.Fatalf("infeasible: accepted=%v err=%v, want clean rejection", accepted, err)
+	}
+	if st := m2.Stats(); st.Submitted != 1 || st.Rejected != 1 {
+		t.Errorf("rejection counters: %+v", st)
 	}
 }

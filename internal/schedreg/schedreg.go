@@ -34,9 +34,38 @@ func Names() string {
 
 // New returns a fresh scheduler instance for the given flag name.
 func New(name string) (sched.Scheduler, error) {
-	c, ok := constructors[strings.ToLower(name)]
+	c, ok := constructors[strings.ToLower(strings.TrimSpace(name))]
 	if !ok {
 		return nil, fmt.Errorf("unknown scheduler %q (want %s)", name, Names())
 	}
 	return c(), nil
+}
+
+// List parses a comma-separated flag value ("exmem,lr,mdf") into fresh
+// scheduler instances, one per name, preserving order and rejecting
+// duplicates — the multi-scheduler counterpart of New for binaries that
+// compare algorithms.
+func List(names string) ([]sched.Scheduler, error) {
+	parts := strings.Split(names, ",")
+	out := make([]sched.Scheduler, 0, len(parts))
+	seen := make(map[string]bool, len(parts))
+	for _, p := range parts {
+		key := strings.ToLower(strings.TrimSpace(p))
+		if key == "" {
+			continue
+		}
+		if seen[key] {
+			return nil, fmt.Errorf("duplicate scheduler %q in %q", key, names)
+		}
+		seen[key] = true
+		s, err := New(key)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no schedulers in %q (want a comma-separated subset of %s)", names, Names())
+	}
+	return out, nil
 }

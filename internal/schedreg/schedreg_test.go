@@ -1,0 +1,43 @@
+package schedreg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewKnowsEveryAdvertisedName(t *testing.T) {
+	for _, name := range strings.Split(Names(), "|") {
+		s, err := New(name)
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		if s == nil || s.Name() == "" {
+			t.Errorf("New(%q) returned %v", name, s)
+		}
+	}
+	if _, err := New("bogus"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestList(t *testing.T) {
+	ss, err := List("exmem, lr ,mdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss) != 3 {
+		t.Fatalf("got %d schedulers", len(ss))
+	}
+	want := []string{"EX-MEM", "MMKP-LR", "MMKP-MDF"}
+	for i, s := range ss {
+		if s.Name() != want[i] {
+			t.Errorf("order broken: %d = %s, want %s", i, s.Name(), want[i])
+		}
+	}
+	for _, bad := range []string{"", " , ", "mdf,mdf", "mdf,bogus"} {
+		if _, err := List(bad); err == nil {
+			t.Errorf("List(%q) accepted", bad)
+		}
+	}
+}
