@@ -42,6 +42,21 @@
 //     both to identical deterministic results). cmd/rmserve -listen
 //     runs the ready-made daemon.
 //
+// # Performance
+//
+// The scheduler core is allocation-free on its hot path: a reusable
+// EDF packer (internal/sched.Packer) keeps pooled segment, placement
+// and usage buffers with incrementally maintained per-segment resource
+// vectors, assignments are dense position-keyed slices instead of
+// per-trial map clones, and MMKP-MDF filters candidate configurations
+// incrementally as knapsack containers shrink. Equivalence tests pin
+// the rewrite to a retained naive reference implementation
+// (byte-identical schedules), and CI gates allocs/op of the hot-path
+// benchmarks on every push (scripts/bench-allocs-gate.sh against
+// benchmarks/allocs-baseline.txt; methodology in benchmarks/README.md).
+// cmd/rmeval takes -cpuprofile/-memprofile for pprof evidence when
+// touching these paths.
+//
 // # Quickstart
 //
 //	plat := adaptrm.OdroidXU4()

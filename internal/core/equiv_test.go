@@ -1,0 +1,207 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"adaptrm/internal/job"
+	"adaptrm/internal/motiv"
+	"adaptrm/internal/opset"
+	"adaptrm/internal/platform"
+	"adaptrm/internal/sched"
+	"adaptrm/internal/schedule"
+)
+
+// referenceSchedule is the retained naive implementation of Algorithm 1
+// (the pre-scratch Schedule): map assignments cloned per trial, the
+// candidate list rebuilt and stable-sorted every round, and the schedule
+// taken from the last successful sched.PackEDF. It exists only as the
+// equivalence oracle for the allocation-free rewrite.
+func referenceSchedule(opt Options, jobs job.Set, plat platform.Platform, t float64) (*schedule.Schedule, error) {
+	if err := jobs.Validate(t); err != nil {
+		return nil, err
+	}
+	m := plat.NumTypes()
+	horizon := jobs.MaxDeadline() - t
+	containers := platform.NewTimeVec(m)
+	for i, c := range plat.Capacity() {
+		containers[i] = float64(c) * horizon
+	}
+	asg := make(sched.Assignment, len(jobs))
+	var best *schedule.Schedule
+	for len(asg) < len(jobs) {
+		cand := referenceNextJob(opt, jobs, asg, containers, t)
+		if cand == nil {
+			break
+		}
+		placed := false
+		for _, ptIdx := range cand.pts {
+			trial := asg.Clone()
+			trial[cand.j.ID] = ptIdx
+			k, err := sched.PackEDF(jobs, trial, plat, t)
+			if err != nil {
+				continue
+			}
+			asg = trial
+			best = k
+			pt := cand.j.Table.Points[ptIdx]
+			containers.SubUsage(pt.Alloc, pt.RemainingTime(cand.j.Remaining))
+			placed = true
+			break
+		}
+		if !placed {
+			return nil, sched.ErrInfeasible
+		}
+	}
+	if best == nil {
+		return nil, sched.ErrInfeasible
+	}
+	best.Normalize()
+	return best, nil
+}
+
+type refCandidate struct {
+	j    *job.Job
+	pts  []int
+	diff float64
+}
+
+func referenceNextJob(opt Options, jobs job.Set, asg sched.Assignment, containers platform.TimeVec, t float64) *refCandidate {
+	var cands []*refCandidate
+	for _, j := range jobs {
+		if _, done := asg[j.ID]; done {
+			continue
+		}
+		pts := sched.FeasiblePoints(j, t, containers)
+		if len(pts) == 0 {
+			return &refCandidate{j: j}
+		}
+		c := &refCandidate{j: j, pts: pts}
+		if len(pts) == 1 {
+			c.diff = math.Inf(1)
+		} else {
+			best := j.Table.Points[pts[0]].RemainingEnergy(j.Remaining)
+			second := j.Table.Points[pts[1]].RemainingEnergy(j.Remaining)
+			c.diff = second - best
+		}
+		cands = append(cands, c)
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	switch opt.Selection {
+	case SelectEDF:
+		sort.SliceStable(cands, func(a, b int) bool {
+			if cands[a].j.Deadline != cands[b].j.Deadline {
+				return cands[a].j.Deadline < cands[b].j.Deadline
+			}
+			return cands[a].j.ID < cands[b].j.ID
+		})
+	case SelectArrival:
+		sort.SliceStable(cands, func(a, b int) bool {
+			if cands[a].j.Arrival != cands[b].j.Arrival {
+				return cands[a].j.Arrival < cands[b].j.Arrival
+			}
+			return cands[a].j.ID < cands[b].j.ID
+		})
+	default:
+		sort.SliceStable(cands, func(a, b int) bool {
+			if cands[a].diff != cands[b].diff {
+				return cands[a].diff > cands[b].diff
+			}
+			return cands[a].j.ID < cands[b].j.ID
+		})
+	}
+	return cands[0]
+}
+
+// randomEquivJobs draws a random job set over the motivational tables
+// with a mix of progress ratios, arrivals and deadline tightness.
+func randomEquivJobs(rng *rand.Rand) job.Set {
+	tables := []*opset.Table{motiv.Lambda1(), motiv.Lambda2()}
+	n := 1 + rng.Intn(5)
+	jobs := make(job.Set, 0, n)
+	for i := 0; i < n; i++ {
+		tbl := tables[rng.Intn(len(tables))]
+		rho := 1.0
+		if rng.Float64() < 0.6 {
+			rho = 0.05 + rng.Float64()*0.95
+		}
+		pt := tbl.Points[rng.Intn(tbl.Len())]
+		factor := 0.6 + rng.Float64()*3
+		jobs = append(jobs, &job.Job{
+			ID:        i + 1,
+			Table:     tbl,
+			Arrival:   -rng.Float64() * 2,
+			Deadline:  pt.RemainingTime(rho)*factor + 1e-6,
+			Remaining: rho,
+		})
+	}
+	return jobs
+}
+
+// The allocation-free Schedule must be byte-identical to the retained
+// reference — same segments, same placement order, same energy, same
+// error class — across random job sets and all three selection
+// policies. One scheduler instance per policy is reused throughout, so
+// stale scratch state between calls would surface here.
+func TestScheduleMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	plat := motiv.Platform()
+	rounds := 600
+	if testing.Short() {
+		rounds = 100
+	}
+	for _, sel := range []Selection{SelectMDF, SelectEDF, SelectArrival} {
+		opt := Options{Selection: sel}
+		s := NewWithOptions(opt)
+		for round := 0; round < rounds; round++ {
+			jobs := randomEquivJobs(rng)
+			want, wantErr := referenceSchedule(opt, jobs, plat, 0)
+			got, gotErr := s.Schedule(jobs, plat, 0)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("%v round %d: reference err %v, got err %v\njobs: %v",
+					sel, round, wantErr, gotErr, jobs)
+			}
+			if wantErr != nil {
+				if errors.Is(wantErr, sched.ErrInfeasible) != errors.Is(gotErr, sched.ErrInfeasible) {
+					t.Fatalf("%v round %d: error class mismatch: %v vs %v", sel, round, wantErr, gotErr)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("%v round %d: schedules differ\nreference:\n%s\ngot:\n%s\njobs: %v",
+					sel, round, want, got, jobs)
+			}
+			if e, g := want.Energy(jobs), got.Energy(jobs); e != g {
+				t.Fatalf("%v round %d: energy %v vs %v", sel, round, e, g)
+			}
+		}
+	}
+}
+
+// The MDF hot path must stay (near-)allocation-free: a warm scheduler
+// performs only the result materialisation (schedule struct, segment
+// list, one placement slice per segment) plus the job-set validation
+// map. The bound is deliberately tight — the pre-Packer implementation
+// spent >100 allocations on this scenario.
+func TestScheduleWarmAllocs(t *testing.T) {
+	jobs := job.Set(motiv.ScenarioS1AtT1())
+	plat := motiv.Platform()
+	s := New()
+	if _, err := s.Schedule(jobs, plat, 1); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := s.Schedule(jobs, plat, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 10 {
+		t.Fatalf("warm Schedule allocates %v times per run, want ≤ 10", allocs)
+	}
+}

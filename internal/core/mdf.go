@@ -8,13 +8,19 @@
 // Maximum-Difference-First (MDF): the job whose energy penalty for losing
 // its best feasible configuration is largest is placed first. Each
 // candidate configuration is committed only if Algorithm 2 (EDF packing
-// with segment splitting, sched.PackEDF) finds a feasible segmented
+// with segment splitting, sched.Packer) finds a feasible segmented
 // schedule for all committed jobs.
+//
+// The implementation is allocation-free on the hot path: a per-scheduler
+// scratch area (packer, dense assignment, containers, candidate lists)
+// is reused across Schedule calls, candidate point lists are filtered
+// incrementally as containers shrink instead of being rebuilt, and only
+// the returned schedule is materialised on the heap.
 package core
 
 import (
 	"math"
-	"sort"
+	"sync"
 
 	"adaptrm/internal/job"
 	"adaptrm/internal/platform"
@@ -59,6 +65,21 @@ type Options struct {
 // Scheduler is the MMKP-MDF scheduler.
 type Scheduler struct {
 	opt Options
+
+	// mu guards scr. Schedule acquires it with TryLock: the common
+	// serialised caller (runtime manager, eval harness, fleet device)
+	// always wins and reuses the scratch allocation-free; a concurrent
+	// caller falls back to a fresh scratch instead of blocking.
+	mu  sync.Mutex
+	scr *scratch
+}
+
+// scratch is the reusable per-call state of Schedule.
+type scratch struct {
+	packer     sched.Packer
+	asg        sched.DenseAssignment
+	containers platform.TimeVec
+	cands      []candidate
 }
 
 // New returns the paper's MMKP-MDF scheduler.
@@ -77,9 +98,22 @@ func (s *Scheduler) Name() string {
 
 // candidate describes one unmapped job's filtered configuration list.
 type candidate struct {
+	idx  int // position in the job set (dense-assignment key)
 	j    *job.Job
-	pts  []int   // feasible point indices, ascending energy
+	pts  []int   // feasible point indices, ascending energy (reused backing)
 	diff float64 // MDF difference; +Inf when only one point is feasible
+}
+
+// acquire returns the scheduler's scratch when available, or a fresh one
+// when another goroutine holds it.
+func (s *Scheduler) acquire() (*scratch, func()) {
+	if s.mu.TryLock() {
+		if s.scr == nil {
+			s.scr = &scratch{}
+		}
+		return s.scr, s.mu.Unlock
+	}
+	return &scratch{}, func() {}
 }
 
 // Schedule implements Algorithm 1. It returns sched.ErrInfeasible when no
@@ -88,37 +122,56 @@ func (s *Scheduler) Schedule(jobs job.Set, plat platform.Platform, t float64) (*
 	if err := jobs.Validate(t); err != nil {
 		return nil, err
 	}
+	scr, release := s.acquire()
+	defer release()
 	m := plat.NumTypes()
 	// Line 1: containers J ← Θ × (max deadline − t).
 	horizon := jobs.MaxDeadline() - t
-	containers := platform.NewTimeVec(m)
-	for i, c := range plat.Capacity() {
-		containers[i] = float64(c) * horizon
+	if cap(scr.containers) < m {
+		scr.containers = platform.NewTimeVec(m)
+	}
+	containers := scr.containers[:m]
+	scr.containers = containers
+	for i := 0; i < m; i++ {
+		containers[i] = float64(plat.Types[i].Count) * horizon
 	}
 	// Line 2: no configurations chosen yet.
-	asg := make(sched.Assignment, len(jobs))
-	var best *schedule.Schedule
-	// Line 3: iterate until every job has a configuration.
-	for len(asg) < len(jobs) {
-		cand := s.nextJob(jobs, asg, containers, t)
-		if cand == nil {
-			// No unmapped job left (defensive; loop condition covers it).
-			break
+	scr.asg = scr.asg.Resize(len(jobs))
+	scr.packer.Reset(plat)
+	// Seed the candidate list: every job, its deadline- and
+	// container-feasible points, and its MDF difference. The list is kept
+	// incrementally for the rest of the call — containers only shrink, so
+	// each round re-filters the surviving points in place instead of
+	// re-scanning the full tables (and never reallocates).
+	scr.cands = scr.cands[:0]
+	for i, j := range jobs {
+		c := growCandidate(scr)
+		c.idx, c.j = i, j
+		c.pts = sched.FeasiblePointsInto(j, t, containers, c.pts)
+		if len(c.pts) == 0 {
+			// No feasible configuration: reject without wasting work on
+			// the other jobs.
+			return nil, sched.ErrInfeasible
 		}
+		c.updateDiff()
+	}
+	// Line 3: iterate until every job has a configuration.
+	packed := false
+	for len(scr.cands) > 0 {
+		ci := s.selectCandidate(scr.cands)
+		c := &scr.cands[ci]
 		// Lines 5–14: try configurations in ascending energy order.
 		placed := false
-		for _, ptIdx := range cand.pts {
-			trial := asg.Clone()
-			trial[cand.j.ID] = ptIdx
-			k, err := sched.PackEDF(jobs, trial, plat, t)
-			if err != nil {
+		for _, ptIdx := range c.pts {
+			scr.asg[c.idx] = int32(ptIdx)
+			if err := scr.packer.Pack(jobs, scr.asg, t); err != nil {
+				scr.asg[c.idx] = sched.Unassigned
 				continue // line 14: drop this configuration
 			}
 			// Lines 11–12: commit and update containers.
-			asg = trial
-			best = k
-			pt := cand.j.Table.Points[ptIdx]
-			containers.SubUsage(pt.Alloc, pt.RemainingTime(cand.j.Remaining))
+			packed = true
+			pt := c.j.Table.Points[ptIdx]
+			containers.SubUsage(pt.Alloc, pt.RemainingTime(c.j.Remaining))
 			placed = true
 			break
 		}
@@ -126,68 +179,104 @@ func (s *Scheduler) Schedule(jobs job.Set, plat platform.Platform, t float64) (*
 			// Line 6: configuration list exhausted.
 			return nil, sched.ErrInfeasible
 		}
+		// Swap-remove the placed candidate; the swapped-out entry keeps
+		// its pts backing parked beyond the slice length for reuse.
+		last := len(scr.cands) - 1
+		scr.cands[ci], scr.cands[last] = scr.cands[last], scr.cands[ci]
+		scr.cands = scr.cands[:last]
+		// Re-filter the survivors against the shrunken containers.
+		for i := range scr.cands {
+			rc := &scr.cands[i]
+			if !rc.refilter(containers) {
+				return nil, sched.ErrInfeasible
+			}
+		}
 	}
-	if best == nil {
+	if !packed {
 		return nil, sched.ErrInfeasible
 	}
+	// The last successful Pack covered the full assignment; materialise
+	// it once.
+	best := scr.packer.Schedule()
 	best.Normalize()
 	return best, nil
 }
 
-// nextJob implements NEXTJOBMDF (and the ablation policies): it filters
-// each unmapped job's points against deadlines and containers, and picks
-// the next job to place. It returns nil when every job is mapped.
-//
-// A job with no feasible configuration is returned immediately (with an
-// empty point list) so that Schedule can reject the request without
-// wasting work on the other jobs.
-func (s *Scheduler) nextJob(jobs job.Set, asg sched.Assignment, containers platform.TimeVec, t float64) *candidate {
-	var cands []*candidate
-	for _, j := range jobs {
-		if _, done := asg[j.ID]; done {
-			continue
-		}
-		pts := sched.FeasiblePoints(j, t, containers)
-		if len(pts) == 0 {
-			return &candidate{j: j} // fail fast upstream
-		}
-		c := &candidate{j: j, pts: pts}
-		if len(pts) == 1 {
-			c.diff = math.Inf(1)
-		} else {
-			// Points are table-ordered by ascending full-run energy, and
-			// remaining energy preserves that order (common factor ρ).
-			best := j.Table.Points[pts[0]].RemainingEnergy(j.Remaining)
-			second := j.Table.Points[pts[1]].RemainingEnergy(j.Remaining)
-			c.diff = second - best
-		}
-		cands = append(cands, c)
+// growCandidate extends the candidate list by one, reusing the pts
+// backing array parked beyond the current length.
+func growCandidate(scr *scratch) *candidate {
+	if len(scr.cands) < cap(scr.cands) {
+		scr.cands = scr.cands[:len(scr.cands)+1]
+	} else {
+		scr.cands = append(scr.cands, candidate{})
 	}
-	if len(cands) == 0 {
-		return nil
+	return &scr.cands[len(scr.cands)-1]
+}
+
+// refilter drops points that no longer fit the containers (feasibility
+// is monotone: containers only shrink, and the deadline check does not
+// depend on them) and refreshes the MDF difference. It reports false
+// when no point survives.
+func (c *candidate) refilter(containers platform.TimeVec) bool {
+	w := 0
+	for _, pi := range c.pts {
+		p := c.j.Table.Points[pi]
+		if containers.FitsUsage(p.Alloc, p.RemainingTime(c.j.Remaining), schedule.Eps) {
+			c.pts[w] = pi
+			w++
+		}
 	}
+	c.pts = c.pts[:w]
+	if w == 0 {
+		return false
+	}
+	c.updateDiff()
+	return true
+}
+
+// updateDiff computes the MDF difference over the current point list.
+func (c *candidate) updateDiff() {
+	if len(c.pts) == 1 {
+		c.diff = math.Inf(1)
+		return
+	}
+	// Points are table-ordered by ascending full-run energy, and
+	// remaining energy preserves that order (common factor ρ).
+	best := c.j.Table.Points[c.pts[0]].RemainingEnergy(c.j.Remaining)
+	second := c.j.Table.Points[c.pts[1]].RemainingEnergy(c.j.Remaining)
+	c.diff = second - best
+}
+
+// selectCandidate implements NEXTJOBMDF (and the ablation policies) as a
+// single linear scan for the minimum under the policy's complete
+// tie-break key — (diff | deadline | arrival), then job ID — which is a
+// total order, so it picks the same job the historical sorted
+// implementation did without sorting or allocating.
+func (s *Scheduler) selectCandidate(cands []candidate) int {
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if s.before(&cands[i], &cands[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// before reports whether a precedes b under the selection policy.
+func (s *Scheduler) before(a, b *candidate) bool {
 	switch s.opt.Selection {
 	case SelectEDF:
-		sort.SliceStable(cands, func(a, b int) bool {
-			if cands[a].j.Deadline != cands[b].j.Deadline {
-				return cands[a].j.Deadline < cands[b].j.Deadline
-			}
-			return cands[a].j.ID < cands[b].j.ID
-		})
+		if a.j.Deadline != b.j.Deadline {
+			return a.j.Deadline < b.j.Deadline
+		}
 	case SelectArrival:
-		sort.SliceStable(cands, func(a, b int) bool {
-			if cands[a].j.Arrival != cands[b].j.Arrival {
-				return cands[a].j.Arrival < cands[b].j.Arrival
-			}
-			return cands[a].j.ID < cands[b].j.ID
-		})
+		if a.j.Arrival != b.j.Arrival {
+			return a.j.Arrival < b.j.Arrival
+		}
 	default: // MDF
-		sort.SliceStable(cands, func(a, b int) bool {
-			if cands[a].diff != cands[b].diff {
-				return cands[a].diff > cands[b].diff
-			}
-			return cands[a].j.ID < cands[b].j.ID
-		})
+		if a.diff != b.diff {
+			return a.diff > b.diff
+		}
 	}
-	return cands[0]
+	return a.j.ID < b.j.ID
 }

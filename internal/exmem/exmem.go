@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"adaptrm/internal/core"
@@ -74,13 +75,18 @@ type Stats struct {
 type Scheduler struct {
 	opt   Options
 	stats Stats
+	// seed computes the MMKP-MDF incumbent. Holding one instance lets
+	// repeated activations reuse its scratch buffers.
+	seed *core.Scheduler
 }
 
 // New returns an EX-MEM scheduler with default options.
-func New() *Scheduler { return &Scheduler{} }
+func New() *Scheduler { return NewWithOptions(Options{}) }
 
 // NewWithOptions returns an EX-MEM scheduler with explicit options.
-func NewWithOptions(opt Options) *Scheduler { return &Scheduler{opt: opt} }
+func NewWithOptions(opt Options) *Scheduler {
+	return &Scheduler{opt: opt, seed: core.New()}
+}
 
 // Name implements sched.Scheduler.
 func (s *Scheduler) Name() string { return "EX-MEM" }
@@ -114,7 +120,8 @@ type solver struct {
 	nodes   int64
 	hits    int64
 	pure    bool
-	scratch []byte
+	scratch []byte      // reusable memo-key encode buffer
+	pairs   []statePair // reusable canonicalize scratch
 }
 
 // state is a search node: alive job indices (into metas) in canonical
@@ -174,7 +181,10 @@ func (s *Scheduler) Schedule(jobs job.Set, plat platform.Platform, t float64) (k
 		// Seed the incumbent with MMKP-MDF: its schedules reconfigure
 		// only at completions, so they lie inside EX-MEM's class and
 		// their energy upper-bounds the optimum.
-		if mk, err := core.New().Schedule(jobs, plat, t); err == nil {
+		if s.seed == nil {
+			s.seed = core.New()
+		}
+		if mk, err := s.seed.Schedule(jobs, plat, t); err == nil {
 			ub = mk.Energy(jobs) + 1e-6
 		}
 	}
@@ -199,29 +209,41 @@ func (s *Scheduler) Schedule(jobs job.Set, plat platform.Platform, t float64) (k
 	return k, nil
 }
 
+// statePair is the canonicalize scratch element.
+type statePair struct {
+	idx int
+	rho float64
+}
+
 // canonicalize sorts the state's jobs by (tableID, rho, slack, jobID) so
-// that symmetric jobs collapse onto one memo key.
+// that symmetric jobs collapse onto one memo key. The sort key is a
+// total order (job IDs are unique), so an unstable sort is fine.
 func (sol *solver) canonicalize(st *state) {
-	type pair struct {
-		idx int
-		rho float64
+	if cap(sol.pairs) < len(st.alive) {
+		sol.pairs = make([]statePair, len(st.alive))
 	}
-	ps := make([]pair, len(st.alive))
+	ps := sol.pairs[:len(st.alive)]
 	for i := range st.alive {
-		ps[i] = pair{st.alive[i], st.rho[i]}
+		ps[i] = statePair{st.alive[i], st.rho[i]}
 	}
-	sort.SliceStable(ps, func(a, b int) bool {
-		ma, mb := sol.metas[ps[a].idx], sol.metas[ps[b].idx]
+	slices.SortFunc(ps, func(a, b statePair) int {
+		ma, mb := sol.metas[a.idx], sol.metas[b.idx]
 		if ma.tableID != mb.tableID {
-			return ma.tableID < mb.tableID
+			return ma.tableID - mb.tableID
 		}
-		if ps[a].rho != ps[b].rho {
-			return ps[a].rho < ps[b].rho
+		if a.rho != b.rho {
+			if a.rho < b.rho {
+				return -1
+			}
+			return 1
 		}
 		if ma.j.Deadline != mb.j.Deadline {
-			return ma.j.Deadline < mb.j.Deadline
+			if ma.j.Deadline < mb.j.Deadline {
+				return -1
+			}
+			return 1
 		}
-		return ma.j.ID < mb.j.ID
+		return ma.j.ID - mb.j.ID
 	})
 	for i := range ps {
 		st.alive[i] = ps[i].idx
@@ -229,11 +251,17 @@ func (sol *solver) canonicalize(st *state) {
 	}
 }
 
-// key encodes the canonical state. Remaining ratios and slacks are
-// quantized to 1e-9 so that arithmetic noise between equivalent paths
-// still hits the memo. Absolute time is excluded: energy-to-go is
-// invariant under time shifts once slacks are fixed.
-func (sol *solver) key(st *state) string {
+// keyBytes encodes the canonical state into the solver's reusable
+// scratch buffer. Remaining ratios and slacks are quantized to 1e-9 so
+// that arithmetic noise between equivalent paths still hits the memo.
+// Absolute time is excluded: energy-to-go is invariant under time shifts
+// once slacks are fixed.
+//
+// The returned slice aliases sol.scratch and is invalidated by the next
+// keyBytes call. Memo lookups index the map with string(b) directly —
+// the compiler elides that conversion — so only the first store of each
+// entry materialises a key string.
+func (sol *solver) keyBytes(st *state) []byte {
 	need := len(st.alive) * 17
 	if cap(sol.scratch) < need {
 		sol.scratch = make([]byte, need)
@@ -248,7 +276,15 @@ func (sol *solver) key(st *state) string {
 		binary.BigEndian.PutUint64(tmp[:], uint64(int64(math.Round(slack*1e9))))
 		b = append(b, tmp[:]...)
 	}
-	return string(b)
+	sol.scratch = b[:0]
+	return b
+}
+
+// setMemo stores an entry for the state, re-encoding the key (the
+// scratch buffer may have been clobbered by recursive solves since the
+// lookup).
+func (sol *solver) setMemo(st *state, e memoEntry) {
+	sol.memo[string(sol.keyBytes(st))] = e
 }
 
 // lowerBound returns an admissible energy-to-go bound: the sum over jobs
@@ -296,8 +332,7 @@ func (sol *solver) solve(st state, ub float64) (float64, bool) {
 	if sol.nodes > sol.limit {
 		panic(errBudgetPanic)
 	}
-	key := sol.key(&st)
-	if e, ok := sol.memo[key]; ok {
+	if e, ok := sol.memo[string(sol.keyBytes(&st))]; ok {
 		if e.exact {
 			sol.hits++
 			return e.val, true
@@ -309,16 +344,16 @@ func (sol *solver) solve(st state, ub float64) (float64, bool) {
 	}
 	lb := sol.lowerBound(&st)
 	if math.IsInf(lb, 1) {
-		sol.memo[key] = memoEntry{val: lb, exact: true}
+		sol.setMemo(&st, memoEntry{val: lb, exact: true})
 		return lb, true
 	}
 	if !sol.pure && lb >= ub-1e-12 {
-		sol.storeBound(key, lb)
+		sol.storeBound(&st, lb)
 		return lb, false
 	}
 	children := sol.enumerate(&st)
 	if len(children) == 0 {
-		sol.memo[key] = memoEntry{val: math.Inf(1), exact: true}
+		sol.setMemo(&st, memoEntry{val: math.Inf(1), exact: true})
 		return math.Inf(1), true
 	}
 	sort.SliceStable(children, func(a, b int) bool {
@@ -343,19 +378,22 @@ func (sol *solver) solve(st state, ub float64) (float64, bool) {
 		}
 	}
 	if sol.pure || best < ub-1e-12 {
-		sol.memo[key] = memoEntry{val: best, exact: true, choice: bestChoice}
+		sol.setMemo(&st, memoEntry{val: best, exact: true, choice: bestChoice})
 		return best, true
 	}
-	sol.storeBound(key, ub)
+	sol.storeBound(&st, ub)
 	return ub, false
 }
 
 // storeBound records a lower-bound certificate, keeping the strongest.
-func (sol *solver) storeBound(key string, val float64) {
-	if e, ok := sol.memo[key]; ok && (e.exact || e.val >= val) {
+// No recursion separates the guard lookup from the store, so one key
+// encode serves both.
+func (sol *solver) storeBound(st *state, val float64) {
+	kb := sol.keyBytes(st)
+	if e, ok := sol.memo[string(kb)]; ok && (e.exact || e.val >= val) {
 		return
 	}
-	sol.memo[key] = memoEntry{val: val}
+	sol.memo[string(kb)] = memoEntry{val: val}
 }
 
 // enumerate lists all resource-feasible joint assignments of the alive
@@ -471,7 +509,7 @@ func (sol *solver) reconstruct(root state) (*schedule.Schedule, error) {
 	k := &schedule.Schedule{}
 	st := root
 	for len(st.alive) > 0 {
-		e, ok := sol.memo[sol.key(&st)]
+		e, ok := sol.memo[string(sol.keyBytes(&st))]
 		if !ok || !e.exact || e.choice == nil {
 			return nil, fmt.Errorf("exmem: missing exact memo entry during reconstruction")
 		}

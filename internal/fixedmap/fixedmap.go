@@ -20,7 +20,7 @@ package fixedmap
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"adaptrm/internal/job"
 	"adaptrm/internal/mmkp"
@@ -57,8 +57,10 @@ func (s *Scheduler) Name() string {
 
 // solveEpoch picks one point per job, minimizing total remaining energy
 // subject to concurrent resource feasibility and per-job deadlines at
-// instant t. It returns nil when no joint assignment exists.
-func solveEpoch(jobs job.Set, plat platform.Platform, t float64) sched.Assignment {
+// instant t. The result is a dense assignment keyed by position in jobs
+// (written into buf, reused across epochs); it returns nil when no joint
+// assignment exists.
+func solveEpoch(jobs job.Set, plat platform.Platform, t float64, buf sched.DenseAssignment) sched.DenseAssignment {
 	cap := plat.Capacity()
 	prob := &mmkp.Problem{Capacity: make([]float64, len(cap))}
 	for d, c := range cap {
@@ -88,9 +90,9 @@ func solveEpoch(jobs job.Set, plat platform.Platform, t float64) sched.Assignmen
 	if choice == nil {
 		return nil
 	}
-	asg := make(sched.Assignment, len(jobs))
-	for gi, j := range jobs {
-		asg[j.ID] = itemPoint[gi][choice[gi]]
+	asg := buf.Resize(len(jobs))
+	for gi := range jobs {
+		asg[gi] = int32(itemPoint[gi][choice[gi]])
 	}
 	return asg
 }
@@ -103,7 +105,7 @@ func (s *Scheduler) Schedule(jobs job.Set, plat platform.Platform, t float64) (*
 	k := &schedule.Schedule{}
 	alive := jobs.Clone()
 	cur := t
-	asg := solveEpoch(alive, plat, cur)
+	asg := solveEpoch(alive, plat, cur, nil)
 	if asg == nil {
 		return nil, sched.ErrInfeasible
 	}
@@ -111,7 +113,7 @@ func (s *Scheduler) Schedule(jobs job.Set, plat platform.Platform, t float64) (*
 		if s.variant == Remap && len(k.Segments) > 0 {
 			// Fig. 1b: remap at each finish. Keeping the previous points
 			// is always an option, so a feasible epoch stays feasible.
-			asg = solveEpoch(alive, plat, cur)
+			asg = solveEpoch(alive, plat, cur, asg)
 			if asg == nil {
 				return nil, sched.ErrInfeasible
 			}
@@ -119,26 +121,29 @@ func (s *Scheduler) Schedule(jobs job.Set, plat platform.Platform, t float64) (*
 		// All alive jobs run concurrently; the epoch ends at the first
 		// finish.
 		dt := math.Inf(1)
-		for _, j := range alive {
-			r := j.Table.Points[asg[j.ID]].RemainingTime(j.Remaining)
+		for i, j := range alive {
+			r := j.Table.Points[asg[i]].RemainingTime(j.Remaining)
 			if r < dt {
 				dt = r
 			}
 		}
 		seg := schedule.Segment{Start: cur, End: cur + dt}
-		for _, j := range alive {
-			seg.Placements = append(seg.Placements, schedule.Placement{JobID: j.ID, Point: asg[j.ID]})
+		for i, j := range alive {
+			seg.Placements = append(seg.Placements, schedule.Placement{JobID: j.ID, Point: int(asg[i])})
 		}
-		sort.Slice(seg.Placements, func(a, b int) bool {
-			return seg.Placements[a].JobID < seg.Placements[b].JobID
+		slices.SortFunc(seg.Placements, func(a, b schedule.Placement) int {
+			return a.JobID - b.JobID
 		})
 		if err := k.Append(seg); err != nil {
 			return nil, err
 		}
 		cur += dt
-		var next job.Set
-		for _, j := range alive {
-			pt := j.Table.Points[asg[j.ID]]
+		// Compact the survivors in place, keeping their point choices
+		// aligned with their new positions (the OnArrival variant never
+		// re-solves, so the dense assignment must follow the shrinkage).
+		w := 0
+		for i, j := range alive {
+			pt := j.Table.Points[asg[i]]
 			j.Remaining -= dt / pt.Time
 			if j.Remaining <= schedule.Eps {
 				// Finished: deadline satisfied by the epoch's item filter
@@ -148,9 +153,12 @@ func (s *Scheduler) Schedule(jobs job.Set, plat platform.Platform, t float64) (*
 				}
 				continue
 			}
-			next = append(next, j)
+			alive[w] = j
+			asg[w] = asg[i]
+			w++
 		}
-		alive = next
+		alive = alive[:w]
+		asg = asg[:w]
 	}
 	k.Normalize()
 	return k, nil

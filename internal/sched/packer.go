@@ -1,0 +1,301 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"adaptrm/internal/job"
+	"adaptrm/internal/platform"
+	"adaptrm/internal/schedule"
+)
+
+// Unassigned marks a job without a chosen operating point in a
+// DenseAssignment.
+const Unassigned int32 = -1
+
+// invalidPoint marks a job whose map-form assignment carried a negative
+// point index. Pack reports it as out of range, matching the historical
+// PackEDF behaviour for such assignments.
+const invalidPoint int32 = math.MinInt32
+
+// DenseAssignment fixes one operating point per job, keyed by the job's
+// position in the job.Set it was built for (not by job ID). Entry i holds
+// the table index chosen for jobs[i], or Unassigned. The dense form is
+// what the scheduler hot path uses: committing a trial point is a single
+// store instead of a map clone, and the packer indexes it without
+// hashing.
+type DenseAssignment []int32
+
+// NewDenseAssignment returns an all-unassigned dense assignment for n
+// jobs.
+func NewDenseAssignment(n int) DenseAssignment {
+	d := make(DenseAssignment, n)
+	d.Clear()
+	return d
+}
+
+// Clear marks every job unassigned.
+func (d DenseAssignment) Clear() {
+	for i := range d {
+		d[i] = Unassigned
+	}
+}
+
+// Resize returns a cleared dense assignment of length n, reusing d's
+// backing array when it is large enough.
+func (d DenseAssignment) Resize(n int) DenseAssignment {
+	if cap(d) < n {
+		return NewDenseAssignment(n)
+	}
+	d = d[:n]
+	d.Clear()
+	return d
+}
+
+// Dense converts the map form to the dense form for the given job set,
+// reusing buf when possible. Jobs absent from the map become Unassigned;
+// negative map values become an invalid marker that Pack rejects as out
+// of range (the historical PackEDF behaviour).
+func (a Assignment) Dense(jobs job.Set, buf DenseAssignment) DenseAssignment {
+	d := buf.Resize(len(jobs))
+	for i, j := range jobs {
+		if pt, ok := a[j.ID]; ok {
+			if pt < 0 {
+				d[i] = invalidPoint
+			} else {
+				d[i] = int32(pt)
+			}
+		}
+	}
+	return d
+}
+
+// pendingJob is one assigned job awaiting EDF placement.
+type pendingJob struct {
+	j  *job.Job
+	pt int32
+}
+
+// packSeg is the packer's internal segment representation: the schedule
+// segment plus its incrementally maintained resource-usage vector, so
+// capacity checks never rescan placements against the job set.
+type packSeg struct {
+	start, end float64
+	placements []schedule.Placement
+	usage      platform.Alloc
+}
+
+// Packer builds EDF-packed schedules (Algorithm 2 of the paper) from
+// reusable scratch buffers. A Packer amortises every allocation of the
+// packing hot path: the pending-job list, the segment list, per-segment
+// placement lists and per-segment usage vectors are all retained across
+// Pack calls, so a warm Packer packs with zero heap allocations.
+//
+// The zero value is usable after Reset. A Packer is not safe for
+// concurrent use; callers that share one across goroutines must
+// serialise access (see core.Scheduler for the TryLock pattern).
+type Packer struct {
+	m       int
+	cap     platform.Alloc
+	pending []pendingJob
+	segs    []packSeg
+}
+
+// NewPacker returns a packer targeting the platform.
+func NewPacker(plat platform.Platform) *Packer {
+	p := &Packer{}
+	p.Reset(plat)
+	return p
+}
+
+// Reset re-targets the packer at a platform, keeping all scratch
+// buffers. It must be called before Pack when the platform changes.
+func (p *Packer) Reset(plat platform.Platform) {
+	m := plat.NumTypes()
+	p.m = m
+	if cap(p.cap) < m {
+		p.cap = make(platform.Alloc, m)
+	}
+	p.cap = p.cap[:m]
+	for i := 0; i < m; i++ {
+		p.cap[i] = plat.Types[i].Count
+	}
+	p.segs = p.segs[:0]
+	p.pending = p.pending[:0]
+}
+
+// grow extends the segment list by one, reusing the spare placement and
+// usage backing arrays parked beyond the current length, and returns the
+// new segment zeroed.
+func (p *Packer) grow() *packSeg {
+	if len(p.segs) < cap(p.segs) {
+		p.segs = p.segs[:len(p.segs)+1]
+	} else {
+		p.segs = append(p.segs, packSeg{})
+	}
+	s := &p.segs[len(p.segs)-1]
+	s.placements = s.placements[:0]
+	if cap(s.usage) < p.m {
+		s.usage = make(platform.Alloc, p.m)
+	} else {
+		s.usage = s.usage[:p.m]
+	}
+	for i := range s.usage {
+		s.usage[i] = 0
+	}
+	return s
+}
+
+// split cuts segment si at absolute time cut, duplicating its placements
+// and usage into both halves (the same semantics as schedule.Split, but
+// against the packer's pooled buffers).
+func (p *Packer) split(si int, cut float64) error {
+	if s := &p.segs[si]; cut <= s.start+schedule.Eps || cut >= s.end-schedule.Eps {
+		return fmt.Errorf("sched: split point %v not inside (%v, %v)", cut, s.start, s.end)
+	}
+	p.grow() // may reallocate p.segs; take pointers after
+	spare := p.segs[len(p.segs)-1]
+	copy(p.segs[si+2:], p.segs[si+1:len(p.segs)-1])
+	first := &p.segs[si]
+	spare.start, spare.end = cut, first.end
+	spare.placements = append(spare.placements[:0], first.placements...)
+	copy(spare.usage, first.usage)
+	first.end = cut
+	p.segs[si+1] = spare
+	return nil
+}
+
+// appendTail adds a fresh tail segment holding a single placement. The
+// feasibility checks mirror schedule.Append so pathological assignments
+// fail the same way they always did.
+func (p *Packer) appendTail(start, end float64, pl schedule.Placement, alloc platform.Alloc) error {
+	if n := len(p.segs); n > 0 {
+		if prev := p.segs[n-1].end; math.Abs(start-prev) > schedule.Eps {
+			return fmt.Errorf("sched: appended segment starts at %v, schedule ends at %v", start, prev)
+		}
+		start = p.segs[n-1].end
+	}
+	if end <= start+schedule.Eps {
+		return fmt.Errorf("sched: appended segment has non-positive duration [%v,%v)", start, end)
+	}
+	s := p.grow()
+	s.start, s.end = start, end
+	s.placements = append(s.placements, pl)
+	s.usage.AddInPlace(alloc)
+	return nil
+}
+
+// Pack implements Algorithm 2 of the paper (SCHEDULEJOBS) against the
+// packer's scratch state: jobs with an assigned operating point are
+// placed in EDF order into the earliest segments with spare capacity,
+// splitting a segment when a job finishes inside it and appending fresh
+// segments at the tail. It returns ErrInfeasible when some assigned job
+// would miss its deadline.
+//
+// asg must have exactly one entry per job (position-keyed); jobs marked
+// Unassigned do not participate. The result is held in scratch until the
+// next Pack or Reset — materialise it with Schedule, or inspect success
+// only (the MMKP-MDF trial loop does the latter and materialises once).
+func (p *Packer) Pack(jobs job.Set, asg DenseAssignment, t float64) error {
+	if len(asg) != len(jobs) {
+		return fmt.Errorf("sched: dense assignment has %d entries for %d jobs", len(asg), len(jobs))
+	}
+	p.segs = p.segs[:0]
+	p.pending = p.pending[:0]
+	// Σ̃ ← jobs with configurations, EDF order.
+	for i, j := range jobs {
+		if asg[i] != Unassigned {
+			p.pending = append(p.pending, pendingJob{j: j, pt: asg[i]})
+		}
+	}
+	if len(p.pending) == 0 {
+		return nil
+	}
+	slices.SortFunc(p.pending, func(a, b pendingJob) int {
+		if a.j.Deadline != b.j.Deadline {
+			if a.j.Deadline < b.j.Deadline {
+				return -1
+			}
+			return 1
+		}
+		return a.j.ID - b.j.ID
+	})
+	te := t // end of the last segment
+	for _, pj := range p.pending {
+		j := pj.j
+		ptIdx := int(pj.pt)
+		if pj.pt < 0 || ptIdx >= j.Table.Len() {
+			return fmt.Errorf("sched: job %d: point %d out of range", j.ID, ptIdx)
+		}
+		pt := j.Table.Points[ptIdx]
+		rho := j.Remaining
+		finish := math.NaN()
+		// Walk existing segments in time order.
+		for si := 0; si < len(p.segs) && rho > schedule.Eps; si++ {
+			seg := &p.segs[si]
+			if !pt.Alloc.FitsWith(seg.usage, p.cap) {
+				continue
+			}
+			need := pt.RemainingTime(rho)
+			dur := seg.end - seg.start
+			if need >= dur-schedule.Eps {
+				// Job spans the whole segment.
+				seg.placements = append(seg.placements, schedule.Placement{JobID: j.ID, Point: ptIdx})
+				seg.usage.AddInPlace(pt.Alloc)
+				rho -= dur / pt.Time
+				if rho < schedule.Eps {
+					rho = 0
+					finish = seg.end
+				}
+			} else {
+				// Job finishes inside: split and occupy the first part.
+				cut := seg.start + need
+				if err := p.split(si, cut); err != nil {
+					return fmt.Errorf("sched: packEDF split: %w", err)
+				}
+				first := &p.segs[si]
+				first.placements = append(first.placements, schedule.Placement{JobID: j.ID, Point: ptIdx})
+				first.usage.AddInPlace(pt.Alloc)
+				rho = 0
+				finish = first.end
+			}
+		}
+		if rho > schedule.Eps {
+			// Tail segment(s): the job runs to completion after te.
+			need := pt.RemainingTime(rho)
+			if err := p.appendTail(te, te+need, schedule.Placement{JobID: j.ID, Point: ptIdx}, pt.Alloc); err != nil {
+				return fmt.Errorf("sched: packEDF append: %w", err)
+			}
+			te += need
+			finish = te
+		}
+		if len(p.segs) > 0 {
+			te = p.segs[len(p.segs)-1].end
+		}
+		if math.IsNaN(finish) || finish > j.Deadline+schedule.Eps {
+			return ErrInfeasible
+		}
+	}
+	return nil
+}
+
+// Schedule materialises the result of the last successful Pack as an
+// independently owned schedule. The scratch buffers stay with the
+// packer, so this is the only allocating step of a warm pack-and-return
+// cycle.
+func (p *Packer) Schedule() *schedule.Schedule {
+	if len(p.segs) == 0 {
+		return &schedule.Schedule{}
+	}
+	k := &schedule.Schedule{Segments: make([]schedule.Segment, len(p.segs))}
+	for i := range p.segs {
+		s := &p.segs[i]
+		k.Segments[i] = schedule.Segment{
+			Start:      s.start,
+			End:        s.end,
+			Placements: append([]schedule.Placement(nil), s.placements...),
+		}
+	}
+	return k
+}

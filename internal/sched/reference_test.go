@@ -1,0 +1,209 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"adaptrm/internal/job"
+	"adaptrm/internal/motiv"
+	"adaptrm/internal/opset"
+	"adaptrm/internal/platform"
+	"adaptrm/internal/schedule"
+)
+
+// referencePackEDF is the retained naive implementation of Algorithm 2
+// (the pre-Packer PackEDF): per-segment usage recomputed from the job
+// set on every visit, schedule built directly through schedule.Split and
+// schedule.Append. It exists only as the equivalence oracle for the
+// allocation-free Packer.
+func referencePackEDF(jobs job.Set, asg Assignment, plat platform.Platform, t float64) (*schedule.Schedule, error) {
+	m := plat.NumTypes()
+	capacity := plat.Capacity()
+	pending := make(job.Set, 0, len(asg))
+	for _, j := range jobs {
+		if _, ok := asg[j.ID]; ok {
+			pending = append(pending, j)
+		}
+	}
+	if len(pending) == 0 {
+		return &schedule.Schedule{}, nil
+	}
+	pending.SortEDF()
+	k := &schedule.Schedule{}
+	te := t
+	for _, j := range pending {
+		ptIdx := asg[j.ID]
+		if ptIdx < 0 || ptIdx >= j.Table.Len() {
+			return nil, fmt.Errorf("sched: job %d: point %d out of range", j.ID, ptIdx)
+		}
+		pt := j.Table.Points[ptIdx]
+		rho := j.Remaining
+		finish := math.NaN()
+		for si := 0; si < len(k.Segments) && rho > schedule.Eps; si++ {
+			seg := &k.Segments[si]
+			usage := seg.Usage(jobs, m)
+			if !pt.Alloc.FitsWith(usage, capacity) {
+				continue
+			}
+			need := pt.RemainingTime(rho)
+			dur := seg.Duration()
+			if need >= dur-schedule.Eps {
+				seg.Placements = append(seg.Placements, schedule.Placement{JobID: j.ID, Point: ptIdx})
+				rho -= dur / pt.Time
+				if rho < schedule.Eps {
+					rho = 0
+					finish = seg.End
+				}
+			} else {
+				cut := seg.Start + need
+				if err := k.Split(si, cut); err != nil {
+					return nil, fmt.Errorf("sched: packEDF split: %w", err)
+				}
+				first := &k.Segments[si]
+				first.Placements = append(first.Placements, schedule.Placement{JobID: j.ID, Point: ptIdx})
+				rho = 0
+				finish = first.End
+			}
+		}
+		if rho > schedule.Eps {
+			need := pt.RemainingTime(rho)
+			seg := schedule.Segment{
+				Start:      te,
+				End:        te + need,
+				Placements: []schedule.Placement{{JobID: j.ID, Point: ptIdx}},
+			}
+			if err := k.Append(seg); err != nil {
+				return nil, fmt.Errorf("sched: packEDF append: %w", err)
+			}
+			te += need
+			finish = te
+		}
+		if len(k.Segments) > 0 {
+			te = k.Segments[len(k.Segments)-1].End
+		}
+		if math.IsNaN(finish) || finish > j.Deadline+schedule.Eps {
+			return nil, ErrInfeasible
+		}
+	}
+	return k, nil
+}
+
+// randomPackProblem draws a random job set and a (partial, possibly
+// infeasible) assignment over the motivational tables.
+func randomPackProblem(rng *rand.Rand) (job.Set, Assignment) {
+	tables := []*opset.Table{motiv.Lambda1(), motiv.Lambda2()}
+	n := 1 + rng.Intn(5)
+	jobs := make(job.Set, 0, n)
+	asg := Assignment{}
+	for i := 0; i < n; i++ {
+		tbl := tables[rng.Intn(len(tables))]
+		j := &job.Job{
+			ID:        i + 1,
+			Table:     tbl,
+			Deadline:  0.5 + rng.Float64()*40,
+			Remaining: 0.05 + rng.Float64()*0.95,
+		}
+		jobs = append(jobs, j)
+		if rng.Float64() < 0.85 {
+			asg[j.ID] = rng.Intn(tbl.Len())
+		}
+	}
+	return jobs, asg
+}
+
+// The packer must produce byte-identical schedules (segment boundaries,
+// placement lists in order) and identical error outcomes to the naive
+// reference across random job sets and assignments. One packer instance
+// is reused for every round, so scratch contamination between packs
+// would surface here.
+func TestPackerMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	plat := motiv.Platform()
+	packer := NewPacker(plat)
+	var dense DenseAssignment
+	rounds := 1500
+	if testing.Short() {
+		rounds = 200
+	}
+	for round := 0; round < rounds; round++ {
+		jobs, asg := randomPackProblem(rng)
+		want, wantErr := referencePackEDF(jobs, asg, plat, 0)
+
+		packer.Reset(plat)
+		dense = asg.Dense(jobs, dense)
+		gotErr := packer.Pack(jobs, dense, 0)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("round %d: reference err %v, packer err %v", round, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if errors.Is(wantErr, ErrInfeasible) != errors.Is(gotErr, ErrInfeasible) {
+				t.Fatalf("round %d: error class mismatch: %v vs %v", round, wantErr, gotErr)
+			}
+			continue
+		}
+		got := packer.Schedule()
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("round %d: schedules differ\nreference:\n%s\npacker:\n%s", round, want, got)
+		}
+		if e, g := energyOf(want, jobs), energyOf(got, jobs); e != g {
+			t.Fatalf("round %d: energy %v vs %v", round, e, g)
+		}
+
+		// The compatibility wrapper must agree with the packer it wraps.
+		viaWrapper, err := PackEDF(jobs, asg, plat, 0)
+		if err != nil {
+			t.Fatalf("round %d: wrapper failed where packer succeeded: %v", round, err)
+		}
+		if !reflect.DeepEqual(want, viaWrapper) {
+			t.Fatalf("round %d: wrapper schedule differs", round)
+		}
+	}
+}
+
+func energyOf(k *schedule.Schedule, jobs job.Set) float64 { return k.Energy(jobs) }
+
+// A warm packer packs without touching the heap: the pending list,
+// segments, placements and usage vectors all come from retained scratch.
+func TestPackerPackZeroAllocs(t *testing.T) {
+	jobs := job.Set(motiv.ScenarioS1AtT1())
+	plat := motiv.Platform()
+	p1 := jobs.ByID(1).Table.ByAlloc(platform.Alloc{2, 1})[0]
+	p2 := jobs.ByID(2).Table.ByAlloc(platform.Alloc{2, 1})[0]
+	packer := NewPacker(plat)
+	dense := Assignment{1: p1, 2: p2}.Dense(jobs, nil)
+	// Warm the scratch buffers.
+	if err := packer.Pack(jobs, dense, 1); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := packer.Pack(jobs, dense, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Pack allocates %v times per run, want 0", allocs)
+	}
+}
+
+// Dense conversion must mirror the map semantics, including the
+// out-of-range rejection of negative point values.
+func TestDenseAssignment(t *testing.T) {
+	jobs := job.Set(motiv.ScenarioS1AtT1())
+	plat := motiv.Platform()
+	d := Assignment{1: 0}.Dense(jobs, nil)
+	if len(d) != len(jobs) || d[0] != 0 || d[1] != Unassigned {
+		t.Fatalf("dense = %v", d)
+	}
+	if _, err := PackEDF(jobs, Assignment{1: -3}, plat, 1); err == nil {
+		t.Fatal("negative point index not rejected")
+	}
+	// Resize reuses backing and clears.
+	d2 := d.Resize(1)
+	if len(d2) != 1 || d2[0] != Unassigned {
+		t.Fatalf("resized dense = %v", d2)
+	}
+}

@@ -8,8 +8,7 @@ package sched
 
 import (
 	"errors"
-	"fmt"
-	"math"
+	"sync"
 
 	"adaptrm/internal/job"
 	"adaptrm/internal/platform"
@@ -64,7 +63,14 @@ func (f Func) Schedule(jobs job.Set, plat platform.Platform, t float64) (*schedu
 // container skips check (ii). Indices preserve table order (ascending
 // energy).
 func FeasiblePoints(j *job.Job, t float64, containers platform.TimeVec) []int {
-	var out []int
+	return FeasiblePointsInto(j, t, containers, nil)
+}
+
+// FeasiblePointsInto is FeasiblePoints appending into buf's backing
+// array (buf is truncated first), so steady-state callers filter without
+// allocating.
+func FeasiblePointsInto(j *job.Job, t float64, containers platform.TimeVec, buf []int) []int {
+	out := buf[:0]
 	slack := j.Slack(t)
 	for i, p := range j.Table.Points {
 		rem := p.RemainingTime(j.Remaining)
@@ -79,7 +85,9 @@ func FeasiblePoints(j *job.Job, t float64, containers platform.TimeVec) []int {
 	return out
 }
 
-// Assignment fixes one operating point per job (by table index).
+// Assignment fixes one operating point per job (by table index). It is
+// the map-keyed compatibility form; the scheduler hot path uses
+// DenseAssignment, which indexes by job position instead.
 type Assignment map[int]int
 
 // Clone copies the assignment.
@@ -101,79 +109,26 @@ func (a Assignment) Clone() Assignment {
 //
 // Only jobs present in the assignment participate (Algorithm 1 calls this
 // with partially built assignments).
+//
+// PackEDF is a convenience wrapper over Packer, which hot paths use
+// directly to pack without allocating; the wrapper borrows its packer
+// and dense-assignment scratch from a pool, so only the returned
+// schedule is allocated per call.
 func PackEDF(jobs job.Set, asg Assignment, plat platform.Platform, t float64) (*schedule.Schedule, error) {
-	m := plat.NumTypes()
-	cap := plat.Capacity()
-	// Σ̃ ← jobs with configurations, EDF order.
-	pending := make(job.Set, 0, len(asg))
-	for _, j := range jobs {
-		if _, ok := asg[j.ID]; ok {
-			pending = append(pending, j)
-		}
+	w := packPool.Get().(*pooledPacker)
+	defer packPool.Put(w)
+	w.packer.Reset(plat)
+	w.dense = asg.Dense(jobs, w.dense)
+	if err := w.packer.Pack(jobs, w.dense, t); err != nil {
+		return nil, err
 	}
-	if len(pending) == 0 {
-		return &schedule.Schedule{}, nil
-	}
-	pending.SortEDF()
-	k := &schedule.Schedule{}
-	te := t // end of the last segment
-	for _, j := range pending {
-		ptIdx := asg[j.ID]
-		if ptIdx < 0 || ptIdx >= j.Table.Len() {
-			return nil, fmt.Errorf("sched: job %d: point %d out of range", j.ID, ptIdx)
-		}
-		pt := j.Table.Points[ptIdx]
-		rho := j.Remaining
-		finish := math.NaN()
-		// Walk existing segments in time order.
-		for si := 0; si < len(k.Segments) && rho > schedule.Eps; si++ {
-			seg := &k.Segments[si]
-			usage := seg.Usage(jobs, m)
-			if !pt.Alloc.FitsWith(usage, cap) {
-				continue
-			}
-			need := pt.RemainingTime(rho)
-			dur := seg.Duration()
-			if need >= dur-schedule.Eps {
-				// Job spans the whole segment.
-				seg.Placements = append(seg.Placements, schedule.Placement{JobID: j.ID, Point: ptIdx})
-				rho -= dur / pt.Time
-				if rho < schedule.Eps {
-					rho = 0
-					finish = seg.End
-				}
-			} else {
-				// Job finishes inside: split and occupy the first part.
-				cut := seg.Start + need
-				if err := k.Split(si, cut); err != nil {
-					return nil, fmt.Errorf("sched: packEDF split: %w", err)
-				}
-				first := &k.Segments[si]
-				first.Placements = append(first.Placements, schedule.Placement{JobID: j.ID, Point: ptIdx})
-				rho = 0
-				finish = first.End
-			}
-		}
-		if rho > schedule.Eps {
-			// Tail segment(s): the job runs to completion after te.
-			need := pt.RemainingTime(rho)
-			seg := schedule.Segment{
-				Start:      te,
-				End:        te + need,
-				Placements: []schedule.Placement{{JobID: j.ID, Point: ptIdx}},
-			}
-			if err := k.Append(seg); err != nil {
-				return nil, fmt.Errorf("sched: packEDF append: %w", err)
-			}
-			te += need
-			finish = te
-		}
-		if len(k.Segments) > 0 {
-			te = k.Segments[len(k.Segments)-1].End
-		}
-		if math.IsNaN(finish) || finish > j.Deadline+schedule.Eps {
-			return nil, ErrInfeasible
-		}
-	}
-	return k, nil
+	return w.packer.Schedule(), nil
 }
+
+// pooledPacker is the scratch of one PackEDF call.
+type pooledPacker struct {
+	packer Packer
+	dense  DenseAssignment
+}
+
+var packPool = sync.Pool{New: func() any { return new(pooledPacker) }}

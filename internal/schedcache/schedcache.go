@@ -233,6 +233,13 @@ type Cache struct {
 	lru    *list.List // front = most recent; values are *entry
 	index  map[Signature]*list.Element
 	stats  Stats
+
+	// packMu guards the shared re-pack scratch. Lookups acquire it with
+	// TryLock so the common single-caller path re-packs allocation-free
+	// while concurrent lookups fall back to fresh scratch.
+	packMu sync.Mutex
+	packer sched.Packer
+	dense  sched.DenseAssignment
 }
 
 // New creates a cache with the given parameters.
@@ -306,16 +313,32 @@ func (c *Cache) lookup(sig Signature, order []int, jobs job.Set, plat platform.P
 }
 
 // repack rebuilds a schedule from the cached operating-point assignment
-// via EDF packing against the concrete remaining ratios and deadlines.
+// via EDF packing against the concrete remaining ratios and deadlines,
+// reusing the cache's packer scratch when no other lookup holds it.
 func (c *Cache) repack(e *entry, jobs job.Set, order []int, plat platform.Platform, t float64) (*schedule.Schedule, error) {
 	if e.assignment == nil || e.njobs != len(jobs) {
 		return nil, fmt.Errorf("schedcache: no assignment for %d jobs", len(jobs))
 	}
-	asg := make(sched.Assignment, len(jobs))
-	for pos, pt := range e.assignment {
-		asg[jobs[order[pos]].ID] = pt
+	var packer *sched.Packer
+	var dense sched.DenseAssignment
+	if c.packMu.TryLock() {
+		packer, dense = &c.packer, c.dense
+		defer func() {
+			c.dense = dense
+			c.packMu.Unlock()
+		}()
+	} else {
+		packer = &sched.Packer{}
 	}
-	return sched.PackEDF(jobs, asg, plat, t)
+	dense = dense.Resize(len(jobs))
+	for pos, pt := range e.assignment {
+		dense[order[pos]] = int32(pt)
+	}
+	packer.Reset(plat)
+	if err := packer.Pack(jobs, dense, t); err != nil {
+		return nil, err
+	}
+	return packer.Schedule(), nil
 }
 
 // Store canonicalises and caches the schedule computed for (jobs, t),

@@ -103,6 +103,59 @@ func TestCacheHitMissAccounting(t *testing.T) {
 	}
 }
 
+// A lookup whose progress differs slightly from the cached problem (same
+// bucket, different exact ratio) cannot replay verbatim — the executed
+// fraction would violate (2d) — but must be served by re-packing the
+// cached operating-point assignment against the concrete ratios.
+func TestCacheRepackReuse(t *testing.T) {
+	plat := motiv.Platform()
+	cache := New(Params{})
+	jobs := job.Set{testJob(1, "lambda1", 0, 20, 1), testJob(2, "lambda2", 0, 18, 1)}
+	k, err := core.New().Schedule(jobs, plat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Store(jobs, plat, 0, k)
+	// Same shapes, marginally advanced progress: still the same progress
+	// bucket (1.0 vs 0.99 both round to 16/16), so the signature matches.
+	advanced := job.Set{testJob(1, "lambda1", 0, 20, 0.99), testJob(2, "lambda2", 0, 18, 0.99)}
+	if NewSignature(jobs, plat, 0, cache.Params()) != NewSignature(advanced, plat, 0, cache.Params()) {
+		t.Fatal("fixture no longer shares a signature; adjust ratios")
+	}
+	got, ok := cache.Lookup(advanced, plat, 0)
+	if !ok {
+		t.Fatal("re-packable lookup missed")
+	}
+	if err := got.Validate(plat, advanced, 0); err != nil {
+		t.Fatalf("re-packed schedule invalid: %v", err)
+	}
+	s := cache.Stats()
+	if s.Hits != 1 || s.Repacks != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 repack", s)
+	}
+	// The re-pack must inherit the cached point choices, not re-solve:
+	// every placement in the re-packed schedule uses exactly the point
+	// the cached schedule chose for that job.
+	cachedPoint := map[int]int{}
+	for _, seg := range k.Segments {
+		for _, p := range seg.Placements {
+			cachedPoint[p.JobID] = p.Point
+		}
+	}
+	for _, seg := range got.Segments {
+		for _, p := range seg.Placements {
+			want, ok := cachedPoint[p.JobID]
+			if !ok {
+				t.Fatalf("re-pack placed job %d missing from cached schedule", p.JobID)
+			}
+			if p.Point != want {
+				t.Fatalf("re-pack chose point %d for job %d, cached assignment was %d",
+					p.Point, p.JobID, want)
+			}
+		}
+	}
+}
+
 func TestCacheStaleEntryFallsThrough(t *testing.T) {
 	plat := motiv.Platform()
 	cache := New(Params{})

@@ -203,9 +203,31 @@ func (k *Schedule) Normalize() {
 	k.Segments = out
 }
 
+// samePlacements reports multiset equality of two placement lists. Up to
+// 64 placements it runs a quadratic matching with a bitmask — segments
+// hold at most one placement per job on a handful of cores, so this is
+// the allocation-free path Normalize takes on every scheduler return —
+// and falls back to sorted clones beyond that.
 func samePlacements(a, b []Placement) bool {
 	if len(a) != len(b) {
 		return false
+	}
+	if len(a) <= 64 {
+		var used uint64
+		for _, p := range a {
+			found := false
+			for i, q := range b {
+				if used&(1<<i) == 0 && p == q {
+					used |= 1 << i
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
 	}
 	as := clonePlacements(a)
 	bs := clonePlacements(b)

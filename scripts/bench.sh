@@ -1,5 +1,9 @@
 #!/usr/bin/env bash
-# Run the benchmark suite and record the results as benchmarks/latest.txt.
+# Run the benchmark suite and record the results as benchmarks/latest.txt
+# (raw `go test -bench` output, including -benchmem columns) plus
+# benchmarks/latest.tsv (machine-readable: one row per benchmark with
+# name, iterations, ns/op, B/op, allocs/op; the GOMAXPROCS suffix is
+# stripped from names so rows compare across hosts).
 #
 # Environment knobs:
 #   BENCH_PATTERN  regex of benchmarks to run   (default: .)
@@ -14,5 +18,17 @@ BENCH_COUNT=${BENCH_COUNT:-1}
 
 mkdir -p benchmarks
 go test -run '^$' -bench "$BENCH_PATTERN" -benchtime "$BENCH_TIME" \
-	-count "$BENCH_COUNT" -timeout 60m . | tee benchmarks/latest.txt
-echo "wrote benchmarks/latest.txt"
+	-count "$BENCH_COUNT" -benchmem -timeout 60m . | tee benchmarks/latest.txt
+
+awk 'BEGIN { OFS = "\t"; print "benchmark", "iters", "ns_op", "b_op", "allocs_op" }
+	/^Benchmark/ {
+		name = $1; sub(/-[0-9]+$/, "", name)
+		ns = ""; bytes = ""; allocs = ""
+		for (i = 3; i < NF; i++) {
+			if ($(i+1) == "ns/op") ns = $i
+			if ($(i+1) == "B/op") bytes = $i
+			if ($(i+1) == "allocs/op") allocs = $i
+		}
+		print name, $2, ns, bytes, allocs
+	}' benchmarks/latest.txt > benchmarks/latest.tsv
+echo "wrote benchmarks/latest.txt and benchmarks/latest.tsv"
