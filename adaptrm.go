@@ -1,6 +1,7 @@
 package adaptrm
 
 import (
+	"context"
 	"io"
 	"net/http"
 
@@ -59,6 +60,11 @@ type (
 	ManagerStats = rm.Stats
 	// Completion describes one finished job.
 	Completion = rm.Completion
+	// ManagerRequest is one admission request of a manager-level batch
+	// (application plus deadline; the arrival time is the batch's).
+	ManagerRequest = rm.Request
+	// ManagerVerdict is the per-request outcome of Manager.SubmitBatch.
+	ManagerVerdict = rm.Verdict
 	// WorkloadCase is one static scheduling problem of the test suite.
 	WorkloadCase = workload.Case
 	// WorkloadParams tunes suite generation.
@@ -105,6 +111,22 @@ type (
 	// SubmitResult carries the admission decision: job id, verdict and
 	// the completions observed while the device clock advanced.
 	SubmitResult = api.SubmitResult
+	// BatchService is the optional batched extension of Service; both
+	// bundled transports implement it. Call it uniformly through the
+	// SubmitBatch function, which falls back to sequential submission
+	// on a plain Service.
+	BatchService = api.BatchService
+	// BatchSubmitRequest asks a device to decide several same-time
+	// requests in one scheduler activation.
+	BatchSubmitRequest = api.BatchSubmitRequest
+	// BatchItem is one request of a batch (application plus deadline).
+	BatchItem = api.BatchItem
+	// BatchSubmitResult carries one verdict per item plus the
+	// completions observed while the device clock advanced.
+	BatchSubmitResult = api.BatchSubmitResult
+	// BatchVerdict is the admission decision for one batch item; clean
+	// rejections and per-item failures arrive as taxonomy errors.
+	BatchVerdict = api.BatchVerdict
 	// AdvanceRequest moves a device's virtual clock forward.
 	AdvanceRequest = api.AdvanceRequest
 	// AdvanceResult lists the completions an advance produced.
@@ -327,6 +349,20 @@ func NewHTTPServer(svc Service, opt HTTPServerOptions) (*HTTPServer, error) {
 // http.DefaultClient.
 func NewHTTPClient(baseURL, token string, hc *http.Client) *HTTPClient {
 	return httpapi.NewClient(baseURL, token, hc)
+}
+
+// SubmitBatch submits several same-time requests for one device through
+// any Service: a native BatchService (the in-process fleet, the HTTP
+// client) decides them in one call — and, when the batch is jointly
+// feasible, one scheduler activation — while a plain Service falls back
+// to sequential submission. Batched admission is behaviour-preserving:
+// verdicts, job ids and the final schedule match one-by-one submission
+// at the batch time; only the activation count (and latency under
+// bursty traffic) differs. Fleets additionally coalesce queued
+// same-device submits automatically when FleetOptions.BatchWindow is
+// set.
+func SubmitBatch(ctx context.Context, svc Service, req BatchSubmitRequest) (BatchSubmitResult, error) {
+	return api.SubmitBatch(ctx, svc, req)
 }
 
 // NewScheduleCache creates a goroutine-safe memoizing schedule cache.

@@ -335,6 +335,41 @@ func BenchmarkAblationPackEDFReuse(b *testing.B) {
 	}
 }
 
+// Ablation: the warm batch path — one reusable Packer packing a
+// burst-sized job set, the inner loop of a batched admission's joint
+// solve. Like the single-submit path (AblationPackEDFReuse) it must
+// stay allocation-free; the allocs/op gate pins it at 0.
+func BenchmarkAblationPackEDFBatchReuse(b *testing.B) {
+	base := job.Set(motiv.ScenarioS1AtT1())
+	tables := []*opset.Table{base.ByID(1).Table, base.ByID(2).Table}
+	var jobs job.Set
+	for i := 0; i < 6; i++ {
+		jobs = append(jobs, &job.Job{
+			ID:        i + 1,
+			Table:     tables[i%2],
+			Arrival:   1,
+			Deadline:  100 + 10*float64(i),
+			Remaining: 1,
+		})
+	}
+	plat := motiv.Platform()
+	packer := sched.NewPacker(plat)
+	dense := sched.NewDenseAssignment(len(jobs))
+	for i, j := range jobs {
+		dense[i] = int32(j.Table.ByAlloc(platform.Alloc{2, 1})[0])
+	}
+	if err := packer.Pack(jobs, dense, 1); err != nil { // warm the scratch
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := packer.Pack(jobs, dense, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Ablation: the online runtime manager on a dynamic trace (throughput of
 // the full activation path: advance, schedule, commit).
 func BenchmarkOnlineManagerTrace(b *testing.B) {
@@ -423,3 +458,50 @@ func BenchmarkFleetThroughput8Shards(b *testing.B) { benchFleet(b, 8, true) }
 // The uncached baseline isolates the schedule cache's contribution to
 // fleet throughput at a fixed shard count.
 func BenchmarkFleetThroughput4ShardsNoCache(b *testing.B) { benchFleet(b, 4, false) }
+
+// Batched admission under bursty traffic: the same coincident-arrival
+// fleet trace (every Poisson event brings a burst of 4 same-device
+// requests) replayed with and without a batch window. Replay's
+// fire-and-forget enqueue lets mailboxes fill, so the workers can
+// coalesce queued same-device submits into single SubmitBatch
+// activations over the warm packer. Reported metrics: end-to-end
+// requests/sec, scheduler activations per request (the quantity
+// batching amortises — admission and energy statistics are identical
+// by the equivalence suite), and the share of requests that rode in a
+// coalesced batch.
+func benchFleetBursty(b *testing.B, window float64) {
+	fixtures(b)
+	const devices = 8
+	trace, err := workload.FleetTrace(fixLib, workload.FleetTraceParams{
+		Devices: devices, Rate: 0.02, Horizon: 600, BurstSize: 4, Seed: 23,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last fleet.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		devs := make([]fleet.DeviceConfig, devices)
+		for d := range devs {
+			devs[d] = fleet.DeviceConfig{Platform: fixPlat, Library: fixLib, Scheduler: core.New()}
+		}
+		f, err := fleet.New(devs, fleet.Options{Shards: 4, BatchWindow: window})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Replay(trace); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+		last = f.Stats()
+	}
+	reqs := float64(len(trace)) * float64(b.N)
+	b.ReportMetric(reqs/b.Elapsed().Seconds(), "req/s")
+	b.ReportMetric(float64(last.Activations)/float64(last.Submitted), "activations/req")
+	b.ReportMetric(100*float64(last.CoalescedRequests)/float64(last.Submitted), "%coalesced")
+}
+
+func BenchmarkFleetBurstyUnbatched(b *testing.B) { benchFleetBursty(b, 0) }
+func BenchmarkFleetBurstyBatched(b *testing.B)   { benchFleetBursty(b, 0.05) }

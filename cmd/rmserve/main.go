@@ -65,6 +65,9 @@ func main() {
 	cacheSize := flag.Int("cache-size", schedcache.DefaultCapacity, "schedule-cache capacity per device")
 	cacheSlack := flag.Float64("cache-slack", schedcache.DefaultSlackBucket, "relative slack bucket of the cache signature")
 	mailbox := flag.Int("mailbox", 64, "per-shard mailbox size")
+	batchWindow := flag.Float64("batch-window", 0, "coalesce queued same-device submits within this many seconds of virtual time into one batched activation (0 disables)")
+	burst := flag.Int("burst", 0, "burst size: requests per arrival event (replay mode; ≤1 = plain Poisson)")
+	burstWindow := flag.Float64("burst-window", 0, "spread of a burst's arrivals in seconds (replay mode; 0 = coincident)")
 	resched := flag.Bool("resched", false, "re-run the scheduler at every job completion")
 	verbose := flag.Bool("v", false, "print per-device statistics")
 	listen := flag.String("listen", "", "daemon mode: serve the fleet over HTTP on this address (e.g. :8080)")
@@ -92,6 +95,7 @@ func main() {
 		Manager:     rm.Options{RescheduleOnFinish: *resched},
 		Cache:       *cache,
 		CacheParams: schedcache.Params{Capacity: *cacheSize, SlackBucket: *cacheSlack},
+		BatchWindow: *batchWindow,
 	})
 	if err != nil {
 		fatal(err)
@@ -109,6 +113,7 @@ func main() {
 	trace, err := workload.FleetTrace(lib, workload.FleetTraceParams{
 		Devices: *devices, Rate: *rate, RateSpread: *spread,
 		Horizon: *horizon, Seed: *seed,
+		BurstSize: *burst, BurstWindow: *burstWindow,
 	})
 	if err != nil {
 		fatal(err)
@@ -168,7 +173,7 @@ func serveDaemon(f *fleet.Fleet, listen, token, tenantsPath string, cache, verbo
 	errCh := make(chan error, 1)
 	start := time.Now()
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("listening: %s (POST /v1/submit /v1/advance /v1/cancel, GET /v1/stats /healthz)\n", listen)
+	fmt.Printf("listening: %s (POST /v1/submit /v1/submit-batch /v1/advance /v1/cancel, GET /v1/stats /healthz)\n", listen)
 
 	select {
 	case <-ctx.Done():
@@ -206,6 +211,10 @@ func report(f *fleet.Fleet, wall time.Duration, cache, verbose, daemon bool, dev
 	fmt.Printf("scheduler:       %d activations, %v wall time (%.1f µs/activation)\n",
 		s.Activations, s.SchedulingTime.Round(time.Microsecond),
 		perJob(float64(s.SchedulingTime.Microseconds()), s.Activations))
+	if s.CoalescedBatches > 0 {
+		fmt.Printf("batching:        %d submits coalesced into %d batched activations\n",
+			s.CoalescedRequests, s.CoalescedBatches)
+	}
 	if cache {
 		fmt.Printf("schedule cache:  %d hits / %d misses (%.1f%% hit rate, %d re-packs, %d stale, %d evictions)\n",
 			s.CacheHits, s.CacheMisses, 100*s.CacheHitRate(), s.CacheRepacks, s.CacheStale, s.CacheEvictions)

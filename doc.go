@@ -41,6 +41,19 @@
 //     interchangeable with the in-process fleet (the test suite holds
 //     both to identical deterministic results). cmd/rmserve -listen
 //     runs the ready-made daemon.
+//   - batched admission: SubmitBatch decides several same-time requests
+//     for one device in a single call; a jointly feasible batch costs
+//     one scheduler activation instead of one per request (the solve
+//     runs over the warm allocation-free packer), and an infeasible one
+//     falls back to per-request decisions in arrival order — so
+//     verdicts, job ids and the final schedule are always identical to
+//     sequential submission, only the activation count shrinks. Both
+//     transports implement the BatchService extension (POST
+//     /v1/submit-batch over HTTP; a k-item batch costs k quota units),
+//     and fleets additionally coalesce queued same-device submits
+//     automatically within FleetOptions.BatchWindow seconds of virtual
+//     time, amortising activations under the bursty multi-tenant
+//     traffic GenerateFleetTrace produces with BurstSize/BurstWindow.
 //
 // # Performance
 //

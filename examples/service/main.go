@@ -2,8 +2,8 @@
 // through the typed client — the same adaptrm.Service interface the
 // in-process fleet implements, so swapping transports changes one
 // constructor call. Demonstrates per-request decisions, typed
-// rejections, job cancellation, per-tenant quotas and the stats
-// endpoint.
+// rejections, batched admission (one scheduler activation for a whole
+// burst), job cancellation, per-tenant quotas and the stats endpoint.
 package main
 
 import (
@@ -41,7 +41,7 @@ func main() {
 		log.Fatal(err)
 	}
 	server, err := adaptrm.NewHTTPServer(f.Service(), adaptrm.HTTPServerOptions{
-		Tenants: []adaptrm.Tenant{{Name: "demo", Token: "s3cret", MaxRequests: 6}},
+		Tenants: []adaptrm.Tenant{{Name: "demo", Token: "s3cret", MaxRequests: 9}},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -89,8 +89,33 @@ func main() {
 		fmt.Printf("t=%.1f: job %d completed (missed=%v)\n", c.At, c.JobID, c.Missed)
 	}
 
-	// The tenant's 6-request budget is now spent: 3 submits + 1 cancel +
-	// 1 advance leave room for exactly one more mutating call.
+	// Batched admission: a burst of three same-time requests for device 1
+	// is decided in one call — and, being jointly feasible, one scheduler
+	// activation instead of three. Verdicts and job ids are exactly what
+	// three sequential submits would have produced; a batch of k costs k
+	// units of the tenant budget.
+	batch, err := adaptrm.SubmitBatch(ctx, svc, adaptrm.BatchSubmitRequest{
+		Device: 1, At: 0, Items: []adaptrm.BatchItem{
+			{App: "audio-filter/medium", Deadline: 25},
+			{App: "speaker-recognition/medium", Deadline: 40},
+			{App: "pedestrian-recognition/small", Deadline: 35},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, v := range batch.Verdicts {
+		switch {
+		case v.Accepted:
+			fmt.Printf("batch[%d] → accepted as job %d\n", i, v.JobID)
+		default:
+			fmt.Printf("batch[%d] → %s\n", i, v.Error.Code)
+		}
+	}
+
+	// The tenant's 9-request budget is now nearly spent: 3 submits +
+	// 1 cancel + 1 advance + the 3-item batch leave room for exactly one
+	// more mutating call.
 	if _, err := svc.Submit(ctx, adaptrm.SubmitRequest{Device: 1, At: 0, App: "audio-filter/small", Deadline: 25}); err == nil {
 		fmt.Println("device 1: one more admission within budget")
 	}

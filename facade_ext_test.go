@@ -169,6 +169,64 @@ func TestFacadeService(t *testing.T) {
 	}
 }
 
+// TestFacadeSubmitBatch exercises the batched-admission surface: the
+// uniform SubmitBatch helper over both transports, the manager-level
+// batch call, and the fleet's coalescing window option.
+func TestFacadeSubmitBatch(t *testing.T) {
+	lib := motiv.Library()
+	ctx := context.Background()
+	devs := []FleetDevice{{Platform: Motivational2L2B(), Library: lib, Scheduler: NewMMKPMDF()}}
+	f, err := NewFleet(devs, FleetOptions{BatchWindow: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = f.Close() })
+	srv, err := NewHTTPServer(f.Service(), HTTPServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	at := 0.0
+	for name, svc := range map[string]Service{
+		"in-process": f.Service(),
+		"http":       NewHTTPClient(ts.URL, "", ts.Client()),
+	} {
+		res, err := SubmitBatch(ctx, svc, BatchSubmitRequest{Device: 0, At: at, Items: []BatchItem{
+			{App: "lambda1", Deadline: at + 30},
+			{App: "nope", Deadline: at + 30},
+			{App: "lambda2", Deadline: at + 35},
+		}})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Verdicts[0].Accepted || !res.Verdicts[2].Accepted {
+			t.Errorf("%s: valid items not admitted: %+v", name, res.Verdicts)
+		}
+		if !errors.Is(res.Verdicts[1].Error, ErrUnknownApp) {
+			t.Errorf("%s: unknown app verdict: %+v", name, res.Verdicts[1])
+		}
+		if _, err := svc.Advance(ctx, AdvanceRequest{Device: 0, To: at + 50}); err != nil {
+			t.Fatalf("%s: advance: %v", name, err)
+		}
+		at += 100
+	}
+
+	// The manager-level call shares the semantics.
+	mgr, err := NewManager(Motivational2L2B(), lib, NewMMKPMDF(), ManagerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, _, err := mgr.SubmitBatch(0, []ManagerRequest{{App: "lambda1", Deadline: 30}, {App: "lambda2", Deadline: 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vs[0].Accepted || !vs[1].Accepted || mgr.Stats().Activations != 1 {
+		t.Errorf("manager batch: %+v, %d activations", vs, mgr.Stats().Activations)
+	}
+}
+
 func TestFacadeCachingScheduler(t *testing.T) {
 	cache := NewScheduleCache(ScheduleCacheParams{Capacity: 16})
 	s := NewCachingScheduler(NewMMKPMDF(), cache)

@@ -1,0 +1,138 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"strings"
+)
+
+// BatchItem is one admission request of a batched submission: an
+// application name and its absolute firm deadline. The arrival time is
+// the batch's.
+type BatchItem struct {
+	// App names an operating-point table of the device's library.
+	App string `json:"app"`
+	// Deadline is the absolute firm deadline (s), strictly after the
+	// batch arrival time.
+	Deadline float64 `json:"deadline"`
+}
+
+// BatchSubmitRequest asks a device to decide several same-time requests
+// in one activation. Batched admission is behaviour-preserving: the
+// verdicts, job ids and final schedule are identical to submitting the
+// items one by one at At; only the scheduler-activation count (and
+// hence latency under bursty traffic) differs.
+type BatchSubmitRequest struct {
+	// Device is the fleet device index.
+	Device int `json:"device"`
+	// At is the common virtual arrival time (s); per-device times must
+	// be non-decreasing.
+	At float64 `json:"at"`
+	// Items are the requests, decided in order.
+	Items []BatchItem `json:"items"`
+}
+
+// TargetDevice returns the addressed device, letting transport layers
+// authorise any mutating request uniformly.
+func (r BatchSubmitRequest) TargetDevice() int { return r.Device }
+
+// BatchVerdict is the admission decision for one batch item.
+type BatchVerdict struct {
+	// JobID is the admitted job's id (0 when not admitted).
+	JobID int `json:"job_id"`
+	// Accepted is the admission verdict.
+	Accepted bool `json:"accepted"`
+	// Error carries the per-item failure as a taxonomy error: a clean
+	// rejection gets CodeInfeasible, an unknown application
+	// CodeUnknownApp, a deadline at or before the batch time
+	// CodeBadRequest. Nil when the item was admitted.
+	Error *Error `json:"error,omitempty"`
+}
+
+// BatchSubmitResult is the outcome of a batched submission. Unlike
+// Submit, rejection is not the call's error — a batch can mix verdicts,
+// so each item carries its own; the call-level error is reserved for
+// failures affecting the batch as a whole (unknown device, overload,
+// malformed batch).
+type BatchSubmitResult struct {
+	// Verdicts holds one entry per decided item, in item order. On a
+	// successful call it covers every item; when the call itself fails
+	// (unknown device, overload, a mid-batch transport error on the
+	// sequential fallback) it covers only the prefix decided before the
+	// failure — check len(Verdicts) before indexing by item position.
+	Verdicts []BatchVerdict `json:"verdicts"`
+	// Completions lists jobs that finished in (previous now, At] while
+	// the device advanced to the batch arrival time.
+	Completions []Completion `json:"completions,omitempty"`
+}
+
+// DecidedOps reports how many of the batch's mutating operations were
+// actually decided, letting transports settle per-operation budgets
+// when a call fails mid-batch.
+func (r BatchSubmitResult) DecidedOps() int { return len(r.Verdicts) }
+
+// BatchService is the optional batched extension of Service. Both
+// bundled transports implement it (the in-process fleet coalesces the
+// batch into one scheduler activation when it is jointly feasible; the
+// HTTP client forwards to /v1/submit-batch); use SubmitBatch to call it
+// uniformly — it falls back to sequential Submit calls on a plain
+// Service.
+type BatchService interface {
+	Service
+	// SubmitBatch decides all items of one batch. Per-item outcomes are
+	// verdicts, never the call error; see BatchSubmitResult.
+	SubmitBatch(ctx context.Context, req BatchSubmitRequest) (BatchSubmitResult, error)
+}
+
+// perItemCode reports taxonomy codes that describe a single item rather
+// than the whole call, so the sequential fallback can fold them into
+// verdicts the way a native BatchService does.
+func perItemCode(code string) bool {
+	return code == CodeInfeasible || code == CodeUnknownApp || code == CodeBadRequest
+}
+
+// verdictError folds an item-scoped error into its wire form, trimming
+// the sentinel's own prefix so the message does not stack it twice.
+func verdictError(err error) *Error {
+	code := ErrorCode(err)
+	msg := strings.TrimPrefix(err.Error(), "api: "+code+": ")
+	return FromCode(code, msg)
+}
+
+// SubmitBatch submits a batch through any Service: a native
+// BatchService decides it in one call (one scheduler activation when
+// the batch is jointly feasible); otherwise the items are submitted
+// sequentially at the batch time. Admission outcomes are identical on
+// both paths — batched admission never changes verdicts, only
+// amortises activations. The paths differ only in how a mid-batch
+// hard failure surfaces: a native BatchService records it as that
+// item's verdict and keeps deciding, while the sequential fallback
+// aborts with the error and the verdict prefix decided so far (it
+// cannot tell a scheduler failure from a transport failure). The
+// empty batch is rejected as ErrBadRequest on both paths.
+func SubmitBatch(ctx context.Context, svc Service, req BatchSubmitRequest) (BatchSubmitResult, error) {
+	if len(req.Items) == 0 {
+		return BatchSubmitResult{}, Errf(ErrBadRequest, "empty batch for device %d", req.Device)
+	}
+	if bs, ok := svc.(BatchService); ok {
+		return bs.SubmitBatch(ctx, req)
+	}
+	res := BatchSubmitResult{Verdicts: make([]BatchVerdict, len(req.Items))}
+	for i, it := range req.Items {
+		sr, err := svc.Submit(ctx, SubmitRequest{Device: req.Device, At: req.At, App: it.App, Deadline: it.Deadline})
+		res.Completions = append(res.Completions, sr.Completions...)
+		if err != nil {
+			var coded *Error
+			if errors.As(err, &coded) && perItemCode(coded.Code) {
+				res.Verdicts[i] = BatchVerdict{Error: verdictError(err)}
+				continue
+			}
+			// A call-level failure (device, transport, overload) aborts
+			// the batch; the verdicts decided so far ride along.
+			res.Verdicts = res.Verdicts[:i]
+			return res, err
+		}
+		res.Verdicts[i] = BatchVerdict{JobID: sr.JobID, Accepted: sr.Accepted}
+	}
+	return res, nil
+}

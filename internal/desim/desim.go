@@ -91,14 +91,13 @@ func Simulate(trace []workload.Request, lib *opset.Library, plat platform.Platfo
 		return nil, err
 	}
 	res := &Result{}
+	// Completion-triggered rescheduling happens inside the manager:
+	// AdvanceTo re-plans automatically when RescheduleOnFinish is set.
 	record := func(done []rm.Completion) {
 		for _, c := range done {
 			res.Events = append(res.Events, Event{
 				Time: c.At, Kind: Completion, JobID: c.JobID, Missed: c.Missed,
 			})
-		}
-		if len(done) > 0 {
-			mgr.OnCompletion()
 		}
 	}
 	for _, req := range reqs {

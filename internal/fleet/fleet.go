@@ -58,6 +58,18 @@ type Options struct {
 	Cache bool
 	// CacheParams tunes the per-device caches when Cache is set.
 	CacheParams schedcache.Params
+	// BatchWindow enables batched admission: a shard worker picking up
+	// a submit opportunistically drains further queued submits for the
+	// same device whose arrival times lie within BatchWindow seconds of
+	// it and decides them in one rm.Manager.SubmitBatch activation
+	// (per-device FIFO order is preserved; ops for other devices and
+	// non-submit ops are untouched). Coalesced requests are all stamped
+	// with the latest arrival time in the batch, so a window wider than
+	// zero trades at most BatchWindow seconds of admission lateness for
+	// fewer scheduler activations; exactly-coincident arrivals (bursty
+	// traces) coalesce without any behaviour change. Zero disables
+	// coalescing. Explicit Service.SubmitBatch calls work either way.
+	BatchWindow float64
 }
 
 func (o *Options) normalize() {
@@ -67,11 +79,23 @@ func (o *Options) normalize() {
 	if o.MailboxSize <= 0 {
 		o.MailboxSize = 64
 	}
+	if o.BatchWindow < 0 {
+		o.BatchWindow = 0
+	}
 }
 
 // Stats aggregates fleet-wide activity. All counters except
-// SchedulingTime and MaxQueueDepth are deterministic for a given
-// per-device request order.
+// SchedulingTime, MaxQueueDepth and the Coalesced pair are
+// deterministic for a given per-device request order — with one caveat:
+// once Options.BatchWindow enables coalescing, Activations also becomes
+// opportunistic (how many submits share an activation depends on queue
+// timing). The admission and energy counters stay deterministic as
+// long as coalesced arrivals are exactly coincident — batched
+// admission is behaviour-preserving for that shape (the bursty-trace
+// default). Arrivals merely near each other inside the window are
+// re-stamped at the batch's latest arrival when they happen to
+// coalesce, so with spread arrivals the admission counters inherit the
+// opportunism too.
 type Stats struct {
 	// Devices is the fleet size, Shards the worker count.
 	Devices, Shards int
@@ -92,6 +116,13 @@ type Stats struct {
 	// MaxQueueDepth is the high-water mark of pending requests over all
 	// shard mailboxes (operational, not deterministic).
 	MaxQueueDepth int
+	// CoalescedBatches counts multi-request batches the workers formed
+	// (worker-side coalescing plus explicit SubmitBatch calls), and
+	// CoalescedRequests the submits that rode in them. Like
+	// MaxQueueDepth they are operational: coalescing is opportunistic,
+	// so the split between batched and individual submits — and with it
+	// Activations — depends on queue timing once BatchWindow is set.
+	CoalescedBatches, CoalescedRequests int
 }
 
 // AcceptRate returns Accepted / Submitted, or 0 when idle.
@@ -127,6 +158,7 @@ const (
 	opSubmit opKind = iota
 	opAdvance
 	opCancel
+	opBatch
 )
 
 // opReply is the outcome of one mailbox operation.
@@ -134,6 +166,8 @@ type opReply struct {
 	jobID    int
 	accepted bool
 	done     []rm.Completion
+	// verdicts carries the per-item outcomes of an opBatch.
+	verdicts []rm.Verdict
 	err      error
 }
 
@@ -144,17 +178,35 @@ type op struct {
 	at, deadline float64
 	app          string
 	jobID        int
+	// items holds the requests of an opBatch.
+	items []rm.Request
 	// reply, when non-nil, receives the outcome (buffered size 1, so an
 	// abandoned caller never blocks the worker); when nil, errors are
 	// recorded on the device and surfaced by Close (async replay path).
 	reply chan opReply
 }
 
-// shard is one worker goroutine's mailbox and queue-depth tracking.
+// maxCoalesce bounds worker-side batch formation so one enormous burst
+// cannot starve other devices of the shard indefinitely.
+const maxCoalesce = 256
+
+// shard is one worker goroutine's mailbox and queue-depth tracking,
+// plus per-worker coalescing state (scratch and counters; the scratch
+// is touched only by the owning worker, the counters also by Stats).
 type shard struct {
 	mailbox  chan op
 	depth    atomic.Int64
 	maxDepth atomic.Int64
+	// pending holds ops drained ahead of time while forming a batch;
+	// the worker consumes it FIFO before returning to the mailbox.
+	pending []op
+	// batch is the worker's batch-formation scratch.
+	batch []op
+	items []rm.Request
+	// batches/batched count multi-request batches and the submits that
+	// rode in them (operational metrics, read concurrently by Stats).
+	batches atomic.Int64
+	batched atomic.Int64
 }
 
 // Internal sentinels distinguishing why an operation never landed, so
@@ -215,7 +267,9 @@ func (s *shard) enqueue(ctx context.Context, o op) error {
 type Fleet struct {
 	devices []*device
 	shards  []*shard
-	wg      sync.WaitGroup
+	// batchWindow is Options.BatchWindow (0 = no coalescing).
+	batchWindow float64
+	wg          sync.WaitGroup
 	// mu guards closed: submitters hold it shared for the whole
 	// enqueue, Close holds it exclusively while marking the fleet
 	// closed, so no send can race the channel close.
@@ -231,7 +285,7 @@ func New(devs []DeviceConfig, opt Options) (*Fleet, error) {
 		return nil, errors.New("fleet: no devices")
 	}
 	opt.normalize()
-	f := &Fleet{}
+	f := &Fleet{batchWindow: opt.BatchWindow}
 	for i, dc := range devs {
 		s := dc.Scheduler
 		var cache *schedcache.Cache
@@ -266,30 +320,163 @@ func (f *Fleet) shardOf(dev int) *shard { return f.shards[dev%len(f.shards)] }
 // worker drains one shard's mailbox, applying each operation under the
 // target device's lock. Outcomes go to the op's reply channel when one
 // is attached (service path); otherwise errors are recorded on the
-// device and surfaced by Close (async replay path).
+// device and surfaced by Close (async replay path). With a batch window
+// configured, a submit picked up from the queue opportunistically
+// coalesces with further queued same-device submits inside the window
+// (see coalesce); ops drained ahead of time while looking for batch
+// members park in sh.pending and are consumed FIFO, so per-device order
+// never develops holes.
 func (f *Fleet) worker(sh *shard) {
 	defer f.wg.Done()
-	for o := range sh.mailbox {
-		d := o.dev
-		var r opReply
-		d.mu.Lock()
-		switch o.kind {
-		case opSubmit:
-			r.jobID, r.accepted, r.done, r.err = d.mgr.Submit(o.at, o.app, o.deadline)
-		case opAdvance:
-			r.done, r.err = d.mgr.AdvanceTo(o.at)
-		case opCancel:
-			r.err = d.mgr.Cancel(o.jobID)
+	for {
+		var o op
+		if len(sh.pending) > 0 {
+			o, sh.pending = sh.pending[0], sh.pending[1:]
+		} else {
+			var ok bool
+			o, ok = <-sh.mailbox
+			if !ok {
+				return // mailbox closed and nothing parked
+			}
 		}
-		if o.reply == nil && r.err != nil {
-			d.errs = append(d.errs, fmt.Errorf("fleet: device %d: %w", d.id, r.err))
+		if f.batchWindow > 0 && o.kind == opSubmit && o.deadline > o.at+f.batchWindow {
+			f.coalesce(sh, o)
+			continue
 		}
-		d.mu.Unlock()
-		if o.reply != nil {
-			o.reply <- r
-		}
-		sh.depth.Add(-1)
+		f.execute(sh, o)
 	}
+}
+
+// deliver hands one operation outcome to its waiter, or records the
+// error on the device for Close when the op is fire-and-forget. The
+// device lock must be held (error recording shares it).
+func deliver(o op, r opReply) {
+	if o.reply != nil {
+		o.reply <- r
+		return
+	}
+	if r.err != nil {
+		d := o.dev
+		d.errs = append(d.errs, fmt.Errorf("fleet: device %d: %w", d.id, r.err))
+	}
+}
+
+// execute applies a single operation.
+func (f *Fleet) execute(sh *shard, o op) {
+	d := o.dev
+	var r opReply
+	d.mu.Lock()
+	switch o.kind {
+	case opSubmit:
+		r.jobID, r.accepted, r.done, r.err = d.mgr.Submit(o.at, o.app, o.deadline)
+	case opAdvance:
+		r.done, r.err = d.mgr.AdvanceTo(o.at)
+	case opCancel:
+		r.err = d.mgr.Cancel(o.jobID)
+	case opBatch:
+		r.verdicts, r.done, r.err = d.mgr.SubmitBatch(o.at, o.items)
+		if len(o.items) > 1 {
+			sh.batches.Add(1)
+			sh.batched.Add(int64(len(o.items)))
+		}
+	}
+	deliver(o, r)
+	d.mu.Unlock()
+	sh.depth.Add(-1)
+}
+
+// coalescible reports whether a queued op may join a batch seeded at
+// seed: a submit for the same device whose arrival lies inside the
+// window and whose deadline stays valid at any possible batch time
+// (bounded by seed.at+window, since batched requests are stamped with
+// the batch's latest arrival).
+func (f *Fleet) coalescible(seed, p op) bool {
+	return p.kind == opSubmit && p.dev == seed.dev &&
+		p.at >= seed.at && p.at <= seed.at+f.batchWindow &&
+		p.deadline > seed.at+f.batchWindow
+}
+
+// coalesce forms and executes a batch seeded by one submit: it first
+// adopts matching submits already parked in sh.pending (stopping at a
+// same-device op that must keep its place in line), then drains the
+// mailbox without blocking. Everything non-matching parks in sh.pending
+// in drain order, preserving per-device FIFO.
+func (f *Fleet) coalesce(sh *shard, seed op) {
+	batch := append(sh.batch[:0], seed)
+	barrier := false
+	for i := 0; i < len(sh.pending) && len(batch) < maxCoalesce; {
+		p := sh.pending[i]
+		if f.coalescible(seed, p) {
+			batch = append(batch, p)
+			sh.pending = append(sh.pending[:i], sh.pending[i+1:]...)
+			continue
+		}
+		if p.dev == seed.dev {
+			barrier = true
+			break
+		}
+		i++
+	}
+	for !barrier && len(batch) < maxCoalesce {
+		select {
+		case p, ok := <-sh.mailbox:
+			if !ok {
+				barrier = true
+				break
+			}
+			if f.coalescible(seed, p) {
+				batch = append(batch, p)
+				continue
+			}
+			sh.pending = append(sh.pending, p)
+			barrier = p.dev == seed.dev
+		default:
+			barrier = true
+		}
+	}
+	sh.batch = batch[:0] // return the scratch (ops copied below or done)
+	if len(batch) == 1 {
+		f.execute(sh, seed)
+		return
+	}
+	f.executeBatch(sh, batch)
+}
+
+// executeBatch decides a coalesced batch in one manager activation at
+// the latest arrival time in the batch and fans the per-item verdicts
+// back out to each waiter. The completions the advance produced go to
+// the first op's waiter — under sequential execution its submit would
+// have observed them.
+func (f *Fleet) executeBatch(sh *shard, batch []op) {
+	d := batch[0].dev
+	at := batch[0].at
+	items := sh.items[:0]
+	for _, b := range batch {
+		if b.at > at {
+			at = b.at
+		}
+		items = append(items, rm.Request{App: b.app, Deadline: b.deadline})
+	}
+	sh.items = items[:0]
+	d.mu.Lock()
+	verdicts, done, err := d.mgr.SubmitBatch(at, items)
+	for i, b := range batch {
+		var r opReply
+		if err != nil {
+			r.err = err
+		} else {
+			v := verdicts[i]
+			r.jobID, r.accepted, r.err = v.JobID, v.Accepted, v.Err
+			if i == 0 {
+				r.done = done
+			}
+		}
+		deliver(b, r)
+	}
+	d.mu.Unlock()
+	sh.batches.Add(1)
+	sh.batched.Add(int64(len(batch)))
+	sh.depth.Add(int64(-len(batch)))
 }
 
 // post validates the device index and enqueues the operation while
@@ -425,6 +612,8 @@ func (f *Fleet) Stats() Stats {
 		if m := int(sh.maxDepth.Load()); m > out.MaxQueueDepth {
 			out.MaxQueueDepth = m
 		}
+		out.CoalescedBatches += int(sh.batches.Load())
+		out.CoalescedRequests += int(sh.batched.Load())
 	}
 	return out
 }

@@ -20,7 +20,10 @@ type Service struct {
 	f *Fleet
 }
 
-var _ api.Service = (*Service)(nil)
+var (
+	_ api.Service      = (*Service)(nil)
+	_ api.BatchService = (*Service)(nil)
+)
 
 // Service returns the api.Service view of the fleet. The view shares
 // the fleet's shards and devices; mixing Service calls with the legacy
@@ -100,6 +103,47 @@ func (s *Service) Submit(ctx context.Context, req api.SubmitRequest) (api.Submit
 			req.Device, req.App, req.At, req.Deadline)
 	}
 	return res, nil
+}
+
+// SubmitBatch implements api.BatchService: all items arrive at req.At
+// and are decided in one manager activation when jointly feasible (the
+// fast path of rm.Manager.SubmitBatch), with verdicts identical to
+// sequential submission. Per-item outcomes — admission, rejection,
+// unknown application, invalid deadline — are verdicts, never the call
+// error; the call error is reserved for whole-batch failures (unknown
+// device, overload, closed, time moving backwards).
+func (s *Service) SubmitBatch(ctx context.Context, req api.BatchSubmitRequest) (api.BatchSubmitResult, error) {
+	if len(req.Items) == 0 {
+		return api.BatchSubmitResult{}, api.Errf(api.ErrBadRequest, "empty batch for device %d", req.Device)
+	}
+	items := make([]rm.Request, len(req.Items))
+	for i, it := range req.Items {
+		items[i] = rm.Request{App: it.App, Deadline: it.Deadline}
+	}
+	r, err := s.do(ctx, req.Device, op{kind: opBatch, at: req.At, items: items})
+	res := api.BatchSubmitResult{Completions: completions(r.done)}
+	if err != nil {
+		return res, err
+	}
+	res.Verdicts = make([]api.BatchVerdict, len(r.verdicts))
+	for i, v := range r.verdicts {
+		res.Verdicts[i] = api.BatchVerdict{JobID: v.JobID, Accepted: v.Accepted, Error: verdictError(v)}
+	}
+	return res, nil
+}
+
+// verdictError folds one rm verdict into the wire-form taxonomy error:
+// nil for admissions, CodeInfeasible for clean rejections, and the
+// mapped manager error otherwise.
+func verdictError(v rm.Verdict) *api.Error {
+	switch {
+	case v.Accepted:
+		return nil
+	case v.Err == nil:
+		return api.FromCode(api.CodeInfeasible, "no feasible schedule for the request")
+	default:
+		return api.FromCode(api.ErrorCode(mapManagerError(v.Err)), v.Err.Error())
+	}
 }
 
 // Advance implements api.Service: it moves a device's virtual clock

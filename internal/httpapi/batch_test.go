@@ -1,0 +1,255 @@
+package httpapi_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"adaptrm/internal/api"
+	"adaptrm/internal/fleet"
+	"adaptrm/internal/httpapi"
+)
+
+// batchScript is the shared interaction replayed on every transport:
+// feasible bursts, an over-subscribed burst (fallback), invalid items.
+var batchScript = []api.BatchSubmitRequest{
+	{Device: 0, At: 0, Items: []api.BatchItem{
+		{App: "lambda1", Deadline: 9}, {App: "lambda2", Deadline: 9},
+	}},
+	{Device: 0, At: 12, Items: []api.BatchItem{
+		{App: "lambda1", Deadline: 21}, {App: "lambda2", Deadline: 21},
+		{App: "lambda2", Deadline: 21}, {App: "lambda2", Deadline: 21},
+	}},
+	{Device: 1, At: 0, Items: []api.BatchItem{
+		{App: "nope", Deadline: 9}, {App: "lambda2", Deadline: -1}, {App: "lambda1", Deadline: 9},
+	}},
+}
+
+// driveBatches replays the script and flattens every observable
+// outcome (verdict fields and error codes) for comparison.
+func driveBatches(t *testing.T, svc api.Service) ([]string, []api.BatchVerdict) {
+	t.Helper()
+	var codes []string
+	var verdicts []api.BatchVerdict
+	for i, req := range batchScript {
+		res, err := api.SubmitBatch(bg, svc, req)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if len(res.Verdicts) != len(req.Items) {
+			t.Fatalf("batch %d: %d verdicts for %d items", i, len(res.Verdicts), len(req.Items))
+		}
+		for _, v := range res.Verdicts {
+			if v.Error != nil {
+				codes = append(codes, v.Error.Code)
+				// Compare by code: the human-readable message is free
+				// text and legitimately differs between the native batch
+				// path and the sequential fallback.
+				v.Error = &api.Error{Code: v.Error.Code}
+			} else {
+				codes = append(codes, "")
+			}
+			verdicts = append(verdicts, v)
+		}
+	}
+	return codes, verdicts
+}
+
+// TestSubmitBatchTransportEquivalence holds the in-process batch
+// service and the HTTP round-trip to identical verdicts, job ids,
+// per-item taxonomy codes and deterministic statistics.
+func TestSubmitBatchTransportEquivalence(t *testing.T) {
+	local := newFleet(t, 2, fleet.Options{Shards: 2})
+	remote := newFleet(t, 2, fleet.Options{Shards: 2})
+	lc, lv := driveBatches(t, local.Service())
+	rc, rv := driveBatches(t, overHTTP(t, remote.Service(), httpapi.ServerOptions{}, ""))
+	if !reflect.DeepEqual(lc, rc) {
+		t.Errorf("per-item codes diverged:\nlocal %v\nhttp  %v", lc, rc)
+	}
+	if !reflect.DeepEqual(lv, rv) {
+		t.Errorf("verdicts diverged:\nlocal %+v\nhttp  %+v", lv, rv)
+	}
+	ls, err := local.Service().Stats(bg, api.StatsRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := remote.Service().Stats(bg, api.StatsRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Deterministic() != rs.Deterministic() {
+		t.Errorf("stats diverged:\nlocal %+v\nhttp  %+v", ls.Deterministic(), rs.Deterministic())
+	}
+	if err := local.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubmitBatchPerItemErrorsSurvived: per-item errors round-trip the
+// wire with errors.Is intact, and a clean rejection is CodeInfeasible.
+func TestSubmitBatchPerItemErrors(t *testing.T) {
+	f := newFleet(t, 1, fleet.Options{})
+	defer f.Close()
+	svc := overHTTP(t, f.Service(), httpapi.ServerOptions{}, "")
+	res, err := api.SubmitBatch(bg, svc, api.BatchSubmitRequest{Device: 0, At: 0, Items: []api.BatchItem{
+		{App: "lambda1", Deadline: 9},
+		{App: "ghost", Deadline: 9},
+		{App: "lambda2", Deadline: 0},
+		{App: "lambda2", Deadline: 9},
+		{App: "lambda2", Deadline: 9},
+		{App: "lambda2", Deadline: 9},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Verdicts
+	if !v[0].Accepted || v[0].JobID != 1 {
+		t.Errorf("first item: %+v", v[0])
+	}
+	if !errors.Is(v[1].Error, api.ErrUnknownApp) {
+		t.Errorf("unknown app: %+v", v[1])
+	}
+	if !errors.Is(v[2].Error, api.ErrBadRequest) {
+		t.Errorf("bad deadline: %+v", v[2])
+	}
+	rejected := 0
+	for _, x := range v[3:] {
+		if x.Error != nil && errors.Is(x.Error, api.ErrInfeasible) {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Errorf("over-subscribed tail produced no infeasible verdicts: %+v", v[3:])
+	}
+	// The empty batch is a 400 on the wire.
+	if _, err := api.SubmitBatch(bg, svc, api.BatchSubmitRequest{Device: 0, At: 1}); !errors.Is(err, api.ErrBadRequest) {
+		t.Errorf("empty batch: %v", err)
+	}
+	// Unknown devices stay call-level.
+	if _, err := api.SubmitBatch(bg, svc, api.BatchSubmitRequest{Device: 7, At: 1, Items: []api.BatchItem{{App: "lambda1", Deadline: 9}}}); !errors.Is(err, api.ErrUnknownDevice) {
+		t.Errorf("unknown device: %v", err)
+	}
+}
+
+// TestSubmitBatchQuota: a k-item batch spends k units of the tenant
+// budget, and an over-budget batch is refused atomically (no partial
+// reservation, nothing executed).
+func TestSubmitBatchQuota(t *testing.T) {
+	f := newFleet(t, 1, fleet.Options{})
+	defer f.Close()
+	svc := overHTTP(t, f.Service(), httpapi.ServerOptions{
+		Tenants: []httpapi.Tenant{{Name: "t", Token: "tok", MaxRequests: 3}},
+	}, "tok")
+	if _, err := api.SubmitBatch(bg, svc, api.BatchSubmitRequest{Device: 0, At: 0, Items: []api.BatchItem{
+		{App: "lambda1", Deadline: 30}, {App: "lambda2", Deadline: 30},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	// 1 unit left: a 2-item batch must be refused whole...
+	if _, err := api.SubmitBatch(bg, svc, api.BatchSubmitRequest{Device: 0, At: 1, Items: []api.BatchItem{
+		{App: "lambda2", Deadline: 40}, {App: "lambda2", Deadline: 40},
+	}}); !errors.Is(err, api.ErrQuotaExceeded) {
+		t.Fatalf("over-budget batch: %v", err)
+	}
+	// ...without burning the remaining unit.
+	if _, err := svc.Submit(bg, api.SubmitRequest{Device: 0, At: 2, App: "lambda2", Deadline: 40}); err != nil && !errors.Is(err, api.ErrInfeasible) {
+		t.Fatalf("last unit was burned by the refused batch: %v", err)
+	}
+	st, err := svc.Stats(bg, api.StatsRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Submitted != 3 {
+		t.Errorf("submitted = %d, want 3 (2 batch + 1 single)", st.Submitted)
+	}
+}
+
+// plainService hides the fleet's native batch path, exercising the
+// server-side sequential fallback of /v1/submit-batch.
+type plainService struct{ inner api.Service }
+
+func (p plainService) Submit(ctx context.Context, r api.SubmitRequest) (api.SubmitResult, error) {
+	return p.inner.Submit(ctx, r)
+}
+func (p plainService) Advance(ctx context.Context, r api.AdvanceRequest) (api.AdvanceResult, error) {
+	return p.inner.Advance(ctx, r)
+}
+func (p plainService) Cancel(ctx context.Context, r api.CancelRequest) (api.CancelResult, error) {
+	return p.inner.Cancel(ctx, r)
+}
+func (p plainService) Stats(ctx context.Context, r api.StatsRequest) (api.StatsResult, error) {
+	return p.inner.Stats(ctx, r)
+}
+
+// flakyService admits a fixed number of submits, then reports overload
+// — a refundable, call-level failure mid-batch.
+type flakyService struct {
+	plainService
+	allowed int
+	calls   int
+}
+
+func (f *flakyService) Submit(ctx context.Context, r api.SubmitRequest) (api.SubmitResult, error) {
+	f.calls++
+	if f.calls > f.allowed {
+		return api.SubmitResult{}, api.Errf(api.ErrOverloaded, "synthetic overload")
+	}
+	return f.plainService.Submit(ctx, r)
+}
+
+// TestSubmitBatchPartialRefund: when the sequential fallback fails
+// mid-batch with a refundable error, only the undecided items hand
+// their budget units back — the executed prefix stays charged, so the
+// budget keeps meaning "mutating operations executed".
+func TestSubmitBatchPartialRefund(t *testing.T) {
+	f := newFleet(t, 1, fleet.Options{})
+	defer f.Close()
+	svc := &flakyService{plainService: plainService{f.Service()}, allowed: 2}
+	client := overHTTP(t, svc, httpapi.ServerOptions{
+		Tenants: []httpapi.Tenant{{Name: "t", Token: "tok", MaxRequests: 4}},
+	}, "tok")
+	res, err := api.SubmitBatch(bg, client, api.BatchSubmitRequest{Device: 0, At: 0, Items: []api.BatchItem{
+		{App: "lambda1", Deadline: 30},
+		{App: "lambda2", Deadline: 30},
+		{App: "lambda2", Deadline: 30},
+		{App: "lambda2", Deadline: 30},
+	}})
+	if !errors.Is(err, api.ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if len(res.Verdicts) != 2 {
+		t.Fatalf("partial verdicts = %+v, want the 2 decided items", res.Verdicts)
+	}
+	// 2 of the 4 reserved units were spent; exactly 2 remain.
+	svc.allowed = 1 << 30
+	for i := 0; i < 2; i++ {
+		if _, err := client.Submit(bg, api.SubmitRequest{Device: 0, At: float64(i + 1), App: "lambda2", Deadline: float64(i) + 40}); err != nil && !errors.Is(err, api.ErrInfeasible) {
+			t.Fatalf("remaining unit %d: %v", i, err)
+		}
+	}
+	if _, err := client.Submit(bg, api.SubmitRequest{Device: 0, At: 3, App: "lambda2", Deadline: 43}); !errors.Is(err, api.ErrQuotaExceeded) {
+		t.Fatalf("budget not enforced after partial refund: %v", err)
+	}
+}
+
+// TestSubmitBatchFallbackOverPlainService: a server wrapping a Service
+// without a native batch path still serves /v1/submit-batch, with
+// identical verdicts (sequential submission is the defining semantics).
+func TestSubmitBatchFallbackOverPlainService(t *testing.T) {
+	native := newFleet(t, 2, fleet.Options{})
+	wrapped := newFleet(t, 2, fleet.Options{})
+	defer native.Close()
+	defer wrapped.Close()
+	nc, nv := driveBatches(t, overHTTP(t, native.Service(), httpapi.ServerOptions{}, ""))
+	wc, wv := driveBatches(t, overHTTP(t, plainService{wrapped.Service()}, httpapi.ServerOptions{}, ""))
+	if !reflect.DeepEqual(nc, wc) {
+		t.Errorf("fallback codes diverged:\nnative   %v\nfallback %v", nc, wc)
+	}
+	if !reflect.DeepEqual(nv, wv) {
+		t.Errorf("fallback verdicts diverged:\nnative   %+v\nfallback %+v", nv, wv)
+	}
+}

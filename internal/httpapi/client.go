@@ -22,7 +22,10 @@ type Client struct {
 	http    *http.Client
 }
 
-var _ api.Service = (*Client)(nil)
+var (
+	_ api.Service      = (*Client)(nil)
+	_ api.BatchService = (*Client)(nil)
+)
 
 // NewClient builds a client for a daemon at baseURL (e.g.
 // "http://localhost:8080"). token may be empty against an open server.
@@ -123,6 +126,24 @@ func statusSentinel(status int) *api.Error {
 func (c *Client) Submit(ctx context.Context, req api.SubmitRequest) (api.SubmitResult, error) {
 	var res api.SubmitResult
 	err := c.call(ctx, http.MethodPost, "/v1/submit", req, &res)
+	return res, err
+}
+
+// SubmitBatch implements api.BatchService over HTTP: the whole batch is
+// one round-trip and, on a batching server, one scheduler activation
+// when jointly feasible. Per-item errors come back inside the verdicts;
+// their codes are folded through the taxonomy exactly like call-level
+// errors, so errors.Is against the api sentinels works on each.
+func (c *Client) SubmitBatch(ctx context.Context, req api.BatchSubmitRequest) (api.BatchSubmitResult, error) {
+	var res api.BatchSubmitResult
+	err := c.call(ctx, http.MethodPost, "/v1/submit-batch", req, &res)
+	for i, v := range res.Verdicts {
+		if v.Error != nil {
+			// Fold unknown codes (a newer server's) into CodeInternal,
+			// matching the call-level decoding path.
+			res.Verdicts[i].Error = api.FromCode(v.Error.Code, v.Error.Message)
+		}
+	}
 	return res, err
 }
 

@@ -5,11 +5,12 @@
 //
 // Wire protocol (v1):
 //
-//	POST /v1/submit   SubmitRequest  → SubmitResult
-//	POST /v1/advance  AdvanceRequest → AdvanceResult
-//	POST /v1/cancel   CancelRequest  → CancelResult
-//	GET  /v1/stats[?device=N]        → StatsResult
-//	GET  /healthz                    → {"status":"ok"}
+//	POST /v1/submit        SubmitRequest      → SubmitResult
+//	POST /v1/submit-batch  BatchSubmitRequest → BatchSubmitResult
+//	POST /v1/advance       AdvanceRequest     → AdvanceResult
+//	POST /v1/cancel        CancelRequest      → CancelResult
+//	GET  /v1/stats[?device=N]                 → StatsResult
+//	GET  /healthz                             → {"status":"ok"}
 //
 // Successful calls return 200 with the result object. Failures return a
 // taxonomy-derived status code and an envelope
@@ -25,8 +26,8 @@
 // Authentication is per-tenant bearer tokens. A tenant may be
 // restricted to a set of devices (403 outside it, including the
 // fleet-wide stats aggregate, which only unrestricted tenants may read)
-// and given a request budget (429 once spent). A server configured with
-// no tenants is open.
+// and given a request budget (429 once spent; a k-item batch costs k
+// units). A server configured with no tenants is open.
 package httpapi
 
 import (
@@ -82,28 +83,29 @@ func (t *tenantState) allowed(dev int) bool {
 	return false
 }
 
-// charge reserves one unit of the tenant's request budget, failing once
-// the budget is spent. The check-then-add is a single atomic add with
-// rollback, so concurrent requests cannot overdraw. A nil receiver
-// (open server) is a no-op.
-func (t *tenantState) charge() error {
-	if t == nil || t.MaxRequests <= 0 {
+// charge reserves n units of the tenant's request budget — one per
+// mutating operation, so a k-item batch costs k — failing without
+// partial reservation once the budget is spent. The check-then-add is a
+// single atomic add with rollback, so concurrent requests cannot
+// overdraw. A nil receiver (open server) is a no-op.
+func (t *tenantState) charge(n int) error {
+	if t == nil || t.MaxRequests <= 0 || n <= 0 {
 		return nil
 	}
-	if t.used.Add(1) > int64(t.MaxRequests) {
-		t.used.Add(-1)
+	if t.used.Add(int64(n)) > int64(t.MaxRequests) {
+		t.used.Add(int64(-n))
 		return api.Errf(api.ErrQuotaExceeded, "tenant %q spent its %d-request budget", t.Name, t.MaxRequests)
 	}
 	return nil
 }
 
-// refund returns a reserved unit when the operation never reached a
+// refund returns n reserved units when the operation never reached a
 // device (backpressure, shutdown, bad address), so the budget keeps
 // meaning "mutating operations executed", not "attempts made". A nil
 // receiver (open server) is a no-op.
-func (t *tenantState) refund() {
-	if t != nil && t.MaxRequests > 0 {
-		t.used.Add(-1)
+func (t *tenantState) refund(n int) {
+	if t != nil && t.MaxRequests > 0 && n > 0 {
+		t.used.Add(int64(-n))
 	}
 }
 
@@ -147,9 +149,18 @@ func NewServer(svc api.Service, opt ServerOptions) (*Server, error) {
 			s.tenants[t.Token] = &tenantState{Tenant: t}
 		}
 	}
-	s.mux.HandleFunc("POST /v1/submit", handle(s, s.svc.Submit))
-	s.mux.HandleFunc("POST /v1/advance", handle(s, s.svc.Advance))
-	s.mux.HandleFunc("POST /v1/cancel", handle(s, s.svc.Cancel))
+	s.mux.HandleFunc("POST /v1/submit", handle(s, one, s.svc.Submit))
+	s.mux.HandleFunc("POST /v1/advance", handle(s, one, s.svc.Advance))
+	s.mux.HandleFunc("POST /v1/cancel", handle(s, one, s.svc.Cancel))
+	// A batch spends one budget unit per item; api.SubmitBatch uses the
+	// wrapped Service's native batch path when it has one and falls back
+	// to sequential submission otherwise, so servers compose over any
+	// Service.
+	s.mux.HandleFunc("POST /v1/submit-batch", handle(s,
+		func(r api.BatchSubmitRequest) int { return len(r.Items) },
+		func(ctx context.Context, r api.BatchSubmitRequest) (api.BatchSubmitResult, error) {
+			return api.SubmitBatch(ctx, s.svc, r)
+		}))
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s, nil
@@ -262,20 +273,28 @@ func decode(w http.ResponseWriter, r *http.Request, into any) error {
 	return nil
 }
 
-// settle refunds the reserved unit when the operation never executed on
-// a device, so budgets count work done rather than attempts.
-func settle(t *tenantState, err error) {
-	if refundable(err) {
-		t.refund()
+// settle refunds the reserved units that never executed on a device, so
+// budgets count work done rather than attempts. A result exposing a
+// decided-operation count (batches) keeps its executed prefix charged
+// even when a later item aborted the call — the sequential fallback can
+// fail mid-batch with part of the work already done.
+func settle(t *tenantState, n int, res any, err error) {
+	if !refundable(err) {
+		return
 	}
+	if d, ok := res.(interface{ DecidedOps() int }); ok {
+		n -= d.DecidedOps()
+	}
+	t.refund(n)
 }
 
 // handle builds the shared mutating-call pipeline for one service verb:
 // authenticate the token (before any body work reaches the parser),
-// decode the typed body, authorise the addressed device, reserve a
-// budget unit, run the call, settle the budget, and write the result or
-// the error envelope (with the partial result riding along).
-func handle[Req interface{ TargetDevice() int }, Res any](s *Server, call func(context.Context, Req) (Res, error)) http.HandlerFunc {
+// decode the typed body, authorise the addressed device, reserve the
+// budget (one unit per mutating operation the request carries — cost
+// reports how many), run the call, settle the budget, and write the
+// result or the error envelope (with the partial result riding along).
+func handle[Req interface{ TargetDevice() int }, Res any](s *Server, cost func(Req) int, call func(context.Context, Req) (Res, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		t, err := s.tenantOf(r)
 		if err != nil {
@@ -293,8 +312,9 @@ func handle[Req interface{ TargetDevice() int }, Res any](s *Server, call func(c
 		if dev := req.TargetDevice(); dev >= 0 {
 			err = allow(t, dev)
 		}
+		n := cost(req)
 		if err == nil {
-			err = t.charge()
+			err = t.charge(n)
 		}
 		if err != nil {
 			writeError(w, err, nil)
@@ -302,13 +322,16 @@ func handle[Req interface{ TargetDevice() int }, Res any](s *Server, call func(c
 		}
 		res, err := call(r.Context(), req)
 		if err != nil {
-			settle(t, err)
+			settle(t, n, res, err)
 			writeError(w, err, res)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
 	}
 }
+
+// one is the cost function of single-operation verbs.
+func one[Req any](Req) int { return 1 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// Authenticate before touching any request input, matching the

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"adaptrm/internal/job"
@@ -90,6 +91,13 @@ type Manager struct {
 	current  *schedule.Schedule
 	executed []schedule.Segment
 	stats    Stats
+
+	// Advance-accounting scratch, reused across AdvanceTo calls so the
+	// activation hot path stays free of bookkeeping allocations (the
+	// recorded timeline segments themselves are owned output and must
+	// allocate).
+	execScratch []executedPlacement
+	endsScratch []float64
 }
 
 // New creates a manager. The library provides the operating-point tables
@@ -157,7 +165,11 @@ func (m *Manager) NextCompletion() (float64, bool) {
 
 // AdvanceTo moves time forward to t, accounting progress and energy along
 // the current schedule and retiring finished jobs. It returns the
-// completions that occurred in (now, t].
+// completions that occurred in (now, t]. A target inside the epsilon
+// band just below the current time is tolerated but never moves the
+// clock backwards. When RescheduleOnFinish is set and the advance
+// retired at least one job, the remaining jobs are re-planned on the
+// freed resources before returning (see OnCompletion).
 func (m *Manager) AdvanceTo(t float64) ([]Completion, error) {
 	if t < m.now-schedule.Eps {
 		return nil, fmt.Errorf("%w: %v < %v", ErrTimeBackwards, t, m.now)
@@ -170,7 +182,7 @@ func (m *Manager) AdvanceTo(t float64) ([]Completion, error) {
 		if hi-lo <= schedule.Eps {
 			continue
 		}
-		var execPlacements []schedule.Placement
+		execs := m.execScratch[:0]
 		for _, p := range seg.Placements {
 			j := m.active.ByID(p.JobID)
 			if j == nil {
@@ -184,7 +196,7 @@ func (m *Manager) AdvanceTo(t float64) ([]Completion, error) {
 			m.stats.Energy += pt.Energy * frac
 			finishedAt := lo + j.Remaining*pt.Time
 			j.Remaining -= frac
-			execPlacements = append(execPlacements, p)
+			end := hi
 			if j.Remaining <= 1e-9 {
 				c := Completion{JobID: j.ID, At: math.Min(finishedAt, hi)}
 				if c.At > j.Deadline+1e-6 {
@@ -194,16 +206,58 @@ func (m *Manager) AdvanceTo(t float64) ([]Completion, error) {
 				m.stats.Completed++
 				done = append(done, c)
 				m.removeJob(j.ID)
+				end = c.At
+			}
+			execs = append(execs, executedPlacement{p: p, end: end})
+		}
+		m.recordExecuted(lo, hi, execs)
+		m.execScratch = execs[:0]
+	}
+	// Clamp: a t inside the epsilon band must not regress the clock.
+	m.now = math.Max(m.now, t)
+	if len(done) > 0 {
+		m.OnCompletion()
+	}
+	return done, nil
+}
+
+// executedPlacement is one placement of an executed slice together with
+// the time its job actually stopped running inside the slice.
+type executedPlacement struct {
+	p   schedule.Placement
+	end float64
+}
+
+// recordExecuted appends the executed fraction [lo,hi] of one schedule
+// segment to the audit timeline, truncating every placement at its
+// job's completion time: a job that finished at end < hi must not be
+// shown running past it. The slice is cut at each distinct completion
+// time, so the recorded timeline stays a sequence of non-overlapping
+// segments.
+func (m *Manager) recordExecuted(lo, hi float64, execs []executedPlacement) {
+	if len(execs) == 0 {
+		return
+	}
+	ends := m.endsScratch[:0]
+	for _, e := range execs {
+		ends = append(ends, e.end)
+	}
+	sort.Float64s(ends)
+	m.endsScratch = ends[:0]
+	prev := lo
+	for _, e := range ends {
+		if e-prev <= schedule.Eps {
+			continue
+		}
+		var ps []schedule.Placement
+		for _, r := range execs {
+			if r.end >= e-schedule.Eps {
+				ps = append(ps, r.p)
 			}
 		}
-		if len(execPlacements) > 0 {
-			m.executed = append(m.executed, schedule.Segment{
-				Start: lo, End: hi, Placements: execPlacements,
-			})
-		}
+		m.executed = append(m.executed, schedule.Segment{Start: prev, End: e, Placements: ps})
+		prev = e
 	}
-	m.now = t
-	return done, nil
 }
 
 func (m *Manager) removeJob(id int) {
@@ -237,6 +291,16 @@ func (m *Manager) Submit(t float64, app string, deadline float64) (id int, accep
 	if err != nil {
 		return 0, false, done, err
 	}
+	id, accepted, err = m.submitOne(t, tbl, deadline)
+	return id, accepted, done, err
+}
+
+// submitOne runs the post-advance half of Submit: build the candidate
+// job, trial-solve the extended job set, and commit or reject. The
+// clock must already stand at t. It is shared by Submit and the
+// per-request fallback of SubmitBatch, so both paths stay byte-identical
+// by construction.
+func (m *Manager) submitOne(t float64, tbl *opset.Table, deadline float64) (id int, accepted bool, err error) {
 	cand := &job.Job{
 		ID:        m.nextID,
 		Table:     tbl,
@@ -247,23 +311,156 @@ func (m *Manager) Submit(t float64, app string, deadline float64) (id int, accep
 	trial := append(m.active.Clone(), cand)
 	k, serr := m.schedule(trial, t)
 	if serr != nil && !errors.Is(serr, sched.ErrInfeasible) {
-		return 0, false, done, fmt.Errorf("rm: scheduler failure: %w", serr)
+		return 0, false, fmt.Errorf("rm: scheduler failure: %w", serr)
 	}
 	m.stats.Submitted++
 	if serr != nil {
 		m.stats.Rejected++
-		return 0, false, done, nil
+		return 0, false, nil
 	}
 	m.nextID++
 	m.active = append(m.active, cand)
 	m.current = k
 	m.stats.Accepted++
-	return cand.ID, true, done, nil
+	return cand.ID, true, nil
+}
+
+// Request is one admission request of a batch: an application name and
+// its absolute firm deadline. The arrival time is the batch's.
+type Request struct {
+	// App names an operating-point table of the library.
+	App string
+	// Deadline is the absolute firm deadline, strictly after the batch
+	// arrival time.
+	Deadline float64
+}
+
+// Verdict is the per-request outcome of a batched submission.
+type Verdict struct {
+	// JobID is the admitted job's id (0 when rejected or erroneous).
+	JobID int
+	// Accepted is the admission verdict.
+	Accepted bool
+	// Err carries the per-request failure: ErrUnknownApp, ErrBadDeadline
+	// or a scheduler failure. A clean rejection has Accepted false and
+	// Err nil, exactly like Submit. Erroneous requests stay out of the
+	// Submitted/Rejected counters, also like Submit.
+	Err error
+}
+
+// SubmitBatch is the batched RM activation: all requests arrive at time
+// t and are decided in one manager call. The manager advances to t
+// once, then attempts a single whole-batch solve over the active jobs
+// plus every valid request. When that joint solve is feasible the
+// scheduler's monotonicity (dropping jobs from a feasible set keeps it
+// feasible) implies every prefix is feasible too, so all requests are
+// admitted after one activation instead of one per request — verdicts,
+// job ids, the final schedule and the admission statistics are
+// byte-identical to sequential Submit calls at the same t, with only
+// Activations/SchedulingTime reflecting the saved work. When the joint
+// solve is infeasible (at least one request must be rejected) the batch
+// falls back to the exact sequential path, deciding each request in
+// order with its own trial solve, so the fallback costs one activation
+// more than sequential submission while producing the same outcome.
+//
+// The returned completions are those the initial advance produced —
+// under sequential submission the first Submit at t would have carried
+// them. A top-level error (the advance failed) leaves no verdicts.
+func (m *Manager) SubmitBatch(t float64, reqs []Request) ([]Verdict, []Completion, error) {
+	verdicts := make([]Verdict, len(reqs))
+	tables := make([]*opset.Table, len(reqs))
+	valid := 0
+	for i, r := range reqs {
+		tbl := m.lib.Get(r.App)
+		switch {
+		case tbl == nil:
+			verdicts[i].Err = fmt.Errorf("%w: %q", ErrUnknownApp, r.App)
+		case r.Deadline <= t:
+			verdicts[i].Err = fmt.Errorf("%w: %v ≤ %v", ErrBadDeadline, r.Deadline, t)
+		default:
+			tables[i] = tbl
+			valid++
+		}
+	}
+	if valid == 0 {
+		// Sequential submission of only invalid requests never advances
+		// the clock; neither does the batch.
+		return verdicts, nil, nil
+	}
+	done, err := m.AdvanceTo(t)
+	if err != nil {
+		return nil, done, err
+	}
+	// Fast path: one joint solve admits the whole batch. A single valid
+	// request gains nothing from it (the joint solve IS its trial
+	// solve), so it goes straight to the sequential path.
+	if valid > 1 && m.admitJointly(t, reqs, tables, verdicts) {
+		return verdicts, done, nil
+	}
+	// Fallback: decide each request in arrival order exactly as
+	// sequential Submit calls at t would.
+	for i := range reqs {
+		if tables[i] == nil {
+			continue // verdict already carries the validation error
+		}
+		verdicts[i].JobID, verdicts[i].Accepted, verdicts[i].Err = m.submitOne(t, tables[i], reqs[i].Deadline)
+	}
+	return verdicts, done, nil
+}
+
+// admitJointly attempts the whole-batch solve: the active jobs plus one
+// candidate per valid request, ids assigned in arrival order. On
+// success it commits everything — schedule, active set, stats — and
+// fills the verdicts, reporting true. On any solver failure it leaves
+// the manager untouched and reports false, sending the batch to the
+// sequential fallback (which also surfaces per-request hard errors the
+// way Submit would).
+func (m *Manager) admitJointly(t float64, reqs []Request, tables []*opset.Table, verdicts []Verdict) bool {
+	trial := m.active.Clone()
+	id := m.nextID
+	for i, tbl := range tables {
+		if tbl == nil {
+			continue
+		}
+		trial = append(trial, &job.Job{
+			ID:        id,
+			Table:     tbl,
+			Arrival:   t,
+			Deadline:  reqs[i].Deadline,
+			Remaining: 1,
+		})
+		id++
+	}
+	k, serr := m.schedule(trial, t)
+	if serr != nil {
+		return false
+	}
+	cands := trial[len(m.active):]
+	m.active = append(m.active, cands...)
+	m.nextID = id
+	m.current = k
+	m.stats.Submitted += len(cands)
+	m.stats.Accepted += len(cands)
+	vi := 0
+	for i := range verdicts {
+		if tables[i] == nil {
+			continue
+		}
+		verdicts[i].JobID = cands[vi].ID
+		verdicts[i].Accepted = true
+		vi++
+	}
+	return true
 }
 
 // OnCompletion lets the manager react to a finish event: with
 // RescheduleOnFinish it re-plans the remaining jobs on the freed
 // resources, keeping the old schedule when the scheduler fails.
+//
+// AdvanceTo invokes it automatically whenever an advance retires a job,
+// so every path that observes completions — Submit, SubmitBatch, Drain,
+// the fleet service — honours the option; callers only need it to force
+// a re-plan outside a completion event.
 func (m *Manager) OnCompletion() {
 	if !m.opt.RescheduleOnFinish || len(m.active) == 0 {
 		return
@@ -348,9 +545,6 @@ func (m *Manager) Drain() ([]Completion, error) {
 			return all, err
 		}
 		all = append(all, done...)
-		if len(done) > 0 {
-			m.OnCompletion()
-		}
 	}
 	return all, nil
 }

@@ -47,6 +47,19 @@ type FleetTraceParams struct {
 	// Factor is the deadline scale range relative to a random operating
 	// point's full execution time (default 1.2–3, as in TraceParams).
 	Factor [2]float64
+	// BurstSize makes the traffic bursty: every Poisson arrival event
+	// brings BurstSize requests instead of one — the base request plus
+	// BurstSize−1 extra draws of application, operating point and
+	// deadline factor. This is the traffic shape batched admission
+	// coalesces: same-device arrivals clustered inside a small window.
+	// 0 or 1 keeps plain Poisson arrivals (and the exact request
+	// streams earlier seeds produced).
+	BurstSize int
+	// BurstWindow spreads each burst's extra arrivals uniformly over
+	// (At, At+BurstWindow]. Zero makes bursts exactly coincident —
+	// simultaneous arrivals, which a batch window of any width
+	// coalesces without changing admission behaviour.
+	BurstWindow float64
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -55,7 +68,9 @@ type FleetTraceParams struct {
 // them into a single trace sorted by arrival time (ties by device). Each
 // device's sub-stream is identical to a workload.Trace with the derived
 // per-device seed, so single-device behaviour is unchanged by fleet
-// membership.
+// membership. With BurstSize > 1 every arrival event expands into a
+// burst of same-device requests clustered within BurstWindow — the
+// bursty multi-tenant regime batched admission amortises.
 func FleetTrace(lib *opset.Library, p FleetTraceParams) ([]FleetRequest, error) {
 	if p.Devices <= 0 {
 		return nil, errors.New("workload: fleet needs at least one device")
@@ -68,6 +83,22 @@ func FleetTrace(lib *opset.Library, p FleetTraceParams) ([]FleetRequest, error) 
 	}
 	if p.RateSpread < 0 || p.RateSpread >= 1 {
 		return nil, fmt.Errorf("workload: rate spread %v out of [0,1)", p.RateSpread)
+	}
+	if p.BurstSize < 0 || p.BurstWindow < 0 {
+		return nil, fmt.Errorf("workload: negative burst size %d or window %v", p.BurstSize, p.BurstWindow)
+	}
+	if lib == nil || lib.Len() == 0 {
+		return nil, errors.New("workload: empty library")
+	}
+	// Resolve the deadline-factor default once and hand the resolved
+	// value to Trace, so base requests and their burst siblings always
+	// sample from the same range.
+	if p.Factor == ([2]float64{}) {
+		p.Factor = [2]float64{1.2, 3}
+	}
+	var tables []*opset.Table
+	if p.BurstSize > 1 {
+		tables = lib.Tables()
 	}
 	master := rand.New(rand.NewSource(p.Seed))
 	var out []FleetRequest
@@ -82,6 +113,14 @@ func FleetTrace(lib *opset.Library, p FleetTraceParams) ([]FleetRequest, error) 
 		} else if p.RateSpread > 0 {
 			rate *= 1 - p.RateSpread + 2*p.RateSpread*master.Float64()
 		}
+		var burst *rand.Rand
+		if p.BurstSize > 1 {
+			// Derive the burst stream from the device's own sub-seed
+			// (not the master) so the base arrivals are byte-identical
+			// to the non-bursty trace of the same seed: bursty mode
+			// only adds requests on top of the plain ones.
+			burst = rand.New(rand.NewSource(subSeed ^ 0x5DEECE66D))
+		}
 		reqs, err := Trace(lib, TraceParams{
 			Rate: rate, Horizon: p.Horizon, Factor: p.Factor, Seed: subSeed,
 		})
@@ -90,6 +129,28 @@ func FleetTrace(lib *opset.Library, p FleetTraceParams) ([]FleetRequest, error) 
 		}
 		for _, r := range reqs {
 			out = append(out, FleetRequest{Device: d, At: r.At, App: r.App, Deadline: r.Deadline})
+			// A burst near the end of the trace shrinks its jitter
+			// window so no member lands past the horizon (base arrivals
+			// are strictly inside it).
+			window := p.BurstWindow
+			if r.At+window > p.Horizon {
+				window = p.Horizon - r.At
+			}
+			for k := 1; k < p.BurstSize; k++ {
+				// Extra burst members re-sample application, point and
+				// deadline factor the way Trace does, at the (optionally
+				// jittered) burst time.
+				at := r.At
+				if p.BurstWindow > 0 {
+					at += burst.Float64() * window
+				}
+				tbl := tables[burst.Intn(len(tables))]
+				pt := tbl.Points[burst.Intn(tbl.Len())]
+				fac := p.Factor[0] + burst.Float64()*(p.Factor[1]-p.Factor[0])
+				out = append(out, FleetRequest{
+					Device: d, At: at, App: tbl.Name(), Deadline: at + pt.Time*fac,
+				})
+			}
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool {

@@ -76,6 +76,95 @@ func TestFleetTracePerDeviceRates(t *testing.T) {
 	}
 }
 
+// TestFleetTraceBursts: bursty generation multiplies every arrival
+// event into BurstSize same-device requests; with a zero window all
+// members of a burst arrive at the same instant, with a positive one
+// they spread over at most BurstWindow. BurstSize ≤ 1 must reproduce
+// the plain trace byte-for-byte.
+func TestFleetTraceBursts(t *testing.T) {
+	base := FleetTraceParams{Devices: 3, Rate: 0.2, Horizon: 100, Seed: 5}
+	plain, err := FleetTrace(testLib, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := base
+	single.BurstSize = 1
+	same, err := FleetTrace(testLib, single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, same) {
+		t.Fatal("BurstSize 1 changed the plain trace")
+	}
+
+	bursty := base
+	bursty.BurstSize = 4
+	coincident, err := FleetTrace(testLib, bursty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(coincident), 4*len(plain); got != want {
+		t.Fatalf("burst expansion: %d requests, want %d", got, want)
+	}
+	// Every arrival time hosts a full burst per device: group by
+	// (device, at) and check group sizes.
+	groups := map[[2]float64]int{}
+	for _, r := range coincident {
+		groups[[2]float64{float64(r.Device), r.At}]++
+		if r.Deadline <= r.At {
+			t.Fatalf("burst member %+v has deadline before arrival", r)
+		}
+		if testLib.Get(r.App) == nil {
+			t.Fatalf("burst member %+v names unknown app", r)
+		}
+	}
+	bursts := 0
+	for _, n := range groups {
+		if n >= 4 {
+			bursts++
+		}
+	}
+	if bursts == 0 {
+		t.Fatal("no coincident bursts with a zero window")
+	}
+
+	// A positive window spreads the extras but keeps them within it.
+	bursty.BurstWindow = 0.5
+	spread, err := FleetTrace(testLib, bursty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spread) != len(coincident) {
+		t.Fatalf("window changed the request count: %d vs %d", len(spread), len(coincident))
+	}
+	streams, err := SplitByDevice(spread, base.Devices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, s := range streams {
+		for i := 1; i < len(s); i++ {
+			if s[i].At < s[i-1].At {
+				t.Fatalf("device %d stream not time-sorted at %d", d, i)
+			}
+		}
+	}
+	// Jitter never spills past the horizon (end-of-trace bursts shrink
+	// their window instead).
+	for _, r := range spread {
+		if r.At > base.Horizon {
+			t.Fatalf("burst member %+v past horizon %v", r, base.Horizon)
+		}
+	}
+	// Determinism holds in bursty mode too.
+	again, err := FleetTrace(testLib, bursty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spread, again) {
+		t.Fatal("bursty trace not deterministic per seed")
+	}
+}
+
 func TestFleetTraceValidation(t *testing.T) {
 	if _, err := FleetTrace(testLib, FleetTraceParams{Devices: 0, Rate: 1, Horizon: 10}); err == nil {
 		t.Error("zero devices accepted")
@@ -91,5 +180,11 @@ func TestFleetTraceValidation(t *testing.T) {
 	}
 	if _, err := SplitByDevice([]FleetRequest{{Device: 5}}, 2); err == nil {
 		t.Error("out-of-range device accepted")
+	}
+	if _, err := FleetTrace(testLib, FleetTraceParams{Devices: 2, Rate: 1, Horizon: 10, BurstSize: -1}); err == nil {
+		t.Error("negative burst size accepted")
+	}
+	if _, err := FleetTrace(testLib, FleetTraceParams{Devices: 2, Rate: 1, Horizon: 10, BurstWindow: -0.1}); err == nil {
+		t.Error("negative burst window accepted")
 	}
 }

@@ -9,6 +9,13 @@
 #   BENCH_PATTERN  regex of benchmarks to run   (default: .)
 #   BENCH_TIME     go test -benchtime argument  (default: 1x)
 #   BENCH_COUNT    go test -count argument      (default: 1)
+#
+# Focused comparisons (see benchmarks/README.md for methodology):
+#   batched admission:  BENCH_PATTERN='FleetBursty' BENCH_TIME=20x scripts/bench.sh
+#     — same bursty trace with and without a batch window; compare
+#     req/s and activations/req (admission stats are identical).
+#   warm batch packing: BENCH_PATTERN='AblationPackEDF' scripts/bench.sh
+#     — the allocs gate additionally pins BatchReuse at 0 allocs/op.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
