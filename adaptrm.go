@@ -143,6 +143,23 @@ type (
 	// ServiceCompletion reports one finished job on the wire (the
 	// protocol form of Completion).
 	ServiceCompletion = api.Completion
+	// Event is one device lifecycle event on the wire: per-device
+	// monotone sequence number, type, virtual time and the subject
+	// job's coordinates.
+	Event = api.Event
+	// EventType discriminates watch events (EventJobAdmitted, ...,
+	// EventLagged).
+	EventType = api.EventType
+	// WatchRequest subscribes to the event stream: optional device
+	// filter, resume-from-sequence, buffer override.
+	WatchRequest = api.WatchRequest
+	// WatchService is the streaming extension of Service; the
+	// in-process fleet service and the HTTP client both implement it
+	// with identical semantics (ordering, resume, overflow markers).
+	WatchService = api.WatchService
+	// ManagerEvent is the runtime manager's in-process event form (the
+	// fleet converts it to Event, stamping the device).
+	ManagerEvent = rm.Event
 	// ServiceError is the serialisable taxonomy error: a stable code
 	// plus a message; errors.Is matches by code across transports.
 	ServiceError = api.Error
@@ -196,6 +213,19 @@ var (
 // ErrInfeasible is returned by schedulers when no feasible schedule
 // exists; the runtime manager then rejects the request.
 var ErrInfeasible = sched.ErrInfeasible
+
+// Watch event taxonomy, re-exported. Every transport carries exactly
+// these kinds; EventLagged is the transport-level overflow marker a
+// slow consumer receives instead of blocking the service.
+const (
+	EventJobAdmitted     = api.EventJobAdmitted
+	EventJobRejected     = api.EventJobRejected
+	EventJobStarted      = api.EventJobStarted
+	EventJobCompleted    = api.EventJobCompleted
+	EventJobCancelled    = api.EventJobCancelled
+	EventScheduleChanged = api.EventScheduleChanged
+	EventLagged          = api.EventLagged
+)
 
 // Deadline tightness levels of the evaluation workload (Table III).
 const (
@@ -363,6 +393,23 @@ func NewHTTPClient(baseURL, token string, hc *http.Client) *HTTPClient {
 // set.
 func SubmitBatch(ctx context.Context, svc Service, req BatchSubmitRequest) (BatchSubmitResult, error) {
 	return api.SubmitBatch(ctx, svc, req)
+}
+
+// Watch subscribes to a service's device event stream: admissions,
+// rejections, starts, completions, cancellations and schedule changes,
+// each with a per-device monotone sequence number. Both bundled
+// transports support it — the in-process fleet fans events out through
+// per-subscriber buffers, the HTTP client consumes the daemon's
+// /v1/watch Server-Sent-Events endpoint — with identical semantics:
+// per-device ordering, resume via WatchRequest.FromSeq, and an
+// EventLagged marker (never blocking) when a consumer falls behind. A
+// Service without watch support returns ErrBadRequest.
+func Watch(ctx context.Context, svc Service, req WatchRequest) (<-chan Event, error) {
+	ws, ok := svc.(WatchService)
+	if !ok {
+		return nil, api.Errf(api.ErrBadRequest, "service does not support watching")
+	}
+	return ws.Watch(ctx, req)
 }
 
 // NewScheduleCache creates a goroutine-safe memoizing schedule cache.

@@ -9,13 +9,16 @@
 //
 // Daemon mode (-listen): expose the same fleet as a JSON/HTTP service
 // (package httpapi) implementing the transport-agnostic api.Service
-// protocol — POST /v1/submit, /v1/advance, /v1/cancel, GET /v1/stats
-// and /healthz — with optional per-tenant bearer-token authentication,
-// device authorisation and request quotas. The daemon shuts down
-// gracefully on SIGINT/SIGTERM, drains every device and prints the same
-// fleet report. Clients use httpapi.NewClient (or plain curl); the
-// in-process fleet service and the HTTP client are behaviourally
-// interchangeable.
+// protocol — POST /v1/submit, /v1/advance, /v1/cancel, GET /v1/stats,
+// GET /v1/watch (the device event stream as Server-Sent Events, with
+// heartbeats and resume-from-sequence) and /healthz — with optional
+// per-tenant bearer-token authentication, device authorisation and
+// quotas of both kinds: a total request budget and a token-bucket rate
+// (sustained ops/sec plus burst). The daemon shuts down gracefully on
+// SIGINT/SIGTERM, drains every device and prints the same fleet report.
+// Clients use httpapi.NewClient (or plain curl); the in-process fleet
+// service and the HTTP client are behaviourally interchangeable,
+// watches included.
 //
 // Usage:
 //
@@ -24,11 +27,16 @@
 //	        [-cache] [-cache-size N] [-cache-slack F] [-mailbox N]
 //	        [-resched] [-v]
 //	rmserve -listen :8080 [-token SECRET | -tenants FILE.json]
+//	        [-quota-rate R [-quota-burst B]]
 //	        [-devices M] [-shards K] [-sched NAME] [-cache] ...
 //
-// A tenants file is a JSON list:
+// -quota-rate/-quota-burst attach a token bucket to the single -token
+// tenant (the replay-mode -rate/-burst flags shape the generated trace,
+// hence the distinct names). A tenants file carries the same settings
+// per tenant as "rate"/"burst" keys:
 //
-//	[{"name":"acme","token":"s3cret","devices":[0,1],"max_requests":1000},
+//	[{"name":"acme","token":"s3cret","devices":[0,1],"max_requests":1000,
+//	  "rate":50,"burst":100},
 //	 {"name":"ops","token":"t0ken"}]
 package main
 
@@ -73,6 +81,8 @@ func main() {
 	listen := flag.String("listen", "", "daemon mode: serve the fleet over HTTP on this address (e.g. :8080)")
 	token := flag.String("token", "", "daemon mode: single-tenant bearer token (all devices, no quota)")
 	tenantsPath := flag.String("tenants", "", "daemon mode: JSON tenant file (overrides -token)")
+	quotaRate := flag.Float64("quota-rate", 0, "daemon mode: token-bucket rate for the -token tenant in mutating ops/sec (0 = unlimited)")
+	quotaBurst := flag.Int("quota-burst", 0, "daemon mode: token-bucket burst for the -token tenant (0 = ceil(rate))")
 	flag.Parse()
 
 	plat := platform.OdroidXU4()
@@ -106,7 +116,7 @@ func main() {
 		*devices, *shards, *schedName, *cache)
 
 	if *listen != "" {
-		serveDaemon(f, *listen, *token, *tenantsPath, *cache, *verbose, *devices)
+		serveDaemon(f, *listen, *token, *tenantsPath, *quotaRate, *quotaBurst, *cache, *verbose, *devices)
 		return
 	}
 
@@ -133,7 +143,7 @@ func main() {
 
 // serveDaemon exposes the fleet over HTTP until SIGINT/SIGTERM, then
 // drains it and prints the final report.
-func serveDaemon(f *fleet.Fleet, listen, token, tenantsPath string, cache, verbose bool, devices int) {
+func serveDaemon(f *fleet.Fleet, listen, token, tenantsPath string, quotaRate float64, quotaBurst int, cache, verbose bool, devices int) {
 	var opt httpapi.ServerOptions
 	switch {
 	case tenantsPath != "":
@@ -147,8 +157,12 @@ func serveDaemon(f *fleet.Fleet, listen, token, tenantsPath string, cache, verbo
 		}
 		fmt.Printf("tenants:   %d configured from %s\n", len(opt.Tenants), tenantsPath)
 	case token != "":
-		opt.Tenants = []httpapi.Tenant{{Name: "default", Token: token}}
-		fmt.Println("tenants:   single default tenant (bearer token)")
+		opt.Tenants = []httpapi.Tenant{{Name: "default", Token: token, Rate: quotaRate, Burst: quotaBurst}}
+		if quotaRate > 0 {
+			fmt.Printf("tenants:   single default tenant (bearer token, %g ops/s rate quota)\n", quotaRate)
+		} else {
+			fmt.Println("tenants:   single default tenant (bearer token)")
+		}
 	default:
 		fmt.Println("tenants:   open access (no -token/-tenants)")
 	}
@@ -173,7 +187,7 @@ func serveDaemon(f *fleet.Fleet, listen, token, tenantsPath string, cache, verbo
 	errCh := make(chan error, 1)
 	start := time.Now()
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("listening: %s (POST /v1/submit /v1/submit-batch /v1/advance /v1/cancel, GET /v1/stats /healthz)\n", listen)
+	fmt.Printf("listening: %s (POST /v1/submit /v1/submit-batch /v1/advance /v1/cancel, GET /v1/stats /v1/watch /healthz)\n", listen)
 
 	select {
 	case <-ctx.Done():
@@ -181,6 +195,10 @@ func serveDaemon(f *fleet.Fleet, listen, token, tenantsPath string, cache, verbo
 		// SIGINT/SIGTERM during a stuck drain must still kill us.
 		stop()
 		fmt.Fprintln(os.Stderr, "\nrmserve: shutting down")
+		// End only the watch streams — they never go idle, so Shutdown
+		// would otherwise wait its whole deadline for them; in-flight
+		// short-lived requests still drain normally.
+		handler.StopStreams()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -206,7 +224,7 @@ func report(f *fleet.Fleet, wall time.Duration, cache, verbose, daemon bool, dev
 	fmt.Println("------------")
 	fmt.Printf("requests:        %d submitted, %d accepted, %d rejected (accept rate %.1f%%)\n",
 		s.Submitted, s.Accepted, s.Rejected, 100*s.AcceptRate())
-	fmt.Printf("completions:     %d jobs, %d deadline misses\n", s.Completed, s.DeadlineMisses)
+	fmt.Printf("completions:     %d jobs, %d deadline misses, %d cancelled\n", s.Completed, s.DeadlineMisses, s.Cancelled)
 	fmt.Printf("energy:          %.2f J total, %.3f J/job\n", s.Energy, perJob(s.Energy, s.Completed))
 	fmt.Printf("scheduler:       %d activations, %v wall time (%.1f µs/activation)\n",
 		s.Activations, s.SchedulingTime.Round(time.Microsecond),

@@ -54,6 +54,31 @@
 //     automatically within FleetOptions.BatchWindow seconds of virtual
 //     time, amortising activations under the bursty multi-tenant
 //     traffic GenerateFleetTrace produces with BurstSize/BurstWindow.
+//   - streaming: every runtime manager emits typed lifecycle events —
+//     EventJobAdmitted, EventJobRejected, EventJobStarted,
+//     EventJobCompleted, EventJobCancelled, EventScheduleChanged — with
+//     per-device monotone, gap-free sequence numbers, and Watch
+//     subscribes to them through any supporting Service. The fleet fans
+//     events out through per-subscriber bounded buffers whose overflow
+//     converts into an in-stream EventLagged marker (carrying the first
+//     dropped sequence number and a drop count), so a stalled consumer
+//     loses events — explicitly — but never blocks a shard worker; the
+//     publish path is gated allocation-free like the packer. A
+//     single-device watch resumes from any retained sequence number
+//     (WatchRequest.FromSeq, backed by a per-device history ring of
+//     FleetOptions.EventHistory events). Over HTTP the stream is GET
+//     /v1/watch as Server-Sent Events — "id:" carries the sequence
+//     number, "data:" the Event JSON, comment lines heartbeat idle
+//     connections — and the client's Watch is channel-based and itself
+//     a WatchService, so the equivalence suite pins both transports to
+//     byte-identical event logs that reconstruct the managers' own
+//     admission statistics and executed timelines; a future gRPC
+//     streaming binding inherits that contract. Tenants can also be
+//     paced, not just budgeted: Tenant.Rate/Burst attach a token bucket
+//     (a k-item batch costs k tokens, refusals reserve nothing,
+//     never-executed operations refund) driven by a virtual-clock hook
+//     for deterministic tests — rmserve -quota-rate/-quota-burst on the
+//     command line.
 //
 // # Performance
 //

@@ -3,7 +3,10 @@
 // in-process fleet implements, so swapping transports changes one
 // constructor call. Demonstrates per-request decisions, typed
 // rejections, batched admission (one scheduler activation for a whole
-// burst), job cancellation, per-tenant quotas and the stats endpoint.
+// burst), job cancellation, per-tenant quotas, the stats endpoint, and
+// the /v1/watch event stream: every admission, start, completion,
+// cancellation and schedule change arrives live over Server-Sent
+// Events, in per-device sequence order.
 package main
 
 import (
@@ -52,8 +55,26 @@ func main() {
 
 	// The client is itself an adaptrm.Service — everything below would
 	// work identically against f.Service() directly.
-	var svc adaptrm.Service = adaptrm.NewHTTPClient(baseURL, "s3cret", nil)
+	client := adaptrm.NewHTTPClient(baseURL, "s3cret", nil)
+	var svc adaptrm.Service = client
 	ctx := context.Background()
+
+	// Follow the whole fleet live before any traffic flows: the watch is
+	// an SSE stream (quota-free, like stats), and adaptrm.Watch works
+	// identically against f.Service(). Events are collected here and
+	// printed once the fleet has drained.
+	events, err := adaptrm.Watch(ctx, svc, adaptrm.WatchRequest{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var story []adaptrm.Event
+	watched := make(chan struct{})
+	go func() {
+		defer close(watched)
+		for ev := range events {
+			story = append(story, ev)
+		}
+	}()
 
 	// Negotiate a few admissions on device 0. The tight 6-second
 	// deadline of the third request is infeasible next to the others —
@@ -136,6 +157,22 @@ func main() {
 		log.Fatal(err)
 	}
 	final := f.Stats()
-	fmt.Printf("after drain: %d completed, %d deadline misses, %.2f J total\n",
-		final.Completed, final.DeadlineMisses, final.Energy)
+	fmt.Printf("after drain: %d completed, %d deadline misses, %d cancelled, %.2f J total\n",
+		final.Completed, final.DeadlineMisses, final.Cancelled, final.Energy)
+
+	// Closing the fleet ended the SSE stream — after its final drain
+	// events, so the watcher holds the complete story.
+	<-watched
+	fmt.Printf("\nwatched %d events over SSE:\n", len(story))
+	for _, ev := range story {
+		switch ev.Type {
+		case adaptrm.EventScheduleChanged:
+			fmt.Printf("  dev %d #%-2d t=%5.1f  %s\n", ev.Device, ev.Seq, ev.At, ev.Type)
+		case adaptrm.EventJobAdmitted, adaptrm.EventJobRejected:
+			fmt.Printf("  dev %d #%-2d t=%5.1f  %-16s job %d  %s (deadline %g)\n",
+				ev.Device, ev.Seq, ev.At, ev.Type, ev.JobID, ev.App, ev.Deadline)
+		default:
+			fmt.Printf("  dev %d #%-2d t=%5.1f  %-16s job %d\n", ev.Device, ev.Seq, ev.At, ev.Type, ev.JobID)
+		}
+	}
 }

@@ -227,6 +227,79 @@ func TestFacadeSubmitBatch(t *testing.T) {
 	}
 }
 
+// TestFacadeWatch exercises the streaming surface through the facade:
+// the Watch helper over both transports, the event taxonomy constants,
+// and resume-from-sequence.
+func TestFacadeWatch(t *testing.T) {
+	lib := motiv.Library()
+	devs := []FleetDevice{{Platform: Motivational2L2B(), Library: lib, Scheduler: NewMMKPMDF()}}
+	f, err := NewFleet(devs, FleetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewHTTPServer(f.Service(), HTTPServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	ctx := context.Background()
+
+	logs := map[string]*[]Event{}
+	var waits []func()
+	for name, svc := range map[string]Service{
+		"in-process": f.Service(),
+		"http":       NewHTTPClient(ts.URL, "", ts.Client()),
+	} {
+		ch, err := Watch(ctx, svc, WatchRequest{})
+		if err != nil {
+			t.Fatalf("%s: watch: %v", name, err)
+		}
+		var evs []Event
+		logs[name] = &evs
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for ev := range ch {
+				evs = append(evs, ev)
+			}
+		}()
+		waits = append(waits, func() { <-done })
+	}
+
+	svc := f.Service()
+	if _, err := svc.Submit(ctx, SubmitRequest{Device: 0, At: 0, App: "lambda1", Deadline: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, wait := range waits {
+		wait()
+	}
+	for name, evs := range logs {
+		var types []EventType
+		for _, ev := range *evs {
+			types = append(types, ev.Type)
+		}
+		want := []EventType{EventJobAdmitted, EventScheduleChanged, EventJobStarted, EventJobCompleted}
+		if len(types) != len(want) {
+			t.Fatalf("%s: stream = %v, want %v", name, types, want)
+		}
+		for i := range want {
+			if types[i] != want[i] {
+				t.Fatalf("%s: stream = %v, want %v", name, types, want)
+			}
+		}
+	}
+	for i := range *logs["in-process"] {
+		if (*logs["in-process"])[i] != (*logs["http"])[i] {
+			t.Fatalf("transports diverged at event %d: %+v vs %+v",
+				i, (*logs["in-process"])[i], (*logs["http"])[i])
+		}
+	}
+}
+
 func TestFacadeCachingScheduler(t *testing.T) {
 	cache := NewScheduleCache(ScheduleCacheParams{Capacity: 16})
 	s := NewCachingScheduler(NewMMKPMDF(), cache)

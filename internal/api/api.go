@@ -124,6 +124,10 @@ type StatsResult struct {
 	// Completed counts finished jobs, DeadlineMisses the violations.
 	Completed      int `json:"completed"`
 	DeadlineMisses int `json:"deadline_misses"`
+	// Cancelled counts jobs aborted while active. With the others it
+	// closes the lifecycle ledger: accepted = completed + cancelled +
+	// currently active.
+	Cancelled int `json:"cancelled"`
 	// Energy is the total energy of all executed schedule fractions (J).
 	Energy float64 `json:"energy"`
 	// Activations counts scheduler invocations, SchedulingTime their

@@ -109,10 +109,11 @@ func verdictError(err error) *Error {
 // item's verdict and keeps deciding, while the sequential fallback
 // aborts with the error and the verdict prefix decided so far (it
 // cannot tell a scheduler failure from a transport failure). The
-// empty batch is rejected as ErrBadRequest on both paths.
+// empty batch is a no-op on both paths: zero operations decided,
+// zero quota charged, an empty result and no error.
 func SubmitBatch(ctx context.Context, svc Service, req BatchSubmitRequest) (BatchSubmitResult, error) {
 	if len(req.Items) == 0 {
-		return BatchSubmitResult{}, Errf(ErrBadRequest, "empty batch for device %d", req.Device)
+		return BatchSubmitResult{}, nil
 	}
 	if bs, ok := svc.(BatchService); ok {
 		return bs.SubmitBatch(ctx, req)

@@ -77,8 +77,17 @@ func TestServiceSubmitBatchDecisions(t *testing.T) {
 	if _, err := svc.SubmitBatch(ctxBG, api.BatchSubmitRequest{Device: 9, At: 2, Items: []api.BatchItem{{App: "lambda1", Deadline: 9}}}); !errors.Is(err, api.ErrUnknownDevice) {
 		t.Errorf("unknown device: %v", err)
 	}
-	if _, err := svc.SubmitBatch(ctxBG, api.BatchSubmitRequest{Device: 0, At: 3}); !errors.Is(err, api.ErrBadRequest) {
-		t.Errorf("empty batch: %v", err)
+	// The empty batch is a no-op: empty result, no error, and no clock
+	// movement (nothing was enqueued for the device at all).
+	before, err := f.DeviceNow(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := svc.SubmitBatch(ctxBG, api.BatchSubmitRequest{Device: 0, At: 99}); err != nil || len(res.Verdicts) != 0 || len(res.Completions) != 0 {
+		t.Errorf("empty batch: res %+v err %v, want empty result and nil error", res, err)
+	}
+	if now, err := f.DeviceNow(0); err != nil || now != before {
+		t.Errorf("empty batch moved the device clock %v → %v (err %v)", before, now, err)
 	}
 	if err := f.Close(); err != nil {
 		t.Fatal(err)

@@ -28,6 +28,7 @@ import (
 	"adaptrm/internal/rm"
 	"adaptrm/internal/sched"
 	"adaptrm/internal/schedcache"
+	"adaptrm/internal/schedule"
 	"adaptrm/internal/workload"
 )
 
@@ -70,6 +71,16 @@ type Options struct {
 	// traces) coalesce without any behaviour change. Zero disables
 	// coalescing. Explicit Service.SubmitBatch calls work either way.
 	BatchWindow float64
+	// EventHistory is the per-device retained-event window serving
+	// watch resumes (WatchRequest.FromSeq); a resume reaching further
+	// back than the window opens with an EventLagged marker for the
+	// evicted range. Zero means 1024 events per device.
+	EventHistory int
+	// WatchBuffer is the default per-subscriber event buffer; a full
+	// buffer converts into an EventLagged marker instead of blocking a
+	// shard worker. Zero means 256; WatchRequest.Buffer overrides it
+	// per subscription.
+	WatchBuffer int
 }
 
 func (o *Options) normalize() {
@@ -81,6 +92,12 @@ func (o *Options) normalize() {
 	}
 	if o.BatchWindow < 0 {
 		o.BatchWindow = 0
+	}
+	if o.EventHistory <= 0 {
+		o.EventHistory = defaultEventHistory
+	}
+	if o.WatchBuffer <= 0 {
+		o.WatchBuffer = defaultWatchBuffer
 	}
 }
 
@@ -103,6 +120,10 @@ type Stats struct {
 	Submitted, Accepted, Rejected int
 	// Completed counts finished jobs, DeadlineMisses the violations.
 	Completed, DeadlineMisses int
+	// Cancelled counts jobs aborted while active; with Completed and the
+	// live set it closes the admission ledger (accepted = completed +
+	// cancelled + active).
+	Cancelled int
 	// Energy is the total energy of all executed schedule fractions (J).
 	Energy float64
 	// Activations counts scheduler invocations fleet-wide (cache hits
@@ -149,6 +170,9 @@ type device struct {
 	mgr   *rm.Manager
 	cache *schedcache.Cache
 	errs  []error
+	// history retains the tail of the device's event stream for watch
+	// resumes; appended by the manager's event sink under mu.
+	history eventRing
 }
 
 // opKind discriminates mailbox operations.
@@ -269,6 +293,10 @@ type Fleet struct {
 	shards  []*shard
 	// batchWindow is Options.BatchWindow (0 = no coalescing).
 	batchWindow float64
+	// hub fans device events out to watchers; watchBuffer is the default
+	// per-subscriber ring capacity.
+	hub         *hub
+	watchBuffer int
 	wg          sync.WaitGroup
 	// mu guards closed: submitters hold it shared for the whole
 	// enqueue, Close holds it exclusively while marking the fleet
@@ -285,7 +313,7 @@ func New(devs []DeviceConfig, opt Options) (*Fleet, error) {
 		return nil, errors.New("fleet: no devices")
 	}
 	opt.normalize()
-	f := &Fleet{batchWindow: opt.BatchWindow}
+	f := &Fleet{batchWindow: opt.BatchWindow, hub: newHub(), watchBuffer: opt.WatchBuffer}
 	for i, dc := range devs {
 		s := dc.Scheduler
 		var cache *schedcache.Cache
@@ -297,7 +325,9 @@ func New(devs []DeviceConfig, opt Options) (*Fleet, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fleet: device %d: %w", i, err)
 		}
-		f.devices = append(f.devices, &device{id: i, mgr: mgr, cache: cache})
+		d := &device{id: i, mgr: mgr, cache: cache, history: newEventRing(opt.EventHistory)}
+		f.installSink(d)
+		f.devices = append(f.devices, d)
 	}
 	f.shards = make([]*shard, opt.Shards)
 	for i := range f.shards {
@@ -578,6 +608,10 @@ func (f *Fleet) Close() error {
 		errs = append(errs, d.errs...)
 		d.mu.Unlock()
 	}
+	// Only now — after the final drain published its completion events —
+	// end the watch streams: every watcher still draining receives the
+	// full story before its channel closes.
+	f.hub.close()
 	return errors.Join(errs...)
 }
 
@@ -599,6 +633,7 @@ func (f *Fleet) Stats() Stats {
 		out.Rejected += ms.Rejected
 		out.Completed += ms.Completed
 		out.DeadlineMisses += ms.DeadlineMisses
+		out.Cancelled += ms.Cancelled
 		out.Energy += ms.Energy
 		out.Activations += ms.Activations
 		out.SchedulingTime += ms.SchedulingTime
@@ -627,6 +662,19 @@ func (f *Fleet) DeviceStats(dev int) (rm.Stats, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.mgr.Stats(), nil
+}
+
+// DeviceTimeline returns a copy of a device's executed timeline — the
+// schedule fractions actually run so far — for audits and for the
+// watch-equivalence suite, which replays an event log against it.
+func (f *Fleet) DeviceTimeline(dev int) ([]schedule.Segment, error) {
+	if dev < 0 || dev >= len(f.devices) {
+		return nil, f.deviceErr(dev)
+	}
+	d := f.devices[dev]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.mgr.ExecutedTimeline(), nil
 }
 
 // DeviceNow returns a device's current virtual time.

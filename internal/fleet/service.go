@@ -113,8 +113,10 @@ func (s *Service) Submit(ctx context.Context, req api.SubmitRequest) (api.Submit
 // error; the call error is reserved for whole-batch failures (unknown
 // device, overload, closed, time moving backwards).
 func (s *Service) SubmitBatch(ctx context.Context, req api.BatchSubmitRequest) (api.BatchSubmitResult, error) {
+	// The empty batch is a no-op: nothing to decide, nothing enqueued,
+	// nothing charged — an empty result, not an error.
 	if len(req.Items) == 0 {
-		return api.BatchSubmitResult{}, api.Errf(api.ErrBadRequest, "empty batch for device %d", req.Device)
+		return api.BatchSubmitResult{}, nil
 	}
 	items := make([]rm.Request, len(req.Items))
 	for i, it := range req.Items {
@@ -180,6 +182,7 @@ func (s *Service) Stats(ctx context.Context, req api.StatsRequest) (api.StatsRes
 			Rejected:       ds.Rejected,
 			Completed:      ds.Completed,
 			DeadlineMisses: ds.DeadlineMisses,
+			Cancelled:      ds.Cancelled,
 			Energy:         ds.Energy,
 			Activations:    ds.Activations,
 			SchedulingTime: ds.SchedulingTime,
@@ -194,6 +197,7 @@ func (s *Service) Stats(ctx context.Context, req api.StatsRequest) (api.StatsRes
 		Rejected:       fs.Rejected,
 		Completed:      fs.Completed,
 		DeadlineMisses: fs.DeadlineMisses,
+		Cancelled:      fs.Cancelled,
 		Energy:         fs.Energy,
 		Activations:    fs.Activations,
 		SchedulingTime: fs.SchedulingTime,

@@ -1,0 +1,36 @@
+package fleet
+
+import (
+	"testing"
+
+	"adaptrm/internal/api"
+)
+
+// BenchmarkWatchFanout measures the publish hot path a shard worker
+// pays per manager event: offering one event to every registered
+// subscriber's ring. Consumers are deliberately absent — full rings
+// fold into Lagged markers — so the figure isolates the worker-side
+// cost, which the allocs gate pins at zero (like the packer): fanning
+// an event out must never allocate, whatever the subscriber count.
+func BenchmarkWatchFanout(b *testing.B) {
+	h := newHub()
+	const subscribers = 8
+	for i := 0; i < subscribers; i++ {
+		s := &subscriber{
+			device: -1,
+			ring:   newEventRing(64),
+			wake:   make(chan struct{}, 1),
+			out:    make(chan api.Event),
+		}
+		if err := h.register(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ev := api.Event{Device: 0, Type: api.EventJobAdmitted, JobID: 1, App: "lambda1", Deadline: 9}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Seq = uint64(i + 1)
+		h.publish(ev)
+	}
+}

@@ -125,9 +125,10 @@ func TestSubmitBatchPerItemErrors(t *testing.T) {
 	if rejected == 0 {
 		t.Errorf("over-subscribed tail produced no infeasible verdicts: %+v", v[3:])
 	}
-	// The empty batch is a 400 on the wire.
-	if _, err := api.SubmitBatch(bg, svc, api.BatchSubmitRequest{Device: 0, At: 1}); !errors.Is(err, api.ErrBadRequest) {
-		t.Errorf("empty batch: %v", err)
+	// The empty batch is a 200 with an empty result on the wire — a
+	// no-op, not an error envelope.
+	if res, err := api.SubmitBatch(bg, svc, api.BatchSubmitRequest{Device: 0, At: 1}); err != nil || len(res.Verdicts) != 0 || len(res.Completions) != 0 {
+		t.Errorf("empty batch: res %+v err %v, want empty result and nil error", res, err)
 	}
 	// Unknown devices stay call-level.
 	if _, err := api.SubmitBatch(bg, svc, api.BatchSubmitRequest{Device: 7, At: 1, Items: []api.BatchItem{{App: "lambda1", Deadline: 9}}}); !errors.Is(err, api.ErrUnknownDevice) {
@@ -165,6 +166,12 @@ func TestSubmitBatchQuota(t *testing.T) {
 	}
 	if st.Submitted != 3 {
 		t.Errorf("submitted = %d, want 3 (2 batch + 1 single)", st.Submitted)
+	}
+	// The whole budget is spent — an empty batch must still pass: zero
+	// items charge zero units (not one), and the reply is an empty
+	// result, not a quota error.
+	if res, err := api.SubmitBatch(bg, svc, api.BatchSubmitRequest{Device: 0, At: 3}); err != nil || len(res.Verdicts) != 0 {
+		t.Errorf("empty batch on spent budget: res %+v err %v, want empty result and nil error", res, err)
 	}
 }
 

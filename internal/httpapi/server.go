@@ -10,7 +10,16 @@
 //	POST /v1/advance       AdvanceRequest     → AdvanceResult
 //	POST /v1/cancel        CancelRequest      → CancelResult
 //	GET  /v1/stats[?device=N]                 → StatsResult
+//	GET  /v1/watch[?device=N&from_seq=S&buffer=B] → Server-Sent Events
 //	GET  /healthz                             → {"status":"ok"}
+//
+// /v1/watch (served when the wrapped Service implements
+// api.WatchService) streams device lifecycle events as SSE: each event
+// is written as "id: <seq>", "event: <type>" and a "data:" line holding
+// the api.Event JSON, with comment-line heartbeats keeping idle
+// connections alive. from_seq resumes a single-device stream from a
+// sequence number; see api.WatchRequest for the semantics. Watching is
+// read-only and quota-free, like stats.
 //
 // Successful calls return 200 with the result object. Failures return a
 // taxonomy-derived status code and an envelope
@@ -25,9 +34,15 @@
 //
 // Authentication is per-tenant bearer tokens. A tenant may be
 // restricted to a set of devices (403 outside it, including the
-// fleet-wide stats aggregate, which only unrestricted tenants may read)
-// and given a request budget (429 once spent; a k-item batch costs k
-// units). A server configured with no tenants is open.
+// fleet-wide stats aggregate and the fleet-wide watch, which only
+// unrestricted tenants may open), given a request budget (429 once
+// spent; a k-item batch costs k units) and a token-bucket rate quota
+// (Tenant.Rate sustained operations per second with Tenant.Burst
+// capacity; 429 when the bucket is empty). Budget and bucket compose:
+// a request must clear both, and a refusal by either reserves nothing.
+// The bucket refills against ServerOptions.Now, so tests drive it with
+// a virtual clock and the admit/reject sequence is deterministic. A
+// server configured with no tenants is open.
 package httpapi
 
 import (
@@ -35,10 +50,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"adaptrm/internal/api"
 )
@@ -53,9 +71,18 @@ type Tenant struct {
 	// means all devices.
 	Devices []int `json:"devices,omitempty"`
 	// MaxRequests is the tenant's total budget of mutating calls
-	// (submit, advance, cancel); 0 means unlimited. Stats and health
-	// checks are free.
+	// (submit, advance, cancel); 0 means unlimited. Stats, watches and
+	// health checks are free.
 	MaxRequests int `json:"max_requests,omitempty"`
+	// Rate enables the token-bucket quota: the tenant's sustained
+	// mutating-call rate in operations per second (a k-item batch costs
+	// k tokens). 0 means unlimited. The bucket composes with
+	// MaxRequests — the budget bounds the total, the bucket the pace.
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is the bucket capacity — how many operations may land
+	// back-to-back before the rate gates. 0 with a positive Rate
+	// defaults to ceil(Rate), at least 1.
+	Burst int `json:"burst,omitempty"`
 }
 
 // ServerOptions tunes the HTTP front-end.
@@ -63,12 +90,64 @@ type ServerOptions struct {
 	// Tenants is the access-control list; empty leaves the server open
 	// (every request allowed, no quotas).
 	Tenants []Tenant
+	// Now supplies the clock the token buckets refill against; nil
+	// means time.Now. Tests inject a virtual clock here, making
+	// admit/reject sequences fully deterministic.
+	Now func() time.Time
+	// WatchHeartbeat is the SSE keep-alive comment interval of
+	// /v1/watch; 0 means 15s.
+	WatchHeartbeat time.Duration
 }
 
-// tenantState is a Tenant plus its spent-request counter.
+// tenantState is a Tenant plus its quota state: the spent-request
+// counter of the total budget and the token bucket of the rate quota.
 type tenantState struct {
 	Tenant
 	used atomic.Int64
+	// bmu guards the bucket; the refill-then-take must be atomic.
+	bmu    sync.Mutex
+	tokens float64
+	// last is the bucket's previous refill instant; zero means the
+	// bucket is still full (it starts at Burst).
+	last time.Time
+}
+
+// take reserves n tokens from the rate bucket at virtual time now,
+// refilling first. The refusal leaves the bucket untouched, so a
+// rejected caller does not push its own recovery further out.
+func (t *tenantState) take(n int, now time.Time) error {
+	if t == nil || t.Rate <= 0 || n <= 0 {
+		return nil
+	}
+	t.bmu.Lock()
+	defer t.bmu.Unlock()
+	burst := float64(t.Burst)
+	if t.last.IsZero() {
+		t.tokens = burst
+	} else if dt := now.Sub(t.last).Seconds(); dt > 0 {
+		t.tokens = math.Min(burst, t.tokens+dt*t.Rate)
+	}
+	t.last = now
+	// An epsilon absorbs the float drift of many refills, so a tenant
+	// pacing itself exactly at Rate is never spuriously refused.
+	if t.tokens+1e-9 < float64(n) {
+		return api.Errf(api.ErrQuotaExceeded,
+			"tenant %q over rate quota: %d token(s) requested, %.3g available (rate %g/s, burst %d)",
+			t.Name, n, t.tokens, t.Rate, t.Burst)
+	}
+	t.tokens -= float64(n)
+	return nil
+}
+
+// putBack returns n tokens to the rate bucket (capped at Burst) when
+// the charged operation never executed.
+func (t *tenantState) putBack(n int) {
+	if t == nil || t.Rate <= 0 || n <= 0 {
+		return
+	}
+	t.bmu.Lock()
+	t.tokens = math.Min(float64(t.Burst), t.tokens+float64(n))
+	t.bmu.Unlock()
 }
 
 func (t *tenantState) allowed(dev int) bool {
@@ -83,12 +162,12 @@ func (t *tenantState) allowed(dev int) bool {
 	return false
 }
 
-// charge reserves n units of the tenant's request budget — one per
-// mutating operation, so a k-item batch costs k — failing without
-// partial reservation once the budget is spent. The check-then-add is a
-// single atomic add with rollback, so concurrent requests cannot
-// overdraw. A nil receiver (open server) is a no-op.
-func (t *tenantState) charge(n int) error {
+// chargeBudget reserves n units of the tenant's total request budget —
+// one per mutating operation, so a k-item batch costs k — failing
+// without partial reservation once the budget is spent. The
+// check-then-add is a single atomic add with rollback, so concurrent
+// requests cannot overdraw. A nil receiver (open server) is a no-op.
+func (t *tenantState) chargeBudget(n int) error {
 	if t == nil || t.MaxRequests <= 0 || n <= 0 {
 		return nil
 	}
@@ -99,14 +178,35 @@ func (t *tenantState) charge(n int) error {
 	return nil
 }
 
-// refund returns n reserved units when the operation never reached a
-// device (backpressure, shutdown, bad address), so the budget keeps
-// meaning "mutating operations executed", not "attempts made". A nil
-// receiver (open server) is a no-op.
-func (t *tenantState) refund(n int) {
+// charge reserves n units across both quota kinds — the total budget
+// and the rate bucket — atomically: a refusal by either leaves the
+// other untouched, so a refused request reserves nothing.
+func (t *tenantState) charge(n int, now time.Time) error {
+	if err := t.chargeBudget(n); err != nil {
+		return err
+	}
+	if err := t.take(n, now); err != nil {
+		t.refundBudget(n)
+		return err
+	}
+	return nil
+}
+
+// refundBudget returns n reserved budget units. A nil receiver (open
+// server) is a no-op.
+func (t *tenantState) refundBudget(n int) {
 	if t != nil && t.MaxRequests > 0 && n > 0 {
 		t.used.Add(int64(-n))
 	}
+}
+
+// refund returns n reserved units to both quota kinds when the
+// operation never reached a device (backpressure, shutdown, bad
+// address), so quotas keep meaning "mutating operations executed", not
+// "attempts made". A nil receiver (open server) is a no-op.
+func (t *tenantState) refund(n int) {
+	t.refundBudget(n)
+	t.putBack(n)
 }
 
 // refundable reports errors that should hand the budget unit back:
@@ -131,21 +231,53 @@ type Server struct {
 	svc     api.Service
 	mux     *http.ServeMux
 	tenants map[string]*tenantState
+	// now is the quota clock (virtual in tests), heartbeat the SSE
+	// keep-alive interval of /v1/watch.
+	now       func() time.Time
+	heartbeat time.Duration
+	// streamStop ends every open /v1/watch stream when closed (see
+	// StopStreams); streamOnce makes the close idempotent.
+	streamStop chan struct{}
+	streamOnce sync.Once
+}
+
+// StopStreams ends every open /v1/watch stream (and refuses new ones
+// with an immediate end-of-stream). Watch connections are in-flight
+// requests that never go idle on their own, so a graceful
+// http.Server.Shutdown would otherwise wait its whole deadline for
+// them; call this first and Shutdown then drains only the short-lived
+// requests, untouched. Idempotent.
+func (s *Server) StopStreams() {
+	s.streamOnce.Do(func() { close(s.streamStop) })
 }
 
 // NewServer wraps a Service (typically fleet.Service, but any
 // implementation works — servers compose) in the HTTP front-end. It
 // rejects tenant lists with empty or duplicate tokens — a duplicate
 // would silently shadow the first tenant's device restrictions and
-// quota.
+// quota — and with negative rate quotas. When the wrapped Service also
+// implements api.WatchService, GET /v1/watch serves its event stream
+// as Server-Sent Events; otherwise the route does not exist.
 func NewServer(svc api.Service, opt ServerOptions) (*Server, error) {
-	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s := &Server{svc: svc, mux: http.NewServeMux(), now: opt.Now, heartbeat: opt.WatchHeartbeat, streamStop: make(chan struct{})}
+	if s.now == nil {
+		s.now = time.Now
+	}
+	if s.heartbeat <= 0 {
+		s.heartbeat = 15 * time.Second
+	}
 	if len(opt.Tenants) > 0 {
 		if err := validateTenants(opt.Tenants); err != nil {
 			return nil, err
 		}
 		s.tenants = make(map[string]*tenantState, len(opt.Tenants))
 		for _, t := range opt.Tenants {
+			if t.Rate > 0 && t.Burst <= 0 {
+				t.Burst = int(math.Ceil(t.Rate))
+				if t.Burst < 1 {
+					t.Burst = 1
+				}
+			}
 			s.tenants[t.Token] = &tenantState{Tenant: t}
 		}
 	}
@@ -163,6 +295,9 @@ func NewServer(svc api.Service, opt ServerOptions) (*Server, error) {
 		}))
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	if ws, ok := svc.(api.WatchService); ok {
+		s.mux.HandleFunc("GET /v1/watch", s.handleWatch(ws))
+	}
 	return s, nil
 }
 
@@ -314,7 +449,7 @@ func handle[Req interface{ TargetDevice() int }, Res any](s *Server, cost func(R
 		}
 		n := cost(req)
 		if err == nil {
-			err = t.charge(n)
+			err = t.charge(n, s.now())
 		}
 		if err != nil {
 			writeError(w, err, nil)
@@ -390,6 +525,9 @@ func validateTenants(ts []Tenant) error {
 		}
 		if prev, dup := seen[t.Token]; dup {
 			return fmt.Errorf("httpapi: tenants %q and %q share a token", prev, t.Name)
+		}
+		if t.Rate < 0 || t.Burst < 0 {
+			return fmt.Errorf("httpapi: tenant %q: negative rate quota (rate %g, burst %d)", t.Name, t.Rate, t.Burst)
 		}
 		seen[t.Token] = t.Name
 	}

@@ -1,0 +1,324 @@
+package httpapi_test
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"adaptrm/internal/api"
+	"adaptrm/internal/fleet"
+	"adaptrm/internal/httpapi"
+	"adaptrm/internal/motiv"
+	"adaptrm/internal/workload"
+)
+
+// watchClient wraps a Service in a live httptest server and returns the
+// concrete client, whose Watch is needed alongside the Service verbs.
+func watchClient(t *testing.T, svc api.Service, opt httpapi.ServerOptions, token string) *httpapi.Client {
+	t.Helper()
+	ts := httptest.NewServer(mustServer(t, svc, opt))
+	t.Cleanup(ts.Close)
+	return httpapi.NewClient(ts.URL, token, ts.Client())
+}
+
+// gather drains a watch channel in the background.
+func gather(ch <-chan api.Event) (*[]api.Event, func()) {
+	var evs []api.Event
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range ch {
+			evs = append(evs, ev)
+		}
+	}()
+	return &evs, func() { <-done }
+}
+
+// TestWatchOverHTTPEquivalence is the wire half of the acceptance
+// contract: for a seeded fleet trace (with cancellations mixed in), an
+// SSE watcher receives the byte-identical event sequence an in-process
+// watcher receives — including a watcher that disconnects mid-stream
+// and resumes over a fresh connection with from_seq — and the replayed
+// log reconstructs the admission statistics the daemon reports.
+func TestWatchOverHTTPEquivalence(t *testing.T) {
+	const devices = 2
+	f := newFleet(t, devices, fleet.Options{Shards: 2})
+	client := watchClient(t, f.Service(), httpapi.ServerOptions{}, "")
+
+	inproc, err := f.Service().Watch(bg, api.WatchRequest{Buffer: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inprocLog, waitInproc := gather(inproc)
+
+	remote, err := client.Watch(bg, api.WatchRequest{Buffer: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteLog, waitRemote := gather(remote)
+
+	// A third watcher follows device 0 and will be cut mid-stream.
+	dev0 := 0
+	ctx1, cancel1 := context.WithCancel(bg)
+	flaky, err := client.Watch(ctx1, api.WatchRequest{Device: &dev0})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trace, err := workload.FleetTrace(motiv.Library(), workload.FleetTraceParams{
+		Devices: devices, Rate: 0.2, RateSpread: 0.4, Horizon: 50, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(trace) / 2
+	var admitted []api.SubmitResult
+	var admittedDevs []int
+	runTraffic := func(part []workload.FleetRequest) {
+		for i, r := range part {
+			res, err := client.Submit(bg, api.SubmitRequest{Device: r.Device, At: r.At, App: r.App, Deadline: r.Deadline})
+			if err != nil && !errors.Is(err, api.ErrInfeasible) {
+				t.Fatalf("trace %d: %v", i, err)
+			}
+			if res.Accepted {
+				admitted = append(admitted, res)
+				admittedDevs = append(admittedDevs, r.Device)
+			}
+			if i%5 == 2 && len(admitted) > 0 {
+				last := len(admitted) - 1
+				if _, err := client.Cancel(bg, api.CancelRequest{Device: admittedDevs[last], JobID: admitted[last].JobID}); err != nil && !errors.Is(err, api.ErrUnknownJob) {
+					t.Fatalf("cancel: %v", err)
+				}
+				admitted, admittedDevs = admitted[:last], admittedDevs[:last]
+			}
+		}
+	}
+	runTraffic(trace[:half])
+
+	// Cut the device-0 watcher mid-stream: read what it has, remember
+	// the last sequence number, drop the connection.
+	var firstLeg []api.Event
+drain:
+	for {
+		select {
+		case ev, ok := <-flaky:
+			if !ok {
+				break drain
+			}
+			firstLeg = append(firstLeg, ev)
+		case <-time.After(100 * time.Millisecond):
+			break drain
+		}
+	}
+	cancel1()
+	if len(firstLeg) == 0 {
+		t.Fatal("device-0 watcher saw no events before the cut")
+	}
+	resumeFrom := firstLeg[len(firstLeg)-1].Seq + 1
+
+	runTraffic(trace[half:])
+
+	// Resume over a brand-new connection from the recorded position.
+	resumed, err := client.Watch(bg, api.WatchRequest{Device: &dev0, FromSeq: resumeFrom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secondLeg, waitSecond := gather(resumed)
+
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitInproc()
+	waitRemote()
+	waitSecond()
+
+	// SSE and in-process must carry the byte-identical sequence.
+	if len(*remoteLog) != len(*inprocLog) {
+		t.Fatalf("remote saw %d events, in-process %d", len(*remoteLog), len(*inprocLog))
+	}
+	for i := range *remoteLog {
+		if (*remoteLog)[i] != (*inprocLog)[i] {
+			t.Fatalf("event %d diverged:\nremote     %+v\nin-process %+v", i, (*remoteLog)[i], (*inprocLog)[i])
+		}
+	}
+
+	// The cut-and-resumed watcher reconstructs device 0's full stream.
+	union := append(firstLeg, *secondLeg...)
+	var dev0Log []api.Event
+	for _, ev := range *inprocLog {
+		if ev.Device == 0 {
+			dev0Log = append(dev0Log, ev)
+		}
+	}
+	if len(union) != len(dev0Log) {
+		t.Fatalf("resumed union has %d events, device stream %d:\nunion %+v\ntruth %+v",
+			len(union), len(dev0Log), union, dev0Log)
+	}
+	for i := range union {
+		if union[i] != dev0Log[i] {
+			t.Fatalf("resumed union[%d] = %+v ≠ %+v", i, union[i], dev0Log[i])
+		}
+	}
+
+	// The wire log reconstructs the daemon's own admission statistics.
+	counts := map[int]*struct{ sub, acc, rej, comp, canc, miss int }{}
+	for _, ev := range *remoteLog {
+		c := counts[ev.Device]
+		if c == nil {
+			c = &struct{ sub, acc, rej, comp, canc, miss int }{}
+			counts[ev.Device] = c
+		}
+		switch ev.Type {
+		case api.EventJobAdmitted:
+			c.sub++
+			c.acc++
+		case api.EventJobRejected:
+			c.sub++
+			c.rej++
+		case api.EventJobCompleted:
+			c.comp++
+			if ev.Missed {
+				c.miss++
+			}
+		case api.EventJobCancelled:
+			c.canc++
+		case api.EventLagged:
+			t.Fatalf("equivalence stream lagged: %+v", ev)
+		}
+	}
+	for d := 0; d < devices; d++ {
+		st, err := client.Stats(bg, api.StatsRequest{Device: &d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := counts[d]
+		if c == nil {
+			c = &struct{ sub, acc, rej, comp, canc, miss int }{}
+		}
+		if c.sub != st.Submitted || c.acc != st.Accepted || c.rej != st.Rejected ||
+			c.comp != st.Completed || c.canc != st.Cancelled || c.miss != st.DeadlineMisses {
+			t.Errorf("device %d: replayed counters %+v ≠ daemon stats %+v", d, *c, st)
+		}
+	}
+}
+
+// TestWatchAuth: watch scope follows the stats rules — fleet-wide
+// streams are for unrestricted tenants only, device streams for
+// tenants allowed on that device, and everything requires a token.
+func TestWatchAuth(t *testing.T) {
+	f := newFleet(t, 2, fleet.Options{})
+	defer f.Close()
+	opt := httpapi.ServerOptions{Tenants: []httpapi.Tenant{
+		{Name: "restricted", Token: "r-tok", Devices: []int{0}},
+		{Name: "admin", Token: "a-tok"},
+	}}
+	ts := httptest.NewServer(mustServer(t, f.Service(), opt))
+	t.Cleanup(ts.Close)
+
+	restricted := httpapi.NewClient(ts.URL, "r-tok", ts.Client())
+	admin := httpapi.NewClient(ts.URL, "a-tok", ts.Client())
+	anon := httpapi.NewClient(ts.URL, "", ts.Client())
+
+	if _, err := anon.Watch(bg, api.WatchRequest{}); !errors.Is(err, api.ErrUnauthorized) {
+		t.Errorf("anonymous watch: %v, want ErrUnauthorized", err)
+	}
+	if _, err := restricted.Watch(bg, api.WatchRequest{}); !errors.Is(err, api.ErrForbidden) {
+		t.Errorf("restricted fleet-wide watch: %v, want ErrForbidden", err)
+	}
+	one := 1
+	if _, err := restricted.Watch(bg, api.WatchRequest{Device: &one}); !errors.Is(err, api.ErrForbidden) {
+		t.Errorf("restricted foreign-device watch: %v, want ErrForbidden", err)
+	}
+	zero := 0
+	ctx, cancel := context.WithCancel(bg)
+	defer cancel()
+	if _, err := restricted.Watch(ctx, api.WatchRequest{Device: &zero}); err != nil {
+		t.Errorf("restricted own-device watch: %v", err)
+	}
+	if _, err := admin.Watch(ctx, api.WatchRequest{}); err != nil {
+		t.Errorf("admin fleet-wide watch: %v", err)
+	}
+	nine := 9
+	if _, err := admin.Watch(bg, api.WatchRequest{Device: &nine}); !errors.Is(err, api.ErrUnknownDevice) {
+		t.Errorf("unknown device watch: %v, want ErrUnknownDevice", err)
+	}
+}
+
+// TestStopStreamsEndsWatch: StopStreams ends open SSE streams — so a
+// graceful daemon shutdown is not held hostage by watchers that never
+// go idle — while the short-lived verbs keep serving.
+func TestStopStreamsEndsWatch(t *testing.T) {
+	f := newFleet(t, 1, fleet.Options{})
+	defer f.Close()
+	srv := mustServer(t, f.Service(), httpapi.ServerOptions{})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	client := httpapi.NewClient(ts.URL, "", ts.Client())
+
+	ch, err := client.Watch(bg, api.WatchRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Submit(bg, api.SubmitRequest{Device: 0, At: 0, App: "lambda1", Deadline: 9}); err != nil {
+		t.Fatal(err)
+	}
+	srv.StopStreams()
+	srv.StopStreams() // idempotent
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				goto closed
+			}
+		case <-deadline:
+			t.Fatal("watch stream survived StopStreams")
+		}
+	}
+closed:
+	// Ordinary verbs are unaffected.
+	if _, err := client.Advance(bg, api.AdvanceRequest{Device: 0, To: 30}); err != nil {
+		t.Fatalf("advance after StopStreams: %v", err)
+	}
+}
+
+// TestWatchHeartbeat reads the raw SSE wire and checks that an idle
+// stream still carries heartbeat comments, keeping intermediaries from
+// timing the connection out.
+func TestWatchHeartbeat(t *testing.T) {
+	f := newFleet(t, 1, fleet.Options{})
+	defer f.Close()
+	ts := httptest.NewServer(mustServer(t, f.Service(), httpapi.ServerOptions{WatchHeartbeat: 5 * time.Millisecond}))
+	t.Cleanup(ts.Close)
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/watch", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	beats := 0
+	for sc.Scan() && beats < 3 {
+		if strings.HasPrefix(sc.Text(), ": heartbeat") {
+			beats++
+		}
+	}
+	if beats < 3 {
+		t.Fatalf("saw %d heartbeats, want 3", beats)
+	}
+}

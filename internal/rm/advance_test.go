@@ -1,0 +1,134 @@
+package rm
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"adaptrm/internal/schedule"
+)
+
+// TestAdvanceToEpsilonClamp: a target inside the epsilon band just below
+// the current time is tolerated — but must never move the clock
+// backwards (the PR 4 clamp, here pinned in isolation).
+func TestAdvanceToEpsilonClamp(t *testing.T) {
+	m := newMgr(t, Options{})
+	if _, err := m.AdvanceTo(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AdvanceTo(5 - schedule.Eps/2); err != nil {
+		t.Fatalf("epsilon-band target rejected: %v", err)
+	}
+	if now := m.Now(); now != 5 {
+		t.Fatalf("clock regressed to %v after epsilon-band advance, want 5", now)
+	}
+	// Repeating the band target must stay idempotent.
+	if _, err := m.AdvanceTo(5 - schedule.Eps/2); err != nil {
+		t.Fatal(err)
+	}
+	if now := m.Now(); now != 5 {
+		t.Fatalf("clock = %v after repeated band advance, want 5", now)
+	}
+	// Outside the band the regression is an error and the clock holds.
+	if _, err := m.AdvanceTo(4.9); !errors.Is(err, ErrTimeBackwards) {
+		t.Fatalf("regression target: %v, want ErrTimeBackwards", err)
+	}
+	if now := m.Now(); now != 5 {
+		t.Fatalf("clock = %v after rejected regression, want 5", now)
+	}
+}
+
+// TestAdvanceToEpsilonClampWithTraffic: the band tolerance also holds
+// mid-schedule — a submission at t followed by an epsilon-earlier
+// advance must not regress the clock or corrupt accounting.
+func TestAdvanceToEpsilonClampWithTraffic(t *testing.T) {
+	m := newMgr(t, Options{})
+	if _, ok, _, err := m.Submit(1, "lambda1", 10); err != nil || !ok {
+		t.Fatalf("λ1: %v", err)
+	}
+	if _, err := m.AdvanceTo(1 - schedule.Eps/2); err != nil {
+		t.Fatalf("band advance after submit: %v", err)
+	}
+	if now := m.Now(); now != 1 {
+		t.Fatalf("clock = %v, want 1", now)
+	}
+	if _, err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Completed != 1 || st.DeadlineMisses != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestExecutedTimelineTruncation: a job finishing inside an executed
+// slice must not be shown running past its completion — the timeline is
+// cut at each distinct finish time (the PR 4 truncation, pinned in
+// isolation via one long advance over staggered completions).
+func TestExecutedTimelineTruncation(t *testing.T) {
+	m := newMgr(t, Options{})
+	if _, ok, _, err := m.Submit(0, "lambda1", 9); err != nil || !ok {
+		t.Fatalf("λ1: %v", err)
+	}
+	if _, ok, _, err := m.Submit(1, "lambda2", 5); err != nil || !ok {
+		t.Fatalf("λ2: %v", err)
+	}
+	// One giant advance spans both completions: the recorded timeline
+	// must still stop each job at its own finish.
+	done, err := m.AdvanceTo(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 2 {
+		t.Fatalf("completions = %+v, want 2", done)
+	}
+	finish := make(map[int]float64, len(done))
+	last := 0.0
+	for _, c := range done {
+		finish[c.JobID] = c.At
+		if c.At > last {
+			last = c.At
+		}
+	}
+	tl := m.ExecutedTimeline()
+	if len(tl) == 0 {
+		t.Fatal("empty executed timeline")
+	}
+	prevEnd := math.Inf(-1)
+	for i, seg := range tl {
+		if seg.End <= seg.Start {
+			t.Fatalf("segment %d degenerate: [%v, %v]", i, seg.Start, seg.End)
+		}
+		if seg.Start < prevEnd-schedule.Eps {
+			t.Fatalf("segment %d overlaps predecessor: start %v < prev end %v", i, seg.Start, prevEnd)
+		}
+		prevEnd = seg.End
+		for _, p := range seg.Placements {
+			f, known := finish[p.JobID]
+			if !known {
+				t.Fatalf("segment %d places unknown job %d", i, p.JobID)
+			}
+			if seg.End > f+schedule.Eps {
+				t.Errorf("job %d shown running in [%v, %v] past its completion %v", p.JobID, seg.Start, seg.End, f)
+			}
+		}
+	}
+	// The timeline ends exactly at the last completion, not at the
+	// advance target.
+	if end := tl[len(tl)-1].End; math.Abs(end-last) > schedule.Eps {
+		t.Errorf("timeline ends at %v, want last completion %v", end, last)
+	}
+	// Each job's recorded span ends exactly at its completion time.
+	for id, f := range finish {
+		span := math.Inf(-1)
+		for _, seg := range tl {
+			for _, p := range seg.Placements {
+				if p.JobID == id && seg.End > span {
+					span = seg.End
+				}
+			}
+		}
+		if math.Abs(span-f) > schedule.Eps {
+			t.Errorf("job %d recorded until %v, completed at %v", id, span, f)
+		}
+	}
+}

@@ -52,13 +52,19 @@ type Completion struct {
 	Missed bool
 }
 
-// Stats aggregates manager activity.
+// Stats aggregates manager activity. The admission counters satisfy the
+// lifecycle invariant Accepted = Completed + Cancelled + active jobs at
+// every quiescent point (pinned by a property test).
 type Stats struct {
 	// Submitted counts all requests, Accepted and Rejected its split.
 	Submitted, Accepted, Rejected int
 	// Completed counts finished jobs, DeadlineMisses the (defensive)
 	// violations among them.
 	Completed, DeadlineMisses int
+	// Cancelled counts jobs aborted while active. A cancellation of an
+	// already-completed (or never-admitted) job returns ErrNoSuchJob and
+	// touches no counter.
+	Cancelled int
 	// Energy is the energy of all executed schedule fractions (J).
 	Energy float64
 	// Activations counts scheduler invocations, SchedulingTime their
@@ -98,6 +104,14 @@ type Manager struct {
 	// allocate).
 	execScratch []executedPlacement
 	endsScratch []float64
+
+	// Event plumbing (see events.go): sink observes lifecycle events,
+	// eventSeq numbers them, started tracks which active jobs already
+	// emitted JobStarted. All nil/zero — and cost-free — until
+	// SetEventSink installs an observer.
+	sink     func(Event)
+	eventSeq uint64
+	started  map[int]bool
 }
 
 // New creates a manager. The library provides the operating-point tables
@@ -189,6 +203,7 @@ func (m *Manager) AdvanceTo(t float64) ([]Completion, error) {
 				continue // already retired
 			}
 			pt := j.Table.Points[p.Point]
+			m.emitStarted(j.ID, lo)
 			frac := (hi - lo) / pt.Time
 			if frac > j.Remaining {
 				frac = j.Remaining
@@ -206,6 +221,8 @@ func (m *Manager) AdvanceTo(t float64) ([]Completion, error) {
 				m.stats.Completed++
 				done = append(done, c)
 				m.removeJob(j.ID)
+				m.forget(j.ID)
+				m.emit(Event{Type: EventJobCompleted, At: c.At, JobID: j.ID, Missed: c.Missed})
 				end = c.At
 			}
 			execs = append(execs, executedPlacement{p: p, end: end})
@@ -316,12 +333,15 @@ func (m *Manager) submitOne(t float64, tbl *opset.Table, deadline float64) (id i
 	m.stats.Submitted++
 	if serr != nil {
 		m.stats.Rejected++
+		m.emit(Event{Type: EventJobRejected, At: t, App: tbl.Name(), Deadline: deadline})
 		return 0, false, nil
 	}
 	m.nextID++
 	m.active = append(m.active, cand)
 	m.current = k
 	m.stats.Accepted++
+	m.emit(Event{Type: EventJobAdmitted, At: t, JobID: cand.ID, App: tbl.Name(), Deadline: deadline})
+	m.emit(Event{Type: EventScheduleChanged, At: t})
 	return cand.ID, true, nil
 }
 
@@ -448,8 +468,10 @@ func (m *Manager) admitJointly(t float64, reqs []Request, tables []*opset.Table,
 		}
 		verdicts[i].JobID = cands[vi].ID
 		verdicts[i].Accepted = true
+		m.emit(Event{Type: EventJobAdmitted, At: t, JobID: cands[vi].ID, App: tables[i].Name(), Deadline: reqs[i].Deadline})
 		vi++
 	}
+	m.emit(Event{Type: EventScheduleChanged, At: t})
 	return true
 }
 
@@ -467,6 +489,7 @@ func (m *Manager) OnCompletion() {
 	}
 	if k, err := m.schedule(m.active.Clone(), m.now); err == nil {
 		m.current = k
+		m.emit(Event{Type: EventScheduleChanged, At: m.now})
 	}
 }
 
@@ -494,11 +517,19 @@ func (m *Manager) schedule(jobs job.Set, t float64) (*schedule.Schedule, error) 
 // re-planning the remaining jobs; the previous schedule minus the job's
 // future placements stays in force if re-planning fails (it cannot make
 // the remaining jobs infeasible, since they keep their placements).
+//
+// A job that already completed (or was never admitted, or was already
+// cancelled) is not active: the call returns ErrNoSuchJob and mutates
+// nothing — no counter, no schedule, no event.
 func (m *Manager) Cancel(jobID int) error {
 	if m.active.ByID(jobID) == nil {
 		return fmt.Errorf("%w: %d", ErrNoSuchJob, jobID)
 	}
 	m.removeJob(jobID)
+	m.forget(jobID)
+	m.stats.Cancelled++
+	m.emit(Event{Type: EventJobCancelled, At: m.now, JobID: jobID})
+	defer m.emit(Event{Type: EventScheduleChanged, At: m.now})
 	if len(m.active) == 0 {
 		m.current = &schedule.Schedule{}
 		return nil

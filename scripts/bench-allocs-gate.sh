@@ -21,7 +21,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN=${ALLOC_BENCH_PATTERN:-'Fig4SearchTimeMDF|AblationPackEDF'}
+PATTERN=${ALLOC_BENCH_PATTERN:-'Fig4SearchTimeMDF|AblationPackEDF|WatchFanout'}
 TIME=${ALLOC_BENCH_TIME:-100x}
 BASELINE=benchmarks/allocs-baseline.txt
 
@@ -30,7 +30,9 @@ if [[ ! -f $BASELINE ]]; then
 	exit 1
 fi
 
-out=$(go test -run '^$' -bench "$PATTERN" -benchtime "$TIME" -benchmem -timeout 30m .)
+# The gated set spans the root package (scheduler hot path) and the
+# fleet package (watch fan-out publish path).
+out=$(go test -run '^$' -bench "$PATTERN" -benchtime "$TIME" -benchmem -timeout 30m . ./internal/fleet)
 printf '%s\n' "$out"
 
 printf '%s\n' "$out" | awk -v baseline="$BASELINE" '
