@@ -11,6 +11,7 @@ import (
 	"adaptrm/internal/exmem"
 	"adaptrm/internal/fixedmap"
 	"adaptrm/internal/fleet"
+	"adaptrm/internal/flightlog"
 	"adaptrm/internal/greedy"
 	"adaptrm/internal/httpapi"
 	"adaptrm/internal/job"
@@ -177,7 +178,15 @@ type (
 	// Tenant is one authenticated client of the daemon: token, allowed
 	// devices and request budget.
 	Tenant = httpapi.Tenant
+	// FlightLog is the bounded in-memory postmortem ring the HTTP
+	// server can record requests into (HTTPServerOptions.FlightLog);
+	// see internal/flightlog.
+	FlightLog = flightlog.Log
 )
+
+// NewFlightLog builds a postmortem ring retaining the newest capacity
+// records (capacity <= 0 uses the package default).
+func NewFlightLog(capacity int) *FlightLog { return flightlog.New(capacity) }
 
 // Service error taxonomy, re-exported. All survive serialisation:
 // errors.Is holds against a live daemon exactly as in process.

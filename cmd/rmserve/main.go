@@ -20,6 +20,16 @@
 // service and the HTTP client are behaviourally interchangeable,
 // watches included.
 //
+// In daemon mode the server also exposes its observability surface:
+// GET /metrics (Prometheus text format), GET /debug/flightlog (the
+// bounded in-memory postmortem ring of recent requests and device
+// events; -flightlog-size tunes the capacity, 0 disables), and — only
+// with -pprof-token — the token-gated net/http/pprof routes under
+// /debug/pprof/. SIGQUIT dumps the flightlog to stderr without
+// stopping the daemon; the shutdown report includes quota-refusal
+// totals when tenants are configured. -listen 127.0.0.1:0 picks a free
+// port; the resolved address is printed on the "listening:" line.
+//
 // Usage:
 //
 //	rmserve [-devices M] [-shards K] [-sched mdf|lr|exmem|greedy|fixed|fixed-remap]
@@ -28,6 +38,7 @@
 //	        [-resched] [-v]
 //	rmserve -listen :8080 [-token SECRET | -tenants FILE.json]
 //	        [-quota-rate R [-quota-burst B]]
+//	        [-pprof-token SECRET] [-flightlog-size N]
 //	        [-devices M] [-shards K] [-sched NAME] [-cache] ...
 //
 // -quota-rate/-quota-burst attach a token bucket to the single -token
@@ -45,6 +56,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -53,6 +65,7 @@ import (
 
 	"adaptrm/internal/dse"
 	"adaptrm/internal/fleet"
+	"adaptrm/internal/flightlog"
 	"adaptrm/internal/httpapi"
 	"adaptrm/internal/platform"
 	"adaptrm/internal/rm"
@@ -83,6 +96,8 @@ func main() {
 	tenantsPath := flag.String("tenants", "", "daemon mode: JSON tenant file (overrides -token)")
 	quotaRate := flag.Float64("quota-rate", 0, "daemon mode: token-bucket rate for the -token tenant in mutating ops/sec (0 = unlimited)")
 	quotaBurst := flag.Int("quota-burst", 0, "daemon mode: token-bucket burst for the -token tenant (0 = ceil(rate))")
+	pprofToken := flag.String("pprof-token", "", "daemon mode: enable /debug/pprof/ behind this token (empty = profiling off)")
+	flightlogSize := flag.Int("flightlog-size", flightlog.DefaultCapacity, "daemon mode: postmortem ring capacity (0 disables /debug/flightlog and the SIGQUIT dump)")
 	flag.Parse()
 
 	plat := platform.OdroidXU4()
@@ -116,7 +131,12 @@ func main() {
 		*devices, *shards, *schedName, *cache)
 
 	if *listen != "" {
-		serveDaemon(f, *listen, *token, *tenantsPath, *quotaRate, *quotaBurst, *cache, *verbose, *devices)
+		serveDaemon(f, daemonConfig{
+			listen: *listen, token: *token, tenantsPath: *tenantsPath,
+			quotaRate: *quotaRate, quotaBurst: *quotaBurst,
+			pprofToken: *pprofToken, flightlogSize: *flightlogSize,
+			cache: *cache, verbose: *verbose, devices: *devices,
+		})
 		return
 	}
 
@@ -141,13 +161,24 @@ func main() {
 	report(f, time.Since(start), *cache, *verbose, false, *devices)
 }
 
+// daemonConfig bundles the daemon-mode settings.
+type daemonConfig struct {
+	listen, token, tenantsPath string
+	quotaRate                  float64
+	quotaBurst                 int
+	pprofToken                 string
+	flightlogSize              int
+	cache, verbose             bool
+	devices                    int
+}
+
 // serveDaemon exposes the fleet over HTTP until SIGINT/SIGTERM, then
 // drains it and prints the final report.
-func serveDaemon(f *fleet.Fleet, listen, token, tenantsPath string, quotaRate float64, quotaBurst int, cache, verbose bool, devices int) {
+func serveDaemon(f *fleet.Fleet, cfg daemonConfig) {
 	var opt httpapi.ServerOptions
 	switch {
-	case tenantsPath != "":
-		data, err := os.ReadFile(tenantsPath)
+	case cfg.tenantsPath != "":
+		data, err := os.ReadFile(cfg.tenantsPath)
 		if err != nil {
 			fatal(err)
 		}
@@ -155,16 +186,20 @@ func serveDaemon(f *fleet.Fleet, listen, token, tenantsPath string, quotaRate fl
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("tenants:   %d configured from %s\n", len(opt.Tenants), tenantsPath)
-	case token != "":
-		opt.Tenants = []httpapi.Tenant{{Name: "default", Token: token, Rate: quotaRate, Burst: quotaBurst}}
-		if quotaRate > 0 {
-			fmt.Printf("tenants:   single default tenant (bearer token, %g ops/s rate quota)\n", quotaRate)
+		fmt.Printf("tenants:   %d configured from %s\n", len(opt.Tenants), cfg.tenantsPath)
+	case cfg.token != "":
+		opt.Tenants = []httpapi.Tenant{{Name: "default", Token: cfg.token, Rate: cfg.quotaRate, Burst: cfg.quotaBurst}}
+		if cfg.quotaRate > 0 {
+			fmt.Printf("tenants:   single default tenant (bearer token, %g ops/s rate quota)\n", cfg.quotaRate)
 		} else {
 			fmt.Println("tenants:   single default tenant (bearer token)")
 		}
 	default:
 		fmt.Println("tenants:   open access (no -token/-tenants)")
+	}
+	opt.PprofToken = cfg.pprofToken
+	if cfg.flightlogSize > 0 {
+		opt.FlightLog = flightlog.New(cfg.flightlogSize)
 	}
 
 	handler, err := httpapi.NewServer(f.Service(), opt)
@@ -172,7 +207,6 @@ func serveDaemon(f *fleet.Fleet, listen, token, tenantsPath string, quotaRate fl
 		fatal(err)
 	}
 	srv := &http.Server{
-		Addr:    listen,
 		Handler: handler,
 		// A network daemon needs bounds against slow or hostile
 		// clients; requests themselves are small (the request body is
@@ -181,13 +215,43 @@ func serveDaemon(f *fleet.Fleet, listen, token, tenantsPath string, quotaRate fl
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
+	// An explicit listener (rather than ListenAndServe) resolves ":0"
+	// to a concrete port before the "listening:" line is printed, so
+	// scripts can bind to a free port and scrape the address.
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		fatal(err)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if opt.FlightLog != nil {
+		// Tail the fleet's own event stream into the postmortem ring and
+		// dump the ring to stderr on SIGQUIT, without stopping the
+		// daemon. The tail ends when the fleet closes its watch streams.
+		go func() {
+			if err := flightlog.Tail(context.Background(), opt.FlightLog, f.Service()); err != nil {
+				fmt.Fprintln(os.Stderr, "rmserve: flightlog tail:", err)
+			}
+		}()
+		sigquit := make(chan os.Signal, 1)
+		signal.Notify(sigquit, syscall.SIGQUIT)
+		go func() {
+			for range sigquit {
+				fmt.Fprintln(os.Stderr, "rmserve: SIGQUIT flightlog dump")
+				if err := opt.FlightLog.WriteJSON(os.Stderr, 0); err != nil {
+					fmt.Fprintln(os.Stderr, "rmserve: flightlog dump:", err)
+				}
+				fmt.Fprintln(os.Stderr)
+			}
+		}()
+	}
+
 	errCh := make(chan error, 1)
 	start := time.Now()
-	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("listening: %s (POST /v1/submit /v1/submit-batch /v1/advance /v1/cancel, GET /v1/stats /v1/watch /healthz)\n", listen)
+	go func() { errCh <- srv.Serve(ln) }()
+	fmt.Printf("listening: %s (POST /v1/submit /v1/submit-batch /v1/advance /v1/cancel, GET /v1/stats /v1/watch /healthz /metrics)\n",
+		ln.Addr())
 
 	select {
 	case <-ctx.Done():
@@ -212,7 +276,11 @@ func serveDaemon(f *fleet.Fleet, listen, token, tenantsPath string, quotaRate fl
 	if err := f.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "rmserve: device errors:", err)
 	}
-	report(f, time.Since(start), cache, verbose, true, devices)
+	report(f, time.Since(start), cfg.cache, cfg.verbose, true, cfg.devices)
+	if len(opt.Tenants) > 0 {
+		b, r := handler.QuotaRefusals()
+		fmt.Printf("quotas:          %d refusals (%d budget, %d rate)\n", b+r, b, r)
+	}
 }
 
 // report prints the aggregate fleet figures. daemon suppresses the

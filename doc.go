@@ -95,6 +95,43 @@
 // cmd/rmeval takes -cpuprofile/-memprofile for pprof evidence when
 // touching these paths.
 //
+// # Operating rmserve
+//
+// The daemon (rmserve -listen) ships its own observability surface,
+// dependency-free:
+//
+//   - GET /metrics exports the fleet's statistics in the Prometheus
+//     text format — admission and lifecycle counters (aggregate and
+//     per device), scheduler activations and wall time, schedule-cache
+//     and coalescing counters, watch subscribers and dropped events,
+//     per-shard queue-depth gauges, per-tenant quota refusals, and the
+//     HTTP layer's own per-route request counts and latency histograms
+//     (fixed deterministic buckets). The exported counters are exactly
+//     the values /v1/stats reports — an equivalence test pins them
+//     byte-identical — and recording costs the serving path zero
+//     allocations (internal/metrics, gated in CI).
+//   - GET /healthz answers {"status":"ok","devices":N,"uptime_s":...}
+//     for liveness probes; both routes are scrape-friendly and
+//     unauthenticated even on a tenanted daemon.
+//   - GET /debug/flightlog dumps the bounded in-memory postmortem ring
+//     (internal/flightlog): the newest requests, their routes, status
+//     codes and durations, interleaved with the device lifecycle
+//     events tailed from the fleet's own watch stream. SIGQUIT writes
+//     the same dump to stderr without stopping the daemon —
+//     "what was the server doing just now?" after an incident.
+//     -flightlog-size tunes the retention; on a tenanted daemon the
+//     route is scoped like fleet-wide stats.
+//   - GET /debug/pprof/ serves the runtime profiles, but only with
+//     -pprof-token set and presented (Authorization bearer or
+//     ?token=); profiling stays unreachable by default.
+//
+// cmd/rmsoak is the matching load harness: an open-loop soak of a live
+// daemon driving the same seeded traces the replay mode uses, with
+// client-side HDR latency percentiles per op kind and a /metrics
+// scrape before and after that must reconcile exactly with the
+// client's own counts (-strict fails CI otherwise; see
+// scripts/smoke-soak.sh and benchmarks/README.md for recorded runs).
+//
 // # Quickstart
 //
 //	plat := adaptrm.OdroidXU4()

@@ -145,15 +145,41 @@ type StatsResult struct {
 	// MaxQueueDepth is the mailbox high-water mark (operational, not
 	// deterministic).
 	MaxQueueDepth int `json:"max_queue_depth,omitempty"`
+	// CoalescedBatches counts multi-request batched activations and
+	// CoalescedRequests the submits that rode in them. Explicit
+	// SubmitBatch calls make them deterministic; worker-side
+	// BatchWindow coalescing makes them opportunistic, like
+	// Activations (fleet-wide results only).
+	CoalescedBatches  int `json:"coalesced_batches,omitempty"`
+	CoalescedRequests int `json:"coalesced_requests,omitempty"`
+	// WatchSubscribers gauges the open watch subscriptions and
+	// WatchDropped counts events discarded from slow subscribers'
+	// buffers (both operational; fleet-wide results only).
+	WatchSubscribers int `json:"watch_subscribers,omitempty"`
+	WatchDropped     int `json:"watch_dropped,omitempty"`
+	// QuotaBudgetRefusals and QuotaRateRefusals count requests the
+	// transport refused for an exhausted request budget or an empty
+	// token bucket. They are transport-level: the in-process fleet has
+	// no quotas and always reports zero; the HTTP daemon fills them on
+	// fleet-wide results, summed over its tenants.
+	QuotaBudgetRefusals int `json:"quota_budget_refusals,omitempty"`
+	QuotaRateRefusals   int `json:"quota_rate_refusals,omitempty"`
 }
 
-// Deterministic strips the wall-clock fields, leaving only the values
-// that must be identical across transports, shard counts and goroutine
-// interleavings for the same per-device request order.
+// Deterministic strips the wall-clock, operational and transport-level
+// fields, leaving only the values that must be identical across
+// transports, shard counts and goroutine interleavings for the same
+// per-device request order. The coalescing counters stay: they are
+// deterministic for explicit batches, which is what the equivalence
+// suites drive (no suite enables the opportunistic BatchWindow).
 func (s StatsResult) Deterministic() StatsResult {
 	s.Shards = 0
 	s.SchedulingTime = 0
 	s.MaxQueueDepth = 0
+	s.WatchSubscribers = 0
+	s.WatchDropped = 0
+	s.QuotaBudgetRefusals = 0
+	s.QuotaRateRefusals = 0
 	return s
 }
 

@@ -144,6 +144,11 @@ type Stats struct {
 	// so the split between batched and individual submits — and with it
 	// Activations — depends on queue timing once BatchWindow is set.
 	CoalescedBatches, CoalescedRequests int
+	// WatchSubscribers gauges the open watch subscriptions and
+	// WatchDropped counts events discarded from slow subscribers'
+	// bounded rings (surfaced in-stream as EventLagged markers). Both
+	// are operational.
+	WatchSubscribers, WatchDropped int
 }
 
 // AcceptRate returns Accepted / Submitted, or 0 when idle.
@@ -649,6 +654,21 @@ func (f *Fleet) Stats() Stats {
 		}
 		out.CoalescedBatches += int(sh.batches.Load())
 		out.CoalescedRequests += int(sh.batched.Load())
+	}
+	out.WatchSubscribers = f.hub.subscribers()
+	out.WatchDropped = int(f.hub.dropped.Load())
+	return out
+}
+
+// QueueDepths snapshots the pending-operation count of every shard
+// mailbox, in shard order — the per-shard queue-depth gauge of the
+// /metrics endpoint. Purely operational: depths move while being read.
+func (f *Fleet) QueueDepths() []int {
+	out := make([]int, len(f.shards))
+	for i, sh := range f.shards {
+		if d := int(sh.depth.Load()); d > 0 {
+			out[i] = d
+		}
 	}
 	return out
 }

@@ -190,22 +190,31 @@ func (s *Service) Stats(ctx context.Context, req api.StatsRequest) (api.StatsRes
 	}
 	fs := s.f.Stats()
 	return api.StatsResult{
-		Devices:        fs.Devices,
-		Shards:         fs.Shards,
-		Submitted:      fs.Submitted,
-		Accepted:       fs.Accepted,
-		Rejected:       fs.Rejected,
-		Completed:      fs.Completed,
-		DeadlineMisses: fs.DeadlineMisses,
-		Cancelled:      fs.Cancelled,
-		Energy:         fs.Energy,
-		Activations:    fs.Activations,
-		SchedulingTime: fs.SchedulingTime,
-		CacheHits:      fs.CacheHits,
-		CacheMisses:    fs.CacheMisses,
-		CacheStale:     fs.CacheStale,
-		CacheEvictions: fs.CacheEvictions,
-		CacheRepacks:   fs.CacheRepacks,
-		MaxQueueDepth:  fs.MaxQueueDepth,
+		Devices:           fs.Devices,
+		Shards:            fs.Shards,
+		Submitted:         fs.Submitted,
+		Accepted:          fs.Accepted,
+		Rejected:          fs.Rejected,
+		Completed:         fs.Completed,
+		DeadlineMisses:    fs.DeadlineMisses,
+		Cancelled:         fs.Cancelled,
+		Energy:            fs.Energy,
+		Activations:       fs.Activations,
+		SchedulingTime:    fs.SchedulingTime,
+		CacheHits:         fs.CacheHits,
+		CacheMisses:       fs.CacheMisses,
+		CacheStale:        fs.CacheStale,
+		CacheEvictions:    fs.CacheEvictions,
+		CacheRepacks:      fs.CacheRepacks,
+		MaxQueueDepth:     fs.MaxQueueDepth,
+		CoalescedBatches:  fs.CoalescedBatches,
+		CoalescedRequests: fs.CoalescedRequests,
+		WatchSubscribers:  fs.WatchSubscribers,
+		WatchDropped:      fs.WatchDropped,
 	}, nil
 }
+
+// QueueDepths exposes the per-shard mailbox depths on the service view;
+// the HTTP front-end discovers it by interface assertion for the
+// /metrics per-shard gauge.
+func (s *Service) QueueDepths() []int { return s.f.QueueDepths() }

@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"adaptrm/internal/api"
 	"adaptrm/internal/rm"
@@ -97,6 +98,10 @@ func (r *eventRing) tailFrom(seq uint64, into []api.Event) ([]api.Event, uint64)
 type subscriber struct {
 	// device filters the stream (-1 = all devices).
 	device int
+	// dropped points at the hub's fleet-wide drop counter, bumped once
+	// per event this subscriber's ring discards (observability only —
+	// the per-stream loss stays in the in-stream Lagged markers).
+	dropped *atomic.Int64
 
 	mu   sync.Mutex
 	ring eventRing
@@ -123,12 +128,18 @@ func (s *subscriber) offer(ev api.Event) {
 			// Displace the newest queued event: both it and the incoming
 			// event are lost, and the marker inherits the position of the
 			// first loss.
+			if s.dropped != nil {
+				s.dropped.Add(2)
+			}
 			marker := api.Event{Type: api.EventLagged, Device: tail.Device, Seq: tail.Seq, Dropped: 2}
 			if tail.Device != ev.Device {
 				marker.Device, marker.Seq = -1, 0
 			}
 			*tail = marker
 		} else {
+			if s.dropped != nil {
+				s.dropped.Add(1)
+			}
 			tail.Dropped++
 			if tail.Device != ev.Device {
 				tail.Device, tail.Seq = -1, 0
@@ -160,6 +171,17 @@ type hub struct {
 	closed bool
 	// done is closed by close(), releasing every pump for final drain.
 	done chan struct{}
+	// dropped counts events discarded from slow subscribers' rings,
+	// fleet-wide and monotone (subscribers come and go; the counter
+	// survives them for the /metrics export).
+	dropped atomic.Int64
+}
+
+// subscribers snapshots the open-subscription count.
+func (h *hub) subscribers() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.subs)
 }
 
 func newHub() *hub {
@@ -265,10 +287,11 @@ func (f *Fleet) Watch(ctx context.Context, req api.WatchRequest) (<-chan api.Eve
 		return nil, api.Errf(api.ErrBadRequest, "from_seq requires a device filter")
 	}
 	sub := &subscriber{
-		device: dev,
-		ring:   newEventRing(clampBuffer(req.Buffer, f.watchBuffer)),
-		wake:   make(chan struct{}, 1),
-		out:    make(chan api.Event),
+		device:  dev,
+		dropped: &f.hub.dropped,
+		ring:    newEventRing(clampBuffer(req.Buffer, f.watchBuffer)),
+		wake:    make(chan struct{}, 1),
+		out:     make(chan api.Event),
 	}
 	if req.FromSeq > 0 {
 		// Snapshot the history tail and register in one step under the

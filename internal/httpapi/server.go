@@ -11,7 +11,10 @@
 //	POST /v1/cancel        CancelRequest      → CancelResult
 //	GET  /v1/stats[?device=N]                 → StatsResult
 //	GET  /v1/watch[?device=N&from_seq=S&buffer=B] → Server-Sent Events
-//	GET  /healthz                             → {"status":"ok"}
+//	GET  /healthz                             → {"status":"ok","devices":N,"uptime_s":...}
+//	GET  /metrics                             → Prometheus text format
+//	GET  /debug/flightlog[?n=N]               → postmortem ring dump (opt-in)
+//	GET  /debug/pprof/...                     → runtime profiles (token-gated, opt-in)
 //
 // /v1/watch (served when the wrapped Service implements
 // api.WatchService) streams device lifecycle events as SSE: each event
@@ -43,6 +46,14 @@
 // The bucket refills against ServerOptions.Now, so tests drive it with
 // a virtual clock and the admit/reject sequence is deterministic. A
 // server configured with no tenants is open.
+//
+// The server instruments itself: every request is counted and timed
+// per route, and GET /metrics exports those counters together with the
+// wrapped service's statistics in the Prometheus text format (see
+// metrics.go). ServerOptions.FlightLog attaches a bounded postmortem
+// ring receiving one record per request; ServerOptions.PprofToken
+// enables the token-gated net/http/pprof routes. Both are off by
+// default.
 package httpapi
 
 import (
@@ -59,6 +70,7 @@ import (
 	"time"
 
 	"adaptrm/internal/api"
+	"adaptrm/internal/flightlog"
 )
 
 // Tenant is one authenticated client of the daemon.
@@ -97,6 +109,15 @@ type ServerOptions struct {
 	// WatchHeartbeat is the SSE keep-alive comment interval of
 	// /v1/watch; 0 means 15s.
 	WatchHeartbeat time.Duration
+	// PprofToken, when non-empty, registers the net/http/pprof routes
+	// under /debug/pprof/, each requiring this token (Authorization
+	// bearer or ?token=). Empty leaves profiling unreachable.
+	PprofToken string
+	// FlightLog, when non-nil, receives one postmortem record per
+	// served request and is dumped by GET /debug/flightlog. The caller
+	// owns the ring and typically also tails the fleet's watch stream
+	// into it (flightlog.Tail).
+	FlightLog *flightlog.Log
 }
 
 // tenantState is a Tenant plus its quota state: the spent-request
@@ -104,6 +125,11 @@ type ServerOptions struct {
 type tenantState struct {
 	Tenant
 	used atomic.Int64
+	// budgetRefusals and rateRefusals count the charges each quota
+	// kind turned away, for /metrics, fleet-wide /v1/stats and the
+	// rmserve shutdown report. Monotone; refunds do not touch them.
+	budgetRefusals atomic.Int64
+	rateRefusals   atomic.Int64
 	// bmu guards the bucket; the refill-then-take must be atomic.
 	bmu    sync.Mutex
 	tokens float64
@@ -131,6 +157,7 @@ func (t *tenantState) take(n int, now time.Time) error {
 	// An epsilon absorbs the float drift of many refills, so a tenant
 	// pacing itself exactly at Rate is never spuriously refused.
 	if t.tokens+1e-9 < float64(n) {
+		t.rateRefusals.Add(1)
 		return api.Errf(api.ErrQuotaExceeded,
 			"tenant %q over rate quota: %d token(s) requested, %.3g available (rate %g/s, burst %d)",
 			t.Name, n, t.tokens, t.Rate, t.Burst)
@@ -173,6 +200,7 @@ func (t *tenantState) chargeBudget(n int) error {
 	}
 	if t.used.Add(int64(n)) > int64(t.MaxRequests) {
 		t.used.Add(int64(-n))
+		t.budgetRefusals.Add(1)
 		return api.Errf(api.ErrQuotaExceeded, "tenant %q spent its %d-request budget", t.Name, t.MaxRequests)
 	}
 	return nil
@@ -239,6 +267,14 @@ type Server struct {
 	// StopStreams); streamOnce makes the close idempotent.
 	streamStop chan struct{}
 	streamOnce sync.Once
+	// start anchors the /healthz and /metrics uptime (measured with
+	// now, so virtual-clock tests stay deterministic).
+	start time.Time
+	// metrics is the per-route HTTP instrumentation; flight and
+	// pprofToken are the opt-in observability hooks (see metrics.go).
+	metrics    *serverMetrics
+	flight     *flightlog.Log
+	pprofToken string
 }
 
 // StopStreams ends every open /v1/watch stream (and refuses new ones
@@ -259,10 +295,14 @@ func (s *Server) StopStreams() {
 // implements api.WatchService, GET /v1/watch serves its event stream
 // as Server-Sent Events; otherwise the route does not exist.
 func NewServer(svc api.Service, opt ServerOptions) (*Server, error) {
-	s := &Server{svc: svc, mux: http.NewServeMux(), now: opt.Now, heartbeat: opt.WatchHeartbeat, streamStop: make(chan struct{})}
+	s := &Server{
+		svc: svc, mux: http.NewServeMux(), now: opt.Now, heartbeat: opt.WatchHeartbeat,
+		streamStop: make(chan struct{}), flight: opt.FlightLog, pprofToken: opt.PprofToken,
+	}
 	if s.now == nil {
 		s.now = time.Now
 	}
+	s.start = s.now()
 	if s.heartbeat <= 0 {
 		s.heartbeat = 15 * time.Second
 	}
@@ -295,14 +335,28 @@ func NewServer(svc api.Service, opt ServerOptions) (*Server, error) {
 		}))
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	routes := []string{"/v1/submit", "/v1/advance", "/v1/cancel", "/v1/submit-batch", "/v1/stats", "/healthz", "/metrics"}
 	if ws, ok := svc.(api.WatchService); ok {
 		s.mux.HandleFunc("GET /v1/watch", s.handleWatch(ws))
+		routes = append(routes, "/v1/watch")
 	}
+	if s.flight != nil {
+		s.mux.HandleFunc("GET /debug/flightlog", s.handleFlightlog)
+		routes = append(routes, "/debug/flightlog")
+	}
+	if s.pprofToken != "" {
+		s.pprofRoutes()
+		routes = append(routes, "/debug/pprof/", "/debug/pprof/cmdline",
+			"/debug/pprof/profile", "/debug/pprof/symbol", "/debug/pprof/trace")
+	}
+	s.metrics = newServerMetrics(routes)
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler: the mux behind the per-route
+// instrumentation (see metrics.go).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.instrument(w, r) }
 
 // statusOf maps taxonomy codes onto HTTP status codes.
 func statusOf(code string) int {
@@ -506,11 +560,35 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err, nil)
 		return
 	}
+	if req.Device == nil {
+		// Fleet-wide scope also reports what the transport itself turned
+		// away: quota refusals never reach the service, so only this
+		// layer can count them.
+		b, rate := s.QuotaRefusals()
+		res.QuotaBudgetRefusals = int(b)
+		res.QuotaRateRefusals = int(rate)
+	}
 	writeJSON(w, http.StatusOK, res)
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+// healthResult is the /healthz body: liveness plus the two facts a
+// probe acts on — whether the fleet answers (devices) and for how long
+// the daemon has been up.
+type healthResult struct {
+	Status  string  `json:"status"`
+	Devices int     `json:"devices"`
+	UptimeS float64 `json:"uptime_s"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	res, err := s.svc.Stats(r.Context(), api.StatsRequest{})
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable,
+			healthResult{Status: "degraded", UptimeS: s.now().Sub(s.start).Seconds()})
+		return
+	}
+	writeJSON(w, http.StatusOK,
+		healthResult{Status: "ok", Devices: res.Devices, UptimeS: s.now().Sub(s.start).Seconds()})
 }
 
 // validateTenants rejects tenant lists with empty or duplicate tokens —

@@ -1,0 +1,29 @@
+package metrics
+
+import "testing"
+
+// BenchmarkMetricsRecord is the CI-gated hot path: one counter
+// increment plus one fixed-bucket histogram observation — what the HTTP
+// layer records per request — must stay allocation-free
+// (benchmarks/allocs-baseline.txt pins 0 allocs/op).
+func BenchmarkMetricsRecord(b *testing.B) {
+	var c Counter
+	h := NewHistogram(DefaultLatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; b.Loop(); i++ {
+		c.Inc()
+		h.Observe(int64(i%5_000_000) + 1)
+	}
+	if c.Value() == 0 {
+		b.Fatal("counter untouched")
+	}
+}
+
+// BenchmarkHDRObserve measures the rmsoak client-side recorder.
+func BenchmarkHDRObserve(b *testing.B) {
+	var h HDR
+	b.ReportAllocs()
+	for i := 0; b.Loop(); i++ {
+		h.Observe(int64(i%10_000_000) + 1)
+	}
+}

@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero value = %d", c.Value())
+	}
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("got %d, want 42", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range 1000 {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("got %d, want 8000", c.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	for _, v := range []int64{0, 5, 10, 11, 100, 500, 1000, 1001, 1 << 40, -3} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// ≤10: 0, 5, 10, and the clamped -3 → 4. ≤100: +11, 100 → 6.
+	// ≤1000: +500, 1000 → 8. +Inf: +1001, 2^40 → 10.
+	want := []uint64{4, 6, 8, 10}
+	for i, w := range want {
+		if s.Cumulative[i] != w {
+			t.Errorf("cumulative[%d] = %d, want %d (snapshot %+v)", i, s.Cumulative[i], w, s)
+		}
+	}
+	if s.Count != 10 {
+		t.Errorf("count = %d, want 10", s.Count)
+	}
+	wantSum := int64(0 + 5 + 10 + 11 + 100 + 500 + 1000 + 1001 + 1<<40 + 0)
+	if s.Sum != wantSum {
+		t.Errorf("sum = %d, want %d", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramDefaultBucketsSorted(t *testing.T) {
+	if !sort.SliceIsSorted(DefaultLatencyBuckets, func(i, j int) bool {
+		return DefaultLatencyBuckets[i] < DefaultLatencyBuckets[j]
+	}) {
+		t.Fatal("DefaultLatencyBuckets not sorted")
+	}
+	NewHistogram(DefaultLatencyBuckets) // must not panic
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on unsorted bounds")
+		}
+	}()
+	NewHistogram([]int64{10, 5})
+}
+
+func TestHDRIndexRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose [lo, hi) range contains
+	// it, with buckets tiling the range without gaps.
+	values := []int64{0, 1, 63, 64, 127, 128, 129, 255, 256, 1000, 1 << 20, 1<<40 + 12345, math.MaxInt64}
+	for _, v := range values {
+		idx := hdrIndex(v)
+		lo, hi := hdrBounds(idx)
+		// hi is exclusive except for the final clamped bucket, where it
+		// is MaxInt64 inclusive.
+		if v < lo || (v >= hi && !(hi == math.MaxInt64 && v == hi)) {
+			t.Errorf("value %d → bucket %d [%d,%d) misses it", v, idx, lo, hi)
+		}
+	}
+	// Adjacent buckets tile: hi of i == lo of i+1 across the whole array.
+	for i := 0; i < hdrSize-1; i++ {
+		_, hi := hdrBounds(i)
+		lo, _ := hdrBounds(i + 1)
+		if hi != lo {
+			t.Fatalf("gap between buckets %d and %d: hi %d vs lo %d", i, i+1, hi, lo)
+		}
+	}
+}
+
+func TestHDRQuantiles(t *testing.T) {
+	var h HDR
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	// Uniform values 1..10000: quantiles are exactly recoverable within
+	// the documented 1.6% relative error.
+	rng := rand.New(rand.NewSource(1))
+	vals := rng.Perm(10000)
+	for _, v := range vals {
+		h.Observe(int64(v) + 1)
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 10000 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got := float64(h.Quantile(q))
+		want := q * 10000
+		if rel := math.Abs(got-want) / want; rel > 0.02 {
+			t.Errorf("q%.3f = %.0f, want ≈%.0f (rel err %.3f)", q, got, want, rel)
+		}
+	}
+	if got := h.Quantile(1); got < 9800 {
+		t.Errorf("q1 = %d, want ≈10000", got)
+	}
+	// Small exact values are exact.
+	var small HDR
+	for v := int64(1); v <= 100; v++ {
+		small.Observe(v)
+	}
+	if got := small.Quantile(0.5); got != 50 {
+		t.Errorf("exact-range median = %d, want 50", got)
+	}
+}
+
+func TestEmitterFormat(t *testing.T) {
+	var sb strings.Builder
+	e := NewEmitter(&sb)
+	e.Family("x_total", "a help\nwith newline and back\\slash", "counter")
+	e.Int("x_total", 7)
+	e.Int("x_total", 3, L("tenant", `we"ird\name`+"\n"))
+	e.Float("y", 0.5, L("k", "v"))
+	h := NewHistogram([]int64{1_000_000, 1_000_000_000})
+	h.Observe(500_000)
+	h.Observe(2_000_000_000)
+	e.Histogram("lat_seconds", h.Snapshot(), L("route", "/v1/submit"))
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "# HELP x_total a help\\nwith newline and back\\\\slash\n" +
+		"# TYPE x_total counter\n" +
+		"x_total 7\n" +
+		"x_total{tenant=\"we\\\"ird\\\\name\\n\"} 3\n" +
+		"y{k=\"v\"} 0.5\n" +
+		"lat_seconds_bucket{route=\"/v1/submit\",le=\"0.001\"} 1\n" +
+		"lat_seconds_bucket{route=\"/v1/submit\",le=\"1\"} 1\n" +
+		"lat_seconds_bucket{route=\"/v1/submit\",le=\"+Inf\"} 2\n" +
+		"lat_seconds_sum{route=\"/v1/submit\"} 2.0005\n" +
+		"lat_seconds_count{route=\"/v1/submit\"} 2\n"
+	if got != want {
+		t.Errorf("emitter output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestRecordNoAllocs pins the hot-path recording operations at zero
+// allocations directly (the CI allocs gate additionally pins
+// BenchmarkMetricsRecord).
+func TestRecordNoAllocs(t *testing.T) {
+	var c Counter
+	h := NewHistogram(DefaultLatencyBuckets)
+	var hdr HDR
+	n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(750_000)
+		hdr.Observe(750_000)
+	})
+	if n != 0 {
+		t.Fatalf("recording allocates %.1f allocs/op, want 0", n)
+	}
+}

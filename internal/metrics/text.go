@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Emitter writes the Prometheus text exposition format (version 0.0.4)
+// by hand: # HELP / # TYPE headers, samples with escaped labels, and
+// histograms as cumulative le-buckets plus _sum and _count. All output
+// is deterministic for deterministic inputs — integer values print as
+// integers, floats through strconv's shortest round-trip form — so
+// tests can compare scrapes byte-for-byte against expected counters.
+//
+// Errors are sticky: the first write failure is retained and every
+// later call is a no-op, so call sites emit unconditionally and check
+// Err once at the end.
+type Emitter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewEmitter wraps w.
+func NewEmitter(w io.Writer) *Emitter { return &Emitter{w: w, buf: make([]byte, 0, 256)} }
+
+// Err returns the first write error, if any.
+func (e *Emitter) Err() error { return e.err }
+
+func (e *Emitter) flush() {
+	if e.err == nil {
+		_, e.err = e.w.Write(e.buf)
+	}
+	e.buf = e.buf[:0]
+}
+
+// Label is one name="value" pair of a sample.
+type Label struct{ Name, Value string }
+
+// L is shorthand for building a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Family emits the # HELP and # TYPE header of a metric family. typ is
+// "counter", "gauge" or "histogram". Newlines and backslashes in help
+// are escaped per the format.
+func (e *Emitter) Family(name, help, typ string) {
+	e.buf = append(e.buf, "# HELP "...)
+	e.buf = append(e.buf, name...)
+	e.buf = append(e.buf, ' ')
+	e.buf = append(e.buf, escapeHelp(help)...)
+	e.buf = append(e.buf, "\n# TYPE "...)
+	e.buf = append(e.buf, name...)
+	e.buf = append(e.buf, ' ')
+	e.buf = append(e.buf, typ...)
+	e.buf = append(e.buf, '\n')
+	e.flush()
+}
+
+// name writes "name" or "name{k="v",...}" into the buffer.
+func (e *Emitter) name(name string, labels []Label) {
+	e.buf = append(e.buf, name...)
+	if len(labels) == 0 {
+		return
+	}
+	e.buf = append(e.buf, '{')
+	for i, l := range labels {
+		if i > 0 {
+			e.buf = append(e.buf, ',')
+		}
+		e.buf = append(e.buf, l.Name...)
+		e.buf = append(e.buf, '=', '"')
+		e.buf = append(e.buf, escapeLabel(l.Value)...)
+		e.buf = append(e.buf, '"')
+	}
+	e.buf = append(e.buf, '}')
+}
+
+// Int emits one integer-valued sample.
+func (e *Emitter) Int(name string, v int64, labels ...Label) {
+	e.name(name, labels)
+	e.buf = append(e.buf, ' ')
+	e.buf = strconv.AppendInt(e.buf, v, 10)
+	e.buf = append(e.buf, '\n')
+	e.flush()
+}
+
+// Float emits one float-valued sample in shortest round-trip form.
+func (e *Emitter) Float(name string, v float64, labels ...Label) {
+	e.name(name, labels)
+	e.buf = append(e.buf, ' ')
+	e.buf = strconv.AppendFloat(e.buf, v, 'g', -1, 64)
+	e.buf = append(e.buf, '\n')
+	e.flush()
+}
+
+// Histogram emits one histogram series from a snapshot: cumulative
+// le-buckets (bounds converted from nanoseconds to seconds, the
+// conventional Prometheus unit), the +Inf bucket, _sum in seconds and
+// _count. The extra labels ride on every sample.
+func (e *Emitter) Histogram(name string, s HistSnapshot, labels ...Label) {
+	scratch := make([]Label, 0, len(labels)+1)
+	for i, b := range s.Bounds {
+		le := strconv.FormatFloat(float64(b)/1e9, 'g', -1, 64)
+		scratch = append(append(scratch[:0], labels...), L("le", le))
+		e.Int(name+"_bucket", int64(s.Cumulative[i]), scratch...)
+	}
+	scratch = append(append(scratch[:0], labels...), L("le", "+Inf"))
+	e.Int(name+"_bucket", int64(s.Count), scratch...)
+	e.Float(name+"_sum", float64(s.Sum)/1e9, labels...)
+	e.Int(name+"_count", int64(s.Count), labels...)
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a help string: backslash and newline (quotes are
+// legal there).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -21,7 +21,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN=${ALLOC_BENCH_PATTERN:-'Fig4SearchTimeMDF|AblationPackEDF|WatchFanout'}
+PATTERN=${ALLOC_BENCH_PATTERN:-'Fig4SearchTimeMDF|AblationPackEDF|WatchFanout|MetricsRecord'}
 TIME=${ALLOC_BENCH_TIME:-100x}
 BASELINE=benchmarks/allocs-baseline.txt
 
@@ -30,9 +30,10 @@ if [[ ! -f $BASELINE ]]; then
 	exit 1
 fi
 
-# The gated set spans the root package (scheduler hot path) and the
-# fleet package (watch fan-out publish path).
-out=$(go test -run '^$' -bench "$PATTERN" -benchtime "$TIME" -benchmem -timeout 30m . ./internal/fleet)
+# The gated set spans the root package (scheduler hot path), the fleet
+# package (watch fan-out publish path) and the metrics package (the
+# HTTP instrumentation's per-request recording path).
+out=$(go test -run '^$' -bench "$PATTERN" -benchtime "$TIME" -benchmem -timeout 30m . ./internal/fleet ./internal/metrics)
 printf '%s\n' "$out"
 
 printf '%s\n' "$out" | awk -v baseline="$BASELINE" '

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Socket-level smoke soak: build rmserve and rmsoak, run the daemon on a
+# free port, drive a short low-rate soak against it, and fail on any
+# transport error or if the server's /metrics counters do not reconcile
+# with the client's own counts (rmsoak -strict checks both). This is the
+# CI-sized version of the benchmarks/README.md soak recipe: seconds, not
+# minutes, but the full wire path — HTTP admission, advances, cancels,
+# /metrics scrapes — end to end.
+#
+# Environment knobs:
+#   SOAK_DURATION  soak length (default 2s)
+#   SOAK_RPS       offered aggregate rate (default 100)
+#   SOAK_DEVICES   fleet size (default 4)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DURATION=${SOAK_DURATION:-2s}
+RPS=${SOAK_RPS:-100}
+DEVICES=${SOAK_DEVICES:-4}
+
+workdir=$(mktemp -d)
+cleanup() {
+	if [[ -n ${server_pid:-} ]] && kill -0 "$server_pid" 2>/dev/null; then
+		kill -INT "$server_pid" 2>/dev/null || true
+		wait "$server_pid" 2>/dev/null || true
+	fi
+	rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/rmserve" ./cmd/rmserve
+go build -o "$workdir/rmsoak" ./cmd/rmsoak
+
+# -listen :0 binds a free port; the daemon prints the resolved address
+# on its "listening:" line.
+"$workdir/rmserve" -listen 127.0.0.1:0 -devices "$DEVICES" >"$workdir/rmserve.log" 2>&1 &
+server_pid=$!
+
+addr=""
+for _ in $(seq 1 50); do
+	addr=$(sed -n 's/^listening: \([^ ]*\).*/\1/p' "$workdir/rmserve.log")
+	[[ -n $addr ]] && break
+	if ! kill -0 "$server_pid" 2>/dev/null; then
+		echo "rmserve died before listening:" >&2
+		cat "$workdir/rmserve.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+if [[ -z $addr ]]; then
+	echo "rmserve never printed its address" >&2
+	cat "$workdir/rmserve.log" >&2
+	exit 1
+fi
+echo "smoke-soak: daemon at $addr, ${RPS} ops/s for ${DURATION}"
+
+"$workdir/rmsoak" -addr "http://$addr" -rps "$RPS" -duration "$DURATION" \
+	-devices "$DEVICES" -strict
+
+kill -INT "$server_pid"
+wait "$server_pid" || true
+server_pid=""
+echo "smoke-soak: ok"
