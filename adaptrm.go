@@ -233,6 +233,7 @@ const (
 	EventJobCompleted    = api.EventJobCompleted
 	EventJobCancelled    = api.EventJobCancelled
 	EventScheduleChanged = api.EventScheduleChanged
+	EventClockAdvanced   = api.EventClockAdvanced
 	EventLagged          = api.EventLagged
 )
 

@@ -30,15 +30,26 @@
 // totals when tenants are configured. -listen 127.0.0.1:0 picks a free
 // port; the resolved address is printed on the "listening:" line.
 //
+// With -data-dir the fleet is durable: a write-ahead event log plus
+// periodic state snapshots persist in the directory (package durable),
+// the process recovers from whatever it holds on start — printing a
+// "wal:" recovery report — and a kill -9 loses at most the events not
+// yet flushed under the chosen -fsync policy (always | interval |
+// never). -event-history sizes the per-device retained-event window
+// that both watch resumes and the WAL tail draw on. See the
+// "Durability and recovery" section in internal/durable's package
+// documentation.
+//
 // Usage:
 //
 //	rmserve [-devices M] [-shards K] [-sched mdf|lr|exmem|greedy|fixed|fixed-remap]
 //	        [-rate R] [-spread S] [-horizon T] [-seed N]
 //	        [-cache] [-cache-size N] [-cache-slack F] [-mailbox N]
-//	        [-resched] [-v]
+//	        [-resched] [-data-dir DIR [-fsync MODE]] [-v]
 //	rmserve -listen :8080 [-token SECRET | -tenants FILE.json]
 //	        [-quota-rate R [-quota-burst B]]
 //	        [-pprof-token SECRET] [-flightlog-size N]
+//	        [-data-dir DIR [-fsync MODE]] [-event-history N]
 //	        [-devices M] [-shards K] [-sched NAME] [-cache] ...
 //
 // -quota-rate/-quota-burst attach a token bucket to the single -token
@@ -64,6 +75,7 @@ import (
 	"time"
 
 	"adaptrm/internal/dse"
+	"adaptrm/internal/durable"
 	"adaptrm/internal/fleet"
 	"adaptrm/internal/flightlog"
 	"adaptrm/internal/httpapi"
@@ -90,6 +102,9 @@ func main() {
 	burst := flag.Int("burst", 0, "burst size: requests per arrival event (replay mode; ≤1 = plain Poisson)")
 	burstWindow := flag.Float64("burst-window", 0, "spread of a burst's arrivals in seconds (replay mode; 0 = coincident)")
 	resched := flag.Bool("resched", false, "re-run the scheduler at every job completion")
+	eventHistory := flag.Int("event-history", 0, "per-device retained-event window for watch resumes (0 = default 1024)")
+	dataDir := flag.String("data-dir", "", "persist the event log and snapshots in this directory and recover from it on start")
+	fsyncMode := flag.String("fsync", "interval", "WAL fsync policy with -data-dir: always|interval|never")
 	verbose := flag.Bool("v", false, "print per-device statistics")
 	listen := flag.String("listen", "", "daemon mode: serve the fleet over HTTP on this address (e.g. :8080)")
 	token := flag.String("token", "", "daemon mode: single-tenant bearer token (all devices, no quota)")
@@ -114,24 +129,47 @@ func main() {
 		}
 		devs[i] = fleet.DeviceConfig{Platform: plat, Library: lib, Scheduler: s}
 	}
-	f, err := fleet.New(devs, fleet.Options{
-		Shards:      *shards,
-		MailboxSize: *mailbox,
-		Manager:     rm.Options{RescheduleOnFinish: *resched},
-		Cache:       *cache,
-		CacheParams: schedcache.Params{Capacity: *cacheSize, SlackBucket: *cacheSlack},
-		BatchWindow: *batchWindow,
+	opt := fleet.Options{
+		Shards:       *shards,
+		MailboxSize:  *mailbox,
+		Manager:      rm.Options{RescheduleOnFinish: *resched},
+		Cache:        *cache,
+		CacheParams:  schedcache.Params{Capacity: *cacheSize, SlackBucket: *cacheSlack},
+		BatchWindow:  *batchWindow,
+		EventHistory: *eventHistory,
+	}
+
+	// With -data-dir the fleet is rebuilt from whatever the directory
+	// holds — per-device snapshots plus the contiguous event-log tail,
+	// replayed through the deterministic manager transitions — and a
+	// writer then tails the live event streams back into it.
+	var wal *durable.Writer
+	f, walState, err := buildFleet(devs, opt, *dataDir, durable.Meta{
+		Devices: *devices, Scheduler: *schedName, Cache: *cache, RescheduleOnFinish: *resched,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if walState != nil {
+		policy, err := durable.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			fatal(err)
+		}
+		if wal, err = durable.NewWriter(walState, f, durable.Options{Fsync: policy}); err != nil {
+			fatal(err)
+		}
 	}
 
 	fmt.Printf("platform:  %s\n", plat)
 	fmt.Printf("fleet:     %d devices, %d shards, scheduler %s, cache %v\n",
 		*devices, *shards, *schedName, *cache)
+	if walState != nil {
+		fmt.Printf("wal:       %s (fsync %s), recovered %d events, %d snapshots, %d torn bytes truncated\n",
+			walState.Dir, *fsyncMode, walState.Events, walState.Snapshots, walState.TruncatedBytes)
+	}
 
 	if *listen != "" {
-		serveDaemon(f, daemonConfig{
+		serveDaemon(f, wal, daemonConfig{
 			listen: *listen, token: *token, tenantsPath: *tenantsPath,
 			quotaRate: *quotaRate, quotaBurst: *quotaBurst,
 			pprofToken: *pprofToken, flightlogSize: *flightlogSize,
@@ -158,7 +196,50 @@ func main() {
 	if err := f.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "rmserve: device errors:", err)
 	}
+	closeWAL(wal)
 	report(f, time.Since(start), *cache, *verbose, false, *devices)
+}
+
+// buildFleet constructs the fleet — fresh, or recovered from dataDir
+// when one is given. The returned state is nil without a data dir.
+func buildFleet(devs []fleet.DeviceConfig, opt fleet.Options, dataDir string, meta durable.Meta) (*fleet.Fleet, *durable.State, error) {
+	if dataDir == "" {
+		f, err := fleet.New(devs, opt)
+		return f, nil, err
+	}
+	st, err := durable.Open(dataDir, meta)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := make(map[int]fleet.DeviceRecovery, len(st.Devices))
+	for dev, ds := range st.Devices {
+		rec[dev] = fleet.DeviceRecovery{Snapshot: ds.Snapshot, Events: ds.Events}
+	}
+	f, results, err := fleet.Recover(devs, opt, rec)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Replay may have dropped a trailing partial unit (a torn tail cut
+	// mid-operation); cut the physical log to the same point so the
+	// writer's appends continue gap-free from the recovered sequence.
+	for dev, res := range results {
+		if err := st.Truncate(dev, res.AppliedSeq); err != nil {
+			return nil, nil, err
+		}
+	}
+	return f, st, nil
+}
+
+// closeWAL flushes and closes the writer after the fleet's shutdown
+// drain; call it after fleet.Close so the final completion events are
+// persisted too.
+func closeWAL(w *durable.Writer) {
+	if w == nil {
+		return
+	}
+	if err := w.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "rmserve: wal close:", err)
+	}
 }
 
 // daemonConfig bundles the daemon-mode settings.
@@ -173,8 +254,9 @@ type daemonConfig struct {
 }
 
 // serveDaemon exposes the fleet over HTTP until SIGINT/SIGTERM, then
-// drains it and prints the final report.
-func serveDaemon(f *fleet.Fleet, cfg daemonConfig) {
+// drains it (and flushes the WAL writer, when persistence is on) and
+// prints the final report.
+func serveDaemon(f *fleet.Fleet, wal *durable.Writer, cfg daemonConfig) {
 	var opt httpapi.ServerOptions
 	switch {
 	case cfg.tenantsPath != "":
@@ -200,6 +282,14 @@ func serveDaemon(f *fleet.Fleet, cfg daemonConfig) {
 	opt.PprofToken = cfg.pprofToken
 	if cfg.flightlogSize > 0 {
 		opt.FlightLog = flightlog.New(cfg.flightlogSize)
+	}
+	if wal != nil {
+		opt.WAL = wal
+		if opt.FlightLog != nil {
+			// The postmortem dump carries the WAL position: after a crash
+			// the operator sees how far persistence trailed the fleet.
+			opt.FlightLog.SetAux("wal", func() any { return wal.Status() })
+		}
 	}
 
 	handler, err := httpapi.NewServer(f.Service(), opt)
@@ -276,6 +366,7 @@ func serveDaemon(f *fleet.Fleet, cfg daemonConfig) {
 	if err := f.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "rmserve: device errors:", err)
 	}
+	closeWAL(wal)
 	report(f, time.Since(start), cfg.cache, cfg.verbose, true, cfg.devices)
 	if len(opt.Tenants) > 0 {
 		b, r := handler.QuotaRefusals()

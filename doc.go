@@ -132,6 +132,32 @@
 // client's own counts (-strict fails CI otherwise; see
 // scripts/smoke-soak.sh and benchmarks/README.md for recorded runs).
 //
+// # Durability and recovery
+//
+// With rmserve -data-dir the fleet survives kill -9: internal/durable
+// tails every device's watch stream into a per-device write-ahead log
+// of length-prefixed, CRC32C-checksummed event frames (segment files
+// rotated by size, named by first sequence number) and periodically
+// snapshots the device's full deterministic state (canonical JSON plus
+// the last covered sequence number). On start the directory is
+// recovered: each segment is decoded to its longest valid prefix —
+// torn tails from a mid-write crash are physically truncated, never an
+// error — the newest snapshot that anchors a contiguous event tail
+// seeds the device, and the tail replays through the same manager
+// transitions that produced it, so the recovered /v1/stats and
+// executed timelines are byte-identical to the persisted prefix of the
+// pre-crash state (scripts/crash-recovery.sh proves this in CI with a
+// real SIGKILLed daemon). The writer never sits on the admission path:
+// appends happen on a per-device goroutine behind the same bounded
+// buffers as any other watch subscriber, and if the subscription ever
+// lags past the retained history the writer rescues itself with an
+// extra snapshot rather than stalling a shard worker. -fsync picks the
+// durability/throughput point (always | interval | never); the append
+// itself is gated allocation-free (BenchmarkWALAppend). Replay-mode
+// details, recovered-vs-live divergences (solver-incidental counters
+// only) and recovery timings are documented in internal/durable and
+// benchmarks/README.md.
+//
 // # Quickstart
 //
 //	plat := adaptrm.OdroidXU4()

@@ -282,7 +282,7 @@ func TestFacadeWatch(t *testing.T) {
 		for _, ev := range *evs {
 			types = append(types, ev.Type)
 		}
-		want := []EventType{EventJobAdmitted, EventScheduleChanged, EventJobStarted, EventJobCompleted}
+		want := []EventType{EventJobAdmitted, EventScheduleChanged, EventJobStarted, EventJobCompleted, EventClockAdvanced}
 		if len(types) != len(want) {
 			t.Fatalf("%s: stream = %v, want %v", name, types, want)
 		}

@@ -22,6 +22,11 @@ const (
 	EventJobCancelled EventType = "job_cancelled"
 	// EventScheduleChanged: the device's active schedule was replaced.
 	EventScheduleChanged EventType = "schedule_changed"
+	// EventClockAdvanced: an explicit advance moved the device clock; At
+	// carries the new time. Together with the admission events this makes
+	// the stream a complete operation log — the durability layer replays
+	// it to reconstruct device state byte-identically.
+	EventClockAdvanced EventType = "clock_advanced"
 	// EventLagged is the overflow marker: the subscriber consumed too
 	// slowly and Dropped events were discarded from its buffer instead
 	// of blocking the service. The stream continues with later events;

@@ -1,0 +1,36 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"adaptrm/internal/api"
+)
+
+// BenchmarkWALAppend pins the hot append path — frame encode into a
+// reused buffer plus the segment write — at zero heap allocations per
+// event (enforced by scripts/bench-allocs-gate.sh).
+func BenchmarkWALAppend(b *testing.B) {
+	f, err := os.OpenFile(filepath.Join(b.TempDir(), "wal.log"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	ev := api.Event{
+		Device: 3, Type: api.EventJobCompleted, At: 12.345678901,
+		JobID: 42, App: "lambda1", Deadline: 99.5,
+	}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Seq = uint64(i) + 1
+		buf = appendFrame(buf[:0], ev)
+		if _, err := f.Write(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}

@@ -1,0 +1,169 @@
+package durable
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"adaptrm/internal/api"
+)
+
+// testEvents is a small corpus covering every api.Event field shape the
+// fleet emits, including values that stress the hand-rolled encoder
+// (escapes, negative and fractional floats, shortest-form round-trips).
+func testEvents() []api.Event {
+	return []api.Event{
+		{Device: 0, Seq: 1, Type: api.EventJobAdmitted, At: 0.1, JobID: 1, App: "mp3_dec", Deadline: 42.5},
+		{Device: 3, Seq: 2, Type: api.EventScheduleChanged, At: 0.1},
+		{Device: 3, Seq: 3, Type: api.EventJobStarted, At: 1.0 / 3.0, JobID: 7, App: "gsm_enc"},
+		{Device: 1, Seq: 4, Type: api.EventJobCompleted, At: 123456.789, JobID: 7, App: "a\"b\\c\x01", Missed: true},
+		{Device: 2, Seq: 5, Type: api.EventJobRejected, At: 0.30000000000000004, App: "x", Deadline: 1e-9},
+		{Device: 0, Seq: 6, Type: api.EventJobCancelled, JobID: 12},
+		{Device: 0, Seq: 7, Type: api.EventClockAdvanced, At: 99.25},
+		{Device: 9, Seq: 8, Type: api.EventLagged, Dropped: 1234},
+	}
+}
+
+// TestFrameRoundTrip pins the encoder against encoding/json (the
+// decoder's parser) field by field, then decodes a multi-frame buffer
+// back and requires exact equality.
+func TestFrameRoundTrip(t *testing.T) {
+	evs := testEvents()
+	var buf []byte
+	for _, ev := range evs {
+		frame := appendFrame(nil, ev)
+		var got api.Event
+		if err := json.Unmarshal(frame[frameHeader:], &got); err != nil {
+			t.Fatalf("payload of %+v is not JSON: %v", ev, err)
+		}
+		if got != ev {
+			t.Fatalf("round trip changed the event:\n  in  %+v\n  out %+v", ev, got)
+		}
+		buf = appendFrame(buf, ev)
+	}
+	got, valid := decodeFrames(buf, nil)
+	if valid != len(buf) {
+		t.Fatalf("decode stopped at %d of %d clean bytes", valid, len(buf))
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatalf("decoded %+v, want %+v", got, evs)
+	}
+}
+
+// TestFrameTruncation cuts a clean multi-frame buffer at every byte
+// offset: decoding must never panic, must recover exactly the frames
+// that fit entirely below the cut, and must report a valid length no
+// larger than the cut.
+func TestFrameTruncation(t *testing.T) {
+	evs := testEvents()
+	var buf []byte
+	ends := make([]int, len(evs)) // end offset of each frame
+	for i, ev := range evs {
+		buf = appendFrame(buf, ev)
+		ends[i] = len(buf)
+	}
+	for cut := 0; cut <= len(buf); cut++ {
+		whole := 0
+		for whole < len(ends) && ends[whole] <= cut {
+			whole++
+		}
+		got, valid := decodeFrames(buf[:cut], nil)
+		if len(got) != whole {
+			t.Fatalf("cut %d: decoded %d events, want %d", cut, len(got), whole)
+		}
+		wantValid := 0
+		if whole > 0 {
+			wantValid = ends[whole-1]
+		}
+		if valid != wantValid {
+			t.Fatalf("cut %d: valid prefix %d, want %d", cut, valid, wantValid)
+		}
+	}
+}
+
+// TestFrameBitFlips corrupts each byte of a clean buffer in turn (xor
+// 0xff): decoding must never panic and must stop at or before the
+// frame containing the corrupted byte — the CRC, the length bounds or
+// the JSON parse catches it, never a crash or a silently wrong event.
+func TestFrameBitFlips(t *testing.T) {
+	evs := testEvents()
+	var buf []byte
+	starts := make([]int, len(evs))
+	for i, ev := range evs {
+		starts[i] = len(buf)
+		buf = appendFrame(buf, ev)
+	}
+	for pos := 0; pos < len(buf); pos++ {
+		flipped := 0
+		for flipped+1 < len(starts) && starts[flipped+1] <= pos {
+			flipped++
+		}
+		mut := append([]byte(nil), buf...)
+		mut[pos] ^= 0xff
+		got, valid := decodeFrames(mut, nil)
+		if len(got) > flipped {
+			t.Fatalf("flip at %d: decoded %d events past the corrupted frame %d", pos, len(got), flipped)
+		}
+		if valid > starts[flipped] {
+			t.Fatalf("flip at %d: valid prefix %d reaches into corrupted frame starting %d", pos, valid, starts[flipped])
+		}
+		for i, ev := range got {
+			if ev != evs[i] {
+				t.Fatalf("flip at %d: surviving event %d altered: %+v", pos, i, ev)
+			}
+		}
+	}
+}
+
+// TestFrameRejectsGarbage pins the individual validation rules:
+// zero-length frames, oversized lengths, truncated headers, a frame
+// whose payload is valid JSON but carries no sequence number.
+func TestFrameRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":          nil,
+		"short header":   {1, 2, 3},
+		"zero length":    {0, 0, 0, 0, 0, 0, 0, 0},
+		"huge length":    {0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0},
+		"missing body":   {8, 0, 0, 0, 0, 0, 0, 0},
+		"all ones":       {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		"seqless record": appendFrame(nil, api.Event{Device: 1, Type: api.EventJobAdmitted}),
+	}
+	for name, buf := range cases {
+		if got, valid := decodeFrames(buf, nil); len(got) != 0 || valid != 0 {
+			t.Errorf("%s: decoded %d events, valid %d; want none", name, len(got), valid)
+		}
+	}
+}
+
+// FuzzDecodeFrames hammers the decoder with arbitrary bytes — both raw
+// garbage and mutations of well-formed buffers via the seed corpus.
+// The invariants: never panic, valid is a prefix length within bounds,
+// re-decoding the valid prefix reproduces the same events, and every
+// decoded event re-encodes to a frame that decodes back to itself.
+func FuzzDecodeFrames(f *testing.F) {
+	var clean []byte
+	for _, ev := range testEvents() {
+		clean = appendFrame(clean, ev)
+	}
+	f.Add(clean)
+	f.Add(clean[:17])
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, valid := decodeFrames(data, nil)
+		if valid < 0 || valid > len(data) {
+			t.Fatalf("valid %d out of range [0,%d]", valid, len(data))
+		}
+		again, validAgain := decodeFrames(data[:valid], nil)
+		if validAgain != valid || !reflect.DeepEqual(again, got) {
+			t.Fatalf("valid prefix does not re-decode to itself: %d/%d events, %d/%d bytes",
+				len(again), len(got), validAgain, valid)
+		}
+		for _, ev := range got {
+			back, n := decodeFrames(appendFrame(nil, ev), nil)
+			if n == 0 || len(back) != 1 || back[0] != ev {
+				t.Fatalf("decoded event does not re-encode cleanly: %+v", ev)
+			}
+		}
+	})
+}

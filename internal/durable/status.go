@@ -1,0 +1,105 @@
+package durable
+
+import (
+	"time"
+
+	"adaptrm/internal/metrics"
+)
+
+// DeviceStatus is one device's WAL position.
+type DeviceStatus struct {
+	// Device is the device id.
+	Device int `json:"device"`
+	// LastSeq is the last appended event sequence (0: nothing yet).
+	LastSeq uint64 `json:"last_seq"`
+	// SnapshotSeq is the newest on-disk snapshot's sequence.
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// Segments counts the device's segment files on disk.
+	Segments int `json:"segments"`
+	// Segment is the current segment file (empty before the first
+	// append after start).
+	Segment string `json:"segment,omitempty"`
+	// SegmentBytes is the current segment's size.
+	SegmentBytes int64 `json:"segment_bytes"`
+	// LastFsync is the wall-clock time of the device's last fsync
+	// (zero: none yet).
+	LastFsync time.Time `json:"last_fsync,omitzero"`
+}
+
+// Status is a point-in-time view of the writer: recovery figures from
+// the open, cumulative persistence counters, and per-device positions.
+// It backs the /metrics WAL families, the flightlog dump and the
+// rmserve recovery report.
+type Status struct {
+	// Dir is the data directory.
+	Dir string `json:"dir"`
+	// Policy is the fsync policy in effect.
+	Policy string `json:"policy"`
+	// Recovered reports whether this process started from prior state.
+	Recovered bool `json:"recovered"`
+	// RecoveredEvents counts the log-tail events handed to replay.
+	RecoveredEvents int `json:"recovered_events"`
+	// RecoveredSnapshots counts the devices recovered from a snapshot.
+	RecoveredSnapshots int `json:"recovered_snapshots"`
+	// TruncatedBytes counts torn bytes physically removed at open.
+	TruncatedBytes int64 `json:"truncated_bytes"`
+	// Appended counts events persisted since start.
+	Appended int64 `json:"appended"`
+	// Fsyncs counts fsync calls since start.
+	Fsyncs int64 `json:"fsyncs"`
+	// Snapshots counts snapshots written since start.
+	Snapshots int64 `json:"snapshots"`
+	// Rescues counts lag rescues (retention window overruns absorbed by
+	// an extra snapshot) since start.
+	Rescues int64 `json:"rescues"`
+	// Err is the first persistence error, if any.
+	Err string `json:"err,omitempty"`
+	// FsyncLatency is the fsync latency distribution (nanoseconds).
+	FsyncLatency metrics.HistSnapshot `json:"-"`
+	// Devices holds the per-device positions, indexed by device id.
+	Devices []DeviceStatus `json:"devices"`
+}
+
+// StatusSource is what the HTTP front-end and the flightlog dump need
+// from the WAL; *Writer implements it.
+type StatusSource interface {
+	WALStatus() Status
+}
+
+// Status reports the writer's current position; see Status's fields.
+func (w *Writer) Status() Status {
+	s := Status{
+		Dir:                w.st.Dir,
+		Policy:             w.opt.Fsync.String(),
+		Recovered:          w.st.Recovered,
+		RecoveredEvents:    w.st.Events,
+		RecoveredSnapshots: w.st.Snapshots,
+		TruncatedBytes:     w.st.TruncatedBytes,
+		Appended:           w.appended.Load(),
+		Fsyncs:             w.fsyncs.Load(),
+		Snapshots:          w.snapshots.Load(),
+		Rescues:            w.rescues.Load(),
+		FsyncLatency:       w.fsyncLatency.Snapshot(),
+		Devices:            make([]DeviceStatus, len(w.devs)),
+	}
+	if err := w.Err(); err != nil {
+		s.Err = err.Error()
+	}
+	for i, d := range w.devs {
+		d.mu.Lock()
+		s.Devices[i] = DeviceStatus{
+			Device:       d.dev,
+			LastSeq:      d.lastSeq,
+			SnapshotSeq:  d.snapSeq,
+			Segments:     d.segCount,
+			Segment:      d.segPath,
+			SegmentBytes: d.segBytes,
+			LastFsync:    d.lastFsync,
+		}
+		d.mu.Unlock()
+	}
+	return s
+}
+
+// WALStatus implements StatusSource.
+func (w *Writer) WALStatus() Status { return w.Status() }

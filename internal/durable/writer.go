@@ -1,0 +1,537 @@
+package durable
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptrm/internal/api"
+	"adaptrm/internal/metrics"
+	"adaptrm/internal/rm"
+)
+
+// Source is the slice of the fleet the writer consumes: the watch
+// stream it tails and the snapshot hook it falls back on when the
+// stream lags past the retention window. *fleet.Fleet implements it;
+// the indirection keeps durable below fleet in the import graph.
+type Source interface {
+	Watch(ctx context.Context, req api.WatchRequest) (<-chan api.Event, error)
+	DeviceSnapshot(dev int) (*rm.Snapshot, error)
+}
+
+// FsyncPolicy selects when segment appends reach stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncIntervalPolicy fsyncs dirty segments on a timer
+	// (Options.FsyncEvery): bounded data at risk, near-zero append cost.
+	FsyncIntervalPolicy FsyncPolicy = iota
+	// FsyncAlways fsyncs after every appended event: every acknowledged
+	// event survives power loss, at a disk round-trip per event.
+	FsyncAlways
+	// FsyncNever leaves flushing to the operating system page cache.
+	FsyncNever
+)
+
+// ParseFsyncPolicy parses the -fsync flag values always|interval|never.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncIntervalPolicy, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("durable: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncNever:
+		return "never"
+	default:
+		return "interval"
+	}
+}
+
+// Options tune the writer. The zero value is usable: interval fsync
+// every 100ms, 4MiB segments, a snapshot every 4096 events.
+type Options struct {
+	// Fsync is the durability policy for segment appends.
+	Fsync FsyncPolicy
+	// FsyncEvery is the interval policy's period (default 100ms).
+	FsyncEvery time.Duration
+	// SegmentBytes rotates the current segment once it reaches this
+	// size (default 4MiB).
+	SegmentBytes int64
+	// SnapshotEvery writes a snapshot after this many appended events
+	// per device (default 4096), then prunes snapshots beyond the
+	// newest two and segments no recovery could need.
+	SnapshotEvery int
+	// Buffer is the watch subscription buffer per device (default 16384
+	// events). A writer that falls further behind than this rescues
+	// itself with a snapshot instead of blocking the fleet.
+	Buffer int
+}
+
+func (o Options) withDefaults() Options {
+	if o.FsyncEvery <= 0 {
+		o.FsyncEvery = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = 4096
+	}
+	if o.Buffer <= 0 {
+		o.Buffer = 1 << 14
+	}
+	return o
+}
+
+// Writer tails every device's event stream into the data dir: one
+// goroutine per device consuming a FromSeq-resumed watch subscription,
+// so persistence never holds a fleet lock and never blocks a shard
+// worker. Close the fleet first (its shutdown drains all pending
+// events to subscribers), then the writer.
+type Writer struct {
+	st  *State
+	src Source
+	opt Options
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	// tickDone marks the interval-fsync goroutine finished (closed by
+	// its own exit); Close stops it after the tail goroutines are done.
+	tickStop chan struct{}
+	tickDone chan struct{}
+
+	devs []*devWriter
+
+	appended     atomic.Int64
+	fsyncs       atomic.Int64
+	snapshots    atomic.Int64
+	rescues      atomic.Int64
+	fsyncLatency *metrics.Histogram
+	err          atomic.Value // first persistence error, type error
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// devWriter is one device's persistence state. mu guards the file
+// fields: the tail goroutine appends under it, while Status, Sync and
+// the interval-fsync ticker read and flush under it.
+type devWriter struct {
+	w   *Writer
+	dev int
+	dir string
+
+	// ch/chCancel are the initial subscription, opened synchronously by
+	// NewWriter: once NewWriter returns, every event the fleet emits —
+	// and everything still in the retention ring — is guaranteed to
+	// reach this writer, however quickly the fleet is closed afterwards.
+	ch       <-chan api.Event
+	chCancel context.CancelFunc
+
+	mu        sync.Mutex
+	f         *os.File // current segment (nil until the first append)
+	segPath   string
+	segFirst  uint64
+	segBytes  int64
+	segCount  int
+	lastSeq   uint64 // last appended sequence
+	snapSeq   uint64 // newest on-disk snapshot sequence
+	sinceSnap int    // events appended since the last snapshot
+	dirty     bool   // bytes written since the last fsync
+	lastFsync time.Time
+	buf       []byte // reusable frame buffer
+}
+
+// NewWriter attaches a writer to an opened (and, after replay,
+// truncated) data dir and starts tailing src. Each device resumes from
+// its recovered sequence position, so the log continues gap-free
+// across the restart.
+func NewWriter(st *State, src Source, opt Options) (*Writer, error) {
+	opt = opt.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	w := &Writer{
+		st: st, src: src, opt: opt,
+		ctx: ctx, cancel: cancel,
+		tickStop:     make(chan struct{}),
+		tickDone:     make(chan struct{}),
+		fsyncLatency: metrics.NewHistogram(metrics.DefaultLatencyBuckets),
+	}
+	w.devs = make([]*devWriter, st.Meta.Devices)
+	for dev := range w.devs {
+		dir := filepath.Join(st.Dir, deviceDirName(dev))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			cancel()
+			return nil, err
+		}
+		d := &devWriter{w: w, dev: dev, dir: dir}
+		if ds := st.Devices[dev]; ds != nil {
+			d.lastSeq = ds.AppliedSeq()
+			d.segCount = ds.segments
+			if ds.Snapshot != nil {
+				d.snapSeq = ds.Snapshot.EventSeq
+			}
+		}
+		w.devs[dev] = d
+	}
+	// Subscribe synchronously before returning: a goroutine-side Watch
+	// could race a fast fleet shutdown and miss the stream entirely.
+	for _, d := range w.devs {
+		sctx, scancel := context.WithCancel(ctx)
+		ch, err := src.Watch(sctx, api.WatchRequest{Device: &d.dev, FromSeq: d.lastSeq + 1, Buffer: opt.Buffer})
+		if err != nil {
+			scancel()
+			cancel()
+			return nil, err
+		}
+		d.ch, d.chCancel = ch, scancel
+	}
+	for _, d := range w.devs {
+		w.wg.Add(1)
+		go d.run()
+	}
+	if opt.Fsync == FsyncIntervalPolicy {
+		go w.fsyncLoop()
+	} else {
+		close(w.tickDone)
+	}
+	return w, nil
+}
+
+// run tails one device until the stream closes for good (fleet
+// shutdown or writer cancellation), resubscribing across lag. The
+// first subscription was opened by NewWriter; only lag resubscriptions
+// happen here.
+func (d *devWriter) run() {
+	defer d.w.wg.Done()
+	ch, cancel := d.ch, d.chCancel
+	for {
+		resub := false
+		opening := true
+		for ev := range ch {
+			if ev.Type == api.EventLagged {
+				if opening {
+					// The retention window no longer reaches our resume
+					// point: snapshot the device's current state instead of
+					// chasing events that no longer exist, and continue the
+					// log from the snapshot.
+					if err := d.rescue(); err != nil {
+						d.w.fail(err)
+						cancel()
+						return
+					}
+				}
+				// In-stream lag: the subscription buffer overflowed but the
+				// retention ring is larger, so resuming from lastSeq+1
+				// usually replays the dropped range from history (and lands
+				// back here, on the opening branch, when it cannot).
+				resub = true
+				cancel()
+				break
+			}
+			opening = false
+			if err := d.append(ev); err != nil {
+				d.w.fail(err)
+				cancel()
+				return
+			}
+		}
+		cancel()
+		if !resub {
+			// The stream ended on its own: fleet shutdown (after the final
+			// drain events, all consumed above) or writer cancellation.
+			return
+		}
+		sctx, scancel := context.WithCancel(d.w.ctx)
+		nch, err := d.w.src.Watch(sctx, api.WatchRequest{Device: &d.dev, FromSeq: d.lastSeq + 1, Buffer: d.w.opt.Buffer})
+		if err != nil {
+			scancel() // fleet closed before resubscribing: nothing more will happen
+			return
+		}
+		ch, cancel = nch, scancel
+	}
+}
+
+// append frames one event onto the current segment, rotating on size
+// or on a sequence discontinuity, fsyncing per policy, and snapshotting
+// every SnapshotEvery events.
+func (d *devWriter) append(ev api.Event) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.f == nil || d.segBytes >= d.w.opt.SegmentBytes || ev.Seq != d.lastSeq+1 {
+		if err := d.rotateLocked(ev.Seq); err != nil {
+			return err
+		}
+	}
+	d.buf = appendFrame(d.buf[:0], ev)
+	if _, err := d.f.Write(d.buf); err != nil {
+		return err
+	}
+	d.segBytes += int64(len(d.buf))
+	d.lastSeq = ev.Seq
+	d.dirty = true
+	d.w.appended.Add(1)
+	if d.w.opt.Fsync == FsyncAlways {
+		if err := d.syncLocked(); err != nil {
+			return err
+		}
+	}
+	d.sinceSnap++
+	if d.sinceSnap >= d.w.opt.SnapshotEvery {
+		if err := d.snapshotLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rotateLocked closes the current segment (fsyncing it, so a rotation
+// never leaves unflushed bytes behind an already-started successor)
+// and opens a fresh one named by the first sequence it will hold.
+func (d *devWriter) rotateLocked(firstSeq uint64) error {
+	if d.f != nil {
+		if d.dirty {
+			if err := d.syncLocked(); err != nil {
+				d.f.Close()
+				d.f = nil
+				return err
+			}
+		}
+		if err := d.f.Close(); err != nil {
+			d.f = nil
+			return err
+		}
+		d.f = nil
+	}
+	path := filepath.Join(d.dir, segmentFileName(firstSeq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	// Surface the new name durably before appending to it.
+	if err := syncDir(d.dir); err != nil {
+		f.Close()
+		return err
+	}
+	d.f, d.segPath, d.segFirst, d.segBytes = f, path, firstSeq, 0
+	d.segCount++
+	return nil
+}
+
+// syncLocked fsyncs the current segment, recording latency.
+func (d *devWriter) syncLocked() error {
+	if d.f == nil || !d.dirty {
+		return nil
+	}
+	start := time.Now()
+	if err := d.f.Sync(); err != nil {
+		return err
+	}
+	d.w.fsyncLatency.ObserveSince(start)
+	d.w.fsyncs.Add(1)
+	d.dirty = false
+	d.lastFsync = time.Now()
+	return nil
+}
+
+// snapshotLocked writes a snapshot of the device's current live state
+// and prunes history no recovery could need: snapshots beyond the
+// newest two, and segments entirely behind the oldest retained one.
+// The snapshot may run ahead of the log tail (the manager keeps
+// emitting while it is taken); recovery handles that by skipping
+// replay below the snapshot's sequence.
+func (d *devWriter) snapshotLocked() error {
+	snap, err := d.w.src.DeviceSnapshot(d.dev)
+	if err != nil {
+		return err
+	}
+	if snap.EventSeq <= d.snapSeq {
+		d.sinceSnap = 0
+		return nil
+	}
+	if _, err := writeSnapshotFile(d.dir, snap); err != nil {
+		return err
+	}
+	d.snapSeq = snap.EventSeq
+	d.sinceSnap = 0
+	d.w.snapshots.Add(1)
+	return d.pruneLocked()
+}
+
+// pruneLocked deletes snapshots beyond the newest two and segment
+// files that even the oldest retained snapshot's replay would skip: a
+// segment is dead once its successor starts at or below that
+// snapshot's sequence + 1. The current segment always survives.
+func (d *devWriter) pruneLocked() error {
+	snaps, err := listSeqFiles(d.dir, snapshotPrefix, snapshotSuffix)
+	if err != nil {
+		return err
+	}
+	const retain = 2
+	if len(snaps) <= retain {
+		return nil
+	}
+	oldest := snaps[len(snaps)-retain].seq
+	for _, s := range snaps[:len(snaps)-retain] {
+		if err := os.Remove(s.path); err != nil {
+			return err
+		}
+	}
+	segs, err := listSeqFiles(d.dir, segmentPrefix, segmentSuffix)
+	if err != nil {
+		return err
+	}
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1].seq > oldest+1 || segs[i].path == d.segPath {
+			break
+		}
+		if err := os.Remove(segs[i].path); err != nil {
+			return err
+		}
+		d.segCount--
+	}
+	return syncDir(d.dir)
+}
+
+// rescue handles a resume point evicted from the retention window: the
+// dropped events are unrecoverable, so the device's current state is
+// snapshotted, the current segment is sealed (frames within a segment
+// stay contiguous), and the log restarts beyond the gap in a fresh
+// segment on the next append.
+func (d *devWriter) rescue() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.f != nil {
+		if err := d.syncLocked(); err != nil {
+			return err
+		}
+		if err := d.f.Close(); err != nil {
+			d.f = nil
+			return err
+		}
+		d.f = nil
+	}
+	snap, err := d.w.src.DeviceSnapshot(d.dev)
+	if err != nil {
+		return err
+	}
+	if _, err := writeSnapshotFile(d.dir, snap); err != nil {
+		return err
+	}
+	d.snapSeq = snap.EventSeq
+	d.lastSeq = snap.EventSeq
+	d.sinceSnap = 0
+	d.w.snapshots.Add(1)
+	d.w.rescues.Add(1)
+	return d.pruneLocked()
+}
+
+// fsyncLoop is the interval policy's ticker: it flushes every dirty
+// segment once per period.
+func (w *Writer) fsyncLoop() {
+	defer close(w.tickDone)
+	t := time.NewTicker(w.opt.FsyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.tickStop:
+			return
+		case <-t.C:
+			for _, d := range w.devs {
+				d.mu.Lock()
+				if err := d.syncLocked(); err != nil {
+					w.fail(err)
+				}
+				d.mu.Unlock()
+			}
+		}
+	}
+}
+
+// fail records the first persistence error; the writer keeps the fleet
+// running (durability degrades, service does not).
+func (w *Writer) fail(err error) {
+	w.err.CompareAndSwap(nil, err)
+}
+
+// Err returns the first persistence error, or nil.
+func (w *Writer) Err() error {
+	if err, ok := w.err.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Sync flushes every device's dirty segment to stable storage.
+func (w *Writer) Sync() error {
+	var first error
+	for _, d := range w.devs {
+		d.mu.Lock()
+		if err := d.syncLocked(); err != nil && first == nil {
+			first = err
+		}
+		d.mu.Unlock()
+	}
+	return first
+}
+
+// Close finishes persistence: it waits for the tail goroutines (close
+// the fleet first — its shutdown drain ends every stream), stops the
+// fsync ticker, writes a final snapshot per device so the next start
+// replays a minimal tail, and fsyncs and closes the segment files.
+func (w *Writer) Close() error {
+	w.closeOnce.Do(func() {
+		w.wg.Wait()
+		close(w.tickStop)
+		<-w.tickDone
+		w.cancel()
+		var first error
+		for _, d := range w.devs {
+			d.mu.Lock()
+			if err := d.finishLocked(); err != nil && first == nil {
+				first = err
+			}
+			d.mu.Unlock()
+		}
+		if first == nil {
+			first = w.Err()
+		}
+		w.closeErr = first
+	})
+	return w.closeErr
+}
+
+// finishLocked writes the clean-shutdown snapshot (when the device
+// advanced past the newest one) and fsyncs and closes the segment.
+func (d *devWriter) finishLocked() error {
+	var first error
+	if d.lastSeq > d.snapSeq {
+		if err := d.snapshotLocked(); err != nil {
+			first = err
+		}
+	}
+	if err := d.syncLocked(); err != nil && first == nil {
+		first = err
+	}
+	if d.f != nil {
+		if err := d.f.Close(); err != nil && first == nil {
+			first = err
+		}
+		d.f = nil
+	}
+	return first
+}

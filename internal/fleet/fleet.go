@@ -314,6 +314,18 @@ type Fleet struct {
 // validated eagerly (platform, library, scheduler) so a misconfigured
 // fleet fails at construction, not mid-traffic.
 func New(devs []DeviceConfig, opt Options) (*Fleet, error) {
+	f, err := build(devs, opt)
+	if err != nil {
+		return nil, err
+	}
+	f.start()
+	return f, nil
+}
+
+// build constructs and validates the fleet without starting its
+// workers, so Recover can replay persisted state into the devices while
+// it still owns them outright.
+func build(devs []DeviceConfig, opt Options) (*Fleet, error) {
 	if len(devs) == 0 {
 		return nil, errors.New("fleet: no devices")
 	}
@@ -331,18 +343,25 @@ func New(devs []DeviceConfig, opt Options) (*Fleet, error) {
 			return nil, fmt.Errorf("fleet: device %d: %w", i, err)
 		}
 		d := &device{id: i, mgr: mgr, cache: cache, history: newEventRing(opt.EventHistory)}
-		f.installSink(d)
 		f.devices = append(f.devices, d)
 	}
 	f.shards = make([]*shard, opt.Shards)
 	for i := range f.shards {
 		f.shards[i] = &shard{mailbox: make(chan op, opt.MailboxSize)}
 	}
+	return f, nil
+}
+
+// start installs the live event sinks (replacing any recovery sink) and
+// launches the shard workers.
+func (f *Fleet) start() {
+	for _, d := range f.devices {
+		f.installSink(d)
+	}
 	f.wg.Add(len(f.shards))
 	for _, sh := range f.shards {
 		go f.worker(sh)
 	}
-	return f, nil
 }
 
 // NumDevices returns the fleet size.

@@ -218,3 +218,9 @@ func (s *Service) Stats(ctx context.Context, req api.StatsRequest) (api.StatsRes
 // the HTTP front-end discovers it by interface assertion for the
 // /metrics per-shard gauge.
 func (s *Service) QueueDepths() []int { return s.f.QueueDepths() }
+
+// DeviceEventSeqs exposes the per-device event positions on the service
+// view; the HTTP front-end discovers it by interface assertion for the
+// /metrics per-device event-sequence gauge (the reference the WAL
+// position is measured against).
+func (s *Service) DeviceEventSeqs() []uint64 { return s.f.DeviceEventSeqs() }

@@ -98,7 +98,7 @@ func TestWatchLifecycle(t *testing.T) {
 		api.EventJobStarted,                            // λ1 runs while advancing to t=1
 		api.EventJobAdmitted, api.EventScheduleChanged, // λ2 in
 		api.EventJobCancelled, api.EventScheduleChanged, // λ2 out
-		api.EventJobCompleted, // λ1 (started above) drains at Close
+		api.EventJobCompleted, api.EventClockAdvanced, // λ1 (started above) drains at Close
 	}
 	if len(types) != len(want) {
 		t.Fatalf("stream = %v, want %v", types, want)
@@ -135,9 +135,9 @@ func TestWatchAllDevices(t *testing.T) {
 		perDev[ev.Device]++
 	}
 	for d := 0; d < 3; d++ {
-		// Admitted, schedule, started, completed.
-		if perDev[d] != 4 {
-			t.Errorf("device %d: %d events, want 4 (%+v)", d, perDev[d], *evs)
+		// Admitted, schedule, started, completed, drain clock advance.
+		if perDev[d] != 5 {
+			t.Errorf("device %d: %d events, want 5 (%+v)", d, perDev[d], *evs)
 		}
 	}
 	// FromSeq without a device filter is rejected: sequence numbers are

@@ -64,6 +64,7 @@ type Log struct {
 	n     int // retained count
 	total uint64
 	now   func() time.Time
+	aux   map[string]func() any
 }
 
 // DefaultCapacity is the ring size rmserve uses unless told otherwise.
@@ -127,6 +128,24 @@ func (l *Log) Snapshot(n int) []Record {
 	return out
 }
 
+// SetAux attaches a named auxiliary status section to every dump: fn
+// is evaluated at dump time (SIGQUIT, GET /debug/flightlog) and its
+// result rides along under Aux[name]. rmserve hooks the WAL writer's
+// status here so a postmortem shows where persistence stood. A nil fn
+// removes the section.
+func (l *Log) SetAux(name string, fn func() any) {
+	l.mu.Lock()
+	if l.aux == nil {
+		l.aux = make(map[string]func() any)
+	}
+	if fn == nil {
+		delete(l.aux, name)
+	} else {
+		l.aux[name] = fn
+	}
+	l.mu.Unlock()
+}
+
 // Dump is the JSON wire form of a flight-log snapshot.
 type Dump struct {
 	// Total counts every record ever appended; Retained how many the
@@ -134,15 +153,31 @@ type Dump struct {
 	Total    uint64   `json:"total"`
 	Retained int      `json:"retained"`
 	Records  []Record `json:"records"`
+	// Aux holds the point-in-time auxiliary sections (SetAux), e.g. the
+	// WAL writer's position under "wal".
+	Aux map[string]any `json:"aux,omitempty"`
 }
 
 // WriteJSON dumps the newest n records (n ≤ 0: all retained) as one
-// JSON document.
+// JSON document, auxiliary sections included.
 func (l *Log) WriteJSON(w io.Writer, n int) error {
 	recs := l.Snapshot(n)
 	l.mu.Lock()
 	d := Dump{Total: l.total, Retained: l.n, Records: recs}
+	fns := make(map[string]func() any, len(l.aux))
+	for name, fn := range l.aux {
+		fns[name] = fn
+	}
 	l.mu.Unlock()
+	// Aux callbacks run outside the lock: they reach into other
+	// subsystems (the WAL writer takes its own locks) and must not be
+	// able to stall appends.
+	if len(fns) > 0 {
+		d.Aux = make(map[string]any, len(fns))
+		for name, fn := range fns {
+			d.Aux[name] = fn()
+		}
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(d)

@@ -257,6 +257,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			e.Int("adaptrm_queue_depth", int64(d), metrics.L("shard", strconv.Itoa(i)))
 		}
 	}
+	// Per-device event position, when exposed: the reference the WAL
+	// append position lags behind (equal when persistence is caught up).
+	if es, ok := s.svc.(interface{ DeviceEventSeqs() []uint64 }); ok {
+		e.Family("adaptrm_device_event_seq", "Last event sequence emitted per device.", "gauge")
+		for i, seq := range es.DeviceEventSeqs() {
+			e.Int("adaptrm_device_event_seq", int64(seq), metrics.L("device", strconv.Itoa(i)))
+		}
+	}
+	s.emitWALMetrics(e)
 	e.Family("adaptrm_queue_depth_max", "High-water mark of pending requests over all shard mailboxes.", "gauge")
 	e.Int("adaptrm_queue_depth_max", int64(agg.MaxQueueDepth))
 
@@ -297,6 +306,55 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		// The connection died mid-scrape; nothing sensible left to do.
 		return
 	}
+}
+
+// emitWALMetrics exports the durable writer's position and recovery
+// figures when a WAL is attached (ServerOptions.WAL): whether this
+// process recovered prior state, how much, the cumulative append and
+// fsync counters with the fsync latency distribution, and the
+// per-device positions — last appended sequence, newest snapshot
+// sequence, segment-file count. Compare adaptrm_wal_last_seq against
+// adaptrm_device_event_seq to see how far persistence trails the
+// fleet.
+func (s *Server) emitWALMetrics(e *metrics.Emitter) {
+	if s.wal == nil {
+		return
+	}
+	ws := s.wal.WALStatus()
+	recovered := int64(0)
+	if ws.Recovered {
+		recovered = 1
+	}
+	e.Family("adaptrm_wal_recovered", "1 when this process recovered state from the data dir.", "gauge")
+	e.Int("adaptrm_wal_recovered", recovered)
+	e.Family("adaptrm_wal_recovered_events", "Log-tail events replayed at startup.", "gauge")
+	e.Int("adaptrm_wal_recovered_events", int64(ws.RecoveredEvents))
+	e.Family("adaptrm_wal_recovered_snapshots", "Devices recovered from a snapshot at startup.", "gauge")
+	e.Int("adaptrm_wal_recovered_snapshots", int64(ws.RecoveredSnapshots))
+	e.Family("adaptrm_wal_truncated_bytes", "Torn-tail bytes physically removed at startup.", "gauge")
+	e.Int("adaptrm_wal_truncated_bytes", ws.TruncatedBytes)
+	e.Family("adaptrm_wal_appended_total", "Events appended to the log since start.", "counter")
+	e.Int("adaptrm_wal_appended_total", ws.Appended)
+	e.Family("adaptrm_wal_fsync_total", "Segment fsync calls since start.", "counter")
+	e.Int("adaptrm_wal_fsync_total", ws.Fsyncs)
+	e.Family("adaptrm_wal_snapshots_total", "Snapshots written since start.", "counter")
+	e.Int("adaptrm_wal_snapshots_total", ws.Snapshots)
+	e.Family("adaptrm_wal_rescues_total", "Lag rescues (watch overruns absorbed by a snapshot) since start.", "counter")
+	e.Int("adaptrm_wal_rescues_total", ws.Rescues)
+	e.Family("adaptrm_wal_last_seq", "Last event sequence appended to the log per device.", "gauge")
+	for _, d := range ws.Devices {
+		e.Int("adaptrm_wal_last_seq", int64(d.LastSeq), metrics.L("device", strconv.Itoa(d.Device)))
+	}
+	e.Family("adaptrm_wal_snapshot_seq", "Newest on-disk snapshot sequence per device.", "gauge")
+	for _, d := range ws.Devices {
+		e.Int("adaptrm_wal_snapshot_seq", int64(d.SnapshotSeq), metrics.L("device", strconv.Itoa(d.Device)))
+	}
+	e.Family("adaptrm_wal_segments", "Segment files on disk per device.", "gauge")
+	for _, d := range ws.Devices {
+		e.Int("adaptrm_wal_segments", int64(d.Segments), metrics.L("device", strconv.Itoa(d.Device)))
+	}
+	e.Family("adaptrm_wal_fsync_seconds", "Segment fsync latency.", "histogram")
+	e.Histogram("adaptrm_wal_fsync_seconds", ws.FsyncLatency)
 }
 
 // sortedTenants returns the tenant states ordered by name (ties by

@@ -70,6 +70,7 @@ import (
 	"time"
 
 	"adaptrm/internal/api"
+	"adaptrm/internal/durable"
 	"adaptrm/internal/flightlog"
 )
 
@@ -118,6 +119,10 @@ type ServerOptions struct {
 	// owns the ring and typically also tails the fleet's watch stream
 	// into it (flightlog.Tail).
 	FlightLog *flightlog.Log
+	// WAL, when non-nil, is the durable writer persisting the fleet
+	// (durable.Writer implements it); /metrics then exports the WAL
+	// position, segment counts, fsync latency and recovery figures.
+	WAL durable.StatusSource
 }
 
 // tenantState is a Tenant plus its quota state: the spent-request
@@ -270,10 +275,11 @@ type Server struct {
 	// start anchors the /healthz and /metrics uptime (measured with
 	// now, so virtual-clock tests stay deterministic).
 	start time.Time
-	// metrics is the per-route HTTP instrumentation; flight and
+	// metrics is the per-route HTTP instrumentation; flight, wal and
 	// pprofToken are the opt-in observability hooks (see metrics.go).
 	metrics    *serverMetrics
 	flight     *flightlog.Log
+	wal        durable.StatusSource
 	pprofToken string
 }
 
@@ -297,7 +303,7 @@ func (s *Server) StopStreams() {
 func NewServer(svc api.Service, opt ServerOptions) (*Server, error) {
 	s := &Server{
 		svc: svc, mux: http.NewServeMux(), now: opt.Now, heartbeat: opt.WatchHeartbeat,
-		streamStop: make(chan struct{}), flight: opt.FlightLog, pprofToken: opt.PprofToken,
+		streamStop: make(chan struct{}), flight: opt.FlightLog, wal: opt.WAL, pprofToken: opt.PprofToken,
 	}
 	if s.now == nil {
 		s.now = time.Now

@@ -24,6 +24,15 @@ const (
 	// EventScheduleChanged: the active schedule was replaced (admission,
 	// cancellation re-plan, or a reschedule-on-finish).
 	EventScheduleChanged EventType = "schedule_changed"
+	// EventClockAdvanced: an explicit AdvanceTo moved the device clock;
+	// At carries the new time. Interior advances (the one a Submit or
+	// SubmitBatch performs before deciding) emit no clock event — the
+	// admission/rejection event already records the arrival time — so
+	// the event log captures exactly the operation sequence applied to
+	// the manager: together with the admission events it is sufficient
+	// to re-drive a fresh manager into a byte-identical state, which is
+	// what crash recovery (internal/durable) does.
+	EventClockAdvanced EventType = "clock_advanced"
 )
 
 // Event is one manager lifecycle event. Seq is assigned by the manager:

@@ -69,12 +69,15 @@ func TestEventLifecycle(t *testing.T) {
 		types = append(types, ev.Type)
 	}
 	// λ1 admitted+schedule, then λ1 started while advancing to t=1 for
-	// λ2's submission, λ2 admitted+schedule, both run to completion.
+	// λ2's submission (an interior advance — no clock event), λ2
+	// admitted+schedule, then both run to completion across two explicit
+	// Drain advances, each closing with ClockAdvanced.
 	want := []EventType{
 		EventJobAdmitted, EventScheduleChanged,
 		EventJobStarted,
 		EventJobAdmitted, EventScheduleChanged,
-		EventJobStarted, EventJobCompleted, EventJobCompleted,
+		EventJobStarted, EventJobCompleted, EventClockAdvanced,
+		EventJobCompleted, EventClockAdvanced,
 	}
 	if len(types) != len(want) {
 		t.Fatalf("event types = %v, want %v", types, want)

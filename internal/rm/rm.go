@@ -184,7 +184,22 @@ func (m *Manager) NextCompletion() (float64, bool) {
 // clock backwards. When RescheduleOnFinish is set and the advance
 // retired at least one job, the remaining jobs are re-planned on the
 // freed resources before returning (see OnCompletion).
+//
+// An explicit advance that moves the clock emits EventClockAdvanced
+// after the progress events, so the event log records every clock
+// movement and stays replayable as an operation log. The interior
+// advance performed by Submit/SubmitBatch goes through advanceTo
+// directly and emits no clock event.
 func (m *Manager) AdvanceTo(t float64) ([]Completion, error) {
+	before := m.now
+	done, err := m.advanceTo(t)
+	if err == nil && m.now > before {
+		m.emit(Event{Type: EventClockAdvanced, At: m.now})
+	}
+	return done, err
+}
+
+func (m *Manager) advanceTo(t float64) ([]Completion, error) {
 	if t < m.now-schedule.Eps {
 		return nil, fmt.Errorf("%w: %v < %v", ErrTimeBackwards, t, m.now)
 	}
@@ -304,7 +319,7 @@ func (m *Manager) Submit(t float64, app string, deadline float64) (id int, accep
 	if deadline <= t {
 		return 0, false, nil, fmt.Errorf("%w: %v ≤ %v", ErrBadDeadline, deadline, t)
 	}
-	done, err = m.AdvanceTo(t)
+	done, err = m.advanceTo(t)
 	if err != nil {
 		return 0, false, done, err
 	}
@@ -407,7 +422,7 @@ func (m *Manager) SubmitBatch(t float64, reqs []Request) ([]Verdict, []Completio
 		// the clock; neither does the batch.
 		return verdicts, nil, nil
 	}
-	done, err := m.AdvanceTo(t)
+	done, err := m.advanceTo(t)
 	if err != nil {
 		return nil, done, err
 	}
