@@ -94,6 +94,16 @@ type (
 	ScheduleCacheParams = schedcache.Params
 	// ScheduleCacheStats counts schedule-cache activity.
 	ScheduleCacheStats = schedcache.Stats
+	// SharedScheduleCache is the fleet-wide read-mostly second cache
+	// tier behind every per-device ScheduleCache
+	// (FleetOptions.SharedCache): one device's solve — heuristic or
+	// exact — warms every device with the same platform, and warm
+	// files built offline (scripts/warm-cache.sh, rmserve -cache-warm)
+	// load into it.
+	SharedScheduleCache = schedcache.Shared
+	// SharedScheduleCacheStats counts shared-tier activity (entries,
+	// exact entries, hits, promotions).
+	SharedScheduleCacheStats = schedcache.SharedStats
 )
 
 // Service-protocol types, re-exported for downstream users. The
@@ -233,6 +243,7 @@ const (
 	EventJobCompleted    = api.EventJobCompleted
 	EventJobCancelled    = api.EventJobCancelled
 	EventScheduleChanged = api.EventScheduleChanged
+	EventScheduleSwapped = api.EventScheduleSwapped
 	EventClockAdvanced   = api.EventClockAdvanced
 	EventLagged          = api.EventLagged
 )
@@ -425,6 +436,15 @@ func Watch(ctx context.Context, svc Service, req WatchRequest) (<-chan Event, er
 // NewScheduleCache creates a goroutine-safe memoizing schedule cache.
 func NewScheduleCache(p ScheduleCacheParams) *ScheduleCache {
 	return schedcache.New(p)
+}
+
+// NewSharedScheduleCache creates the fleet-wide shared cache tier. Set
+// it as FleetOptions.SharedCache (which requires FleetOptions.Cache) to
+// let devices with identical platforms share solved schedules; combine
+// with FleetOptions.Refine to promote exact (EX-MEM) refinements into
+// the tier, and Save/Load to persist it as a canonical warm file.
+func NewSharedScheduleCache() *SharedScheduleCache {
+	return schedcache.NewShared()
 }
 
 // NewCachingScheduler wraps a scheduler with a memoizing schedule cache:

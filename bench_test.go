@@ -6,10 +6,15 @@
 package adaptrm
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"testing"
+	"time"
 
+	"adaptrm/internal/api"
 	"adaptrm/internal/core"
 	"adaptrm/internal/dse"
 	"adaptrm/internal/eval"
@@ -23,6 +28,7 @@ import (
 	"adaptrm/internal/platform"
 	"adaptrm/internal/rm"
 	"adaptrm/internal/sched"
+	"adaptrm/internal/schedcache"
 	"adaptrm/internal/workload"
 )
 
@@ -505,3 +511,88 @@ func benchFleetBursty(b *testing.B, window float64) {
 
 func BenchmarkFleetBurstyUnbatched(b *testing.B) { benchFleetBursty(b, 0) }
 func BenchmarkFleetBurstyBatched(b *testing.B)   { benchFleetBursty(b, 0.05) }
+
+// Anytime refinement on a warm fleet: the tentpole measurement of the
+// "exact quality at heuristic latency" subsystem. A warm-up pass runs
+// the full trace with background refinement and promotes every exact
+// result into a fleet-wide shared cache tier; the measured pass then
+// replays the same trace through the synchronous admission path against
+// that warm tier, with refinement still running for anything the tier
+// does not cover. Admissions are served at cache-lookup latency with
+// EX-MEM-quality schedules — compare the reported p99 and J against
+// BenchmarkFleetAnytimeColdMDF, the heuristic-only baseline. Reported
+// metrics: p50/p99 synchronous admission latency (µs), total executed
+// energy of the last iteration (J), shared-tier hits and refinement
+// swaps per iteration.
+func benchFleetAnytime(b *testing.B, warm, refine bool) {
+	fixtures(b)
+	const devices = 8
+	trace, err := workload.FleetTrace(fixLib, workload.FleetTraceParams{
+		Devices: devices, Rate: 0.05, RateSpread: 0.5, Horizon: 600, Seed: 17,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	newFleet := func(shared *schedcache.Shared, refine bool, workers int) *fleet.Fleet {
+		devs := make([]fleet.DeviceConfig, devices)
+		for d := range devs {
+			devs[d] = fleet.DeviceConfig{Platform: fixPlat, Library: fixLib, Scheduler: core.New()}
+		}
+		opt := fleet.Options{Shards: 4, Cache: true, SharedCache: shared}
+		if refine {
+			opt.Refine = true
+			opt.RefineWorkers = workers
+		}
+		f, err := fleet.New(devs, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return f
+	}
+	var shared *schedcache.Shared
+	if warm {
+		shared = schedcache.NewShared()
+		wf := newFleet(shared, true, 2)
+		if err := wf.Replay(trace); err != nil {
+			b.Fatal(err)
+		}
+		if err := wf.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	lat := make([]time.Duration, 0, len(trace)*b.N)
+	var last fleet.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := newFleet(shared, refine, 2)
+		svc := f.Service()
+		for _, r := range trace {
+			start := time.Now()
+			_, err := svc.Submit(context.Background(), api.SubmitRequest{
+				Device: r.Device, At: r.At, App: r.App, Deadline: r.Deadline,
+			})
+			lat = append(lat, time.Since(start))
+			if err != nil && !errors.Is(err, api.ErrInfeasible) {
+				b.Fatal(err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+		last = f.Stats()
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(a, c int) bool { return lat[a] < lat[c] })
+	b.ReportMetric(float64(lat[len(lat)/2].Nanoseconds())/1e3, "p50-µs")
+	b.ReportMetric(float64(lat[len(lat)*99/100].Nanoseconds())/1e3, "p99-µs")
+	b.ReportMetric(last.Energy, "J")
+	b.ReportMetric(float64(last.CacheSharedHits), "shared-hits")
+	b.ReportMetric(float64(last.Swaps), "swaps")
+}
+
+func BenchmarkFleetAnytimeWarm(b *testing.B) { benchFleetAnytime(b, true, true) }
+
+// The heuristic-only baseline: same trace, same synchronous admission
+// path, no shared tier and no refinement — pure MMKP-MDF latency and
+// energy, the row BenchmarkFleetAnytimeWarm is read against.
+func BenchmarkFleetAnytimeColdMDF(b *testing.B) { benchFleetAnytime(b, false, false) }

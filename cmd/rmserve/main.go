@@ -45,6 +45,8 @@
 //	rmserve [-devices M] [-shards K] [-sched mdf|lr|exmem|greedy|fixed|fixed-remap]
 //	        [-rate R] [-spread S] [-horizon T] [-seed N]
 //	        [-cache] [-cache-size N] [-cache-slack F] [-mailbox N]
+//	        [-cache-shared] [-cache-warm FILE] [-cache-warm-out FILE]
+//	        [-refine] [-refine-budget N] [-refine-workers K]
 //	        [-resched] [-data-dir DIR [-fsync MODE]] [-v]
 //	rmserve -listen :8080 [-token SECRET | -tenants FILE.json]
 //	        [-quota-rate R [-quota-burst B]]
@@ -97,6 +99,12 @@ func main() {
 	cache := flag.Bool("cache", true, "enable the per-device schedule cache")
 	cacheSize := flag.Int("cache-size", schedcache.DefaultCapacity, "schedule-cache capacity per device")
 	cacheSlack := flag.Float64("cache-slack", schedcache.DefaultSlackBucket, "relative slack bucket of the cache signature")
+	cacheShared := flag.Bool("cache-shared", false, "back the per-device caches with one fleet-wide shared tier (cross-device reuse)")
+	cacheWarm := flag.String("cache-warm", "", "load a warm shared-tier file (scripts/warm-cache.sh output) at start; implies -cache-shared")
+	cacheWarmOut := flag.String("cache-warm-out", "", "save the shared tier to this file at shutdown; implies -cache-shared")
+	refine := flag.Bool("refine", false, "enable anytime refinement: background exact searches swap strictly cheaper schedules into running devices")
+	refineBudget := flag.Int64("refine-budget", 0, "node budget per background refinement search (0 = default)")
+	refineWorkers := flag.Int("refine-workers", 1, "background refinement worker goroutines")
 	mailbox := flag.Int("mailbox", 64, "per-shard mailbox size")
 	batchWindow := flag.Float64("batch-window", 0, "coalesce queued same-device submits within this many seconds of virtual time into one batched activation (0 disables)")
 	burst := flag.Int("burst", 0, "burst size: requests per arrival event (replay mode; ≤1 = plain Poisson)")
@@ -130,13 +138,41 @@ func main() {
 		devs[i] = fleet.DeviceConfig{Platform: plat, Library: lib, Scheduler: s}
 	}
 	opt := fleet.Options{
-		Shards:       *shards,
-		MailboxSize:  *mailbox,
-		Manager:      rm.Options{RescheduleOnFinish: *resched},
-		Cache:        *cache,
-		CacheParams:  schedcache.Params{Capacity: *cacheSize, SlackBucket: *cacheSlack},
-		BatchWindow:  *batchWindow,
-		EventHistory: *eventHistory,
+		Shards:        *shards,
+		MailboxSize:   *mailbox,
+		Manager:       rm.Options{RescheduleOnFinish: *resched},
+		Cache:         *cache,
+		CacheParams:   schedcache.Params{Capacity: *cacheSize, SlackBucket: *cacheSlack},
+		BatchWindow:   *batchWindow,
+		EventHistory:  *eventHistory,
+		Refine:        *refine,
+		RefineBudget:  *refineBudget,
+		RefineWorkers: *refineWorkers,
+	}
+	if *cacheWarm != "" || *cacheWarmOut != "" {
+		*cacheShared = true
+	}
+	var shared *schedcache.Shared
+	if *cacheShared {
+		if !*cache {
+			fatal(errors.New("-cache-shared requires -cache"))
+		}
+		shared = schedcache.NewShared()
+		opt.SharedCache = shared
+		if *cacheWarm != "" {
+			wf, err := os.Open(*cacheWarm)
+			if err != nil {
+				fatal(err)
+			}
+			err = shared.Load(wf)
+			wf.Close()
+			if err != nil {
+				fatal(fmt.Errorf("loading %s: %w", *cacheWarm, err))
+			}
+			ss := shared.Stats()
+			fmt.Printf("cache warm: %d entries loaded from %s (%d exact)\n",
+				ss.Loaded, *cacheWarm, ss.ExactEntries)
+		}
 	}
 
 	// With -data-dir the fleet is rebuilt from whatever the directory
@@ -174,6 +210,7 @@ func main() {
 			quotaRate: *quotaRate, quotaBurst: *quotaBurst,
 			pprofToken: *pprofToken, flightlogSize: *flightlogSize,
 			cache: *cache, verbose: *verbose, devices: *devices,
+			shared: shared, warmOut: *cacheWarmOut,
 		})
 		return
 	}
@@ -197,7 +234,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rmserve: device errors:", err)
 	}
 	closeWAL(wal)
+	saveWarm(shared, *cacheWarmOut)
 	report(f, time.Since(start), *cache, *verbose, false, *devices)
+}
+
+// saveWarm persists the shared cache tier after the drain, so the next
+// process (or a benchmark run) starts warm instead of cold.
+func saveWarm(shared *schedcache.Shared, path string) {
+	if shared == nil || path == "" {
+		return
+	}
+	wf, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmserve: cache-warm-out:", err)
+		return
+	}
+	err = shared.Save(wf)
+	if cerr := wf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmserve: cache-warm-out:", err)
+		return
+	}
+	fmt.Printf("cache warm: %d entries saved to %s\n", shared.Len(), path)
 }
 
 // buildFleet constructs the fleet — fresh, or recovered from dataDir
@@ -251,6 +311,8 @@ type daemonConfig struct {
 	flightlogSize              int
 	cache, verbose             bool
 	devices                    int
+	shared                     *schedcache.Shared
+	warmOut                    string
 }
 
 // serveDaemon exposes the fleet over HTTP until SIGINT/SIGTERM, then
@@ -367,6 +429,7 @@ func serveDaemon(f *fleet.Fleet, wal *durable.Writer, cfg daemonConfig) {
 		fmt.Fprintln(os.Stderr, "rmserve: device errors:", err)
 	}
 	closeWAL(wal)
+	saveWarm(cfg.shared, cfg.warmOut)
 	report(f, time.Since(start), cfg.cache, cfg.verbose, true, cfg.devices)
 	if len(opt.Tenants) > 0 {
 		b, r := handler.QuotaRefusals()
@@ -395,6 +458,15 @@ func report(f *fleet.Fleet, wall time.Duration, cache, verbose, daemon bool, dev
 	if cache {
 		fmt.Printf("schedule cache:  %d hits / %d misses (%.1f%% hit rate, %d re-packs, %d stale, %d evictions)\n",
 			s.CacheHits, s.CacheMisses, 100*s.CacheHitRate(), s.CacheRepacks, s.CacheStale, s.CacheEvictions)
+	}
+	if st := f.SharedTier(); st != nil {
+		ss := st.Stats()
+		fmt.Printf("shared tier:     %d entries (%d exact), %d hits, %d promotions (%d merge-dropped)\n",
+			ss.Entries, ss.ExactEntries, s.CacheSharedHits, s.CachePromotions, ss.PromotionsDropped)
+	}
+	if s.RefineSearches > 0 || s.Swaps > 0 {
+		fmt.Printf("refinement:      %d searches, %d improved, %d swaps applied, %d skipped, %d dropped\n",
+			s.RefineSearches, s.RefineImproved, s.Swaps, s.RefineSkipped, s.RefineDropped)
 	}
 	if daemon {
 		fmt.Printf("service:         %v uptime, max queue depth %d\n",

@@ -95,6 +95,52 @@
 // cmd/rmeval takes -cpuprofile/-memprofile for pprof evidence when
 // touching these paths.
 //
+// # Cache tiers and anytime refinement
+//
+// The fleet closes the quality gap between the µs-latency MMKP-MDF
+// heuristic and the exact EX-MEM reference without giving up admission
+// latency, using two cooperating mechanisms:
+//
+//   - shared cache tier: FleetOptions.SharedCache installs one
+//     fleet-wide read-mostly store (NewSharedScheduleCache) behind
+//     every per-device cache. A per-device L1 miss falls through to
+//     the tier — keyed by platform hash plus the same canonical
+//     workload signature, re-validated against the concrete job set
+//     exactly like an L1 hit, and allocation-free on the probe
+//     (BenchmarkSharedTierLookup, gated at 0) — so one device's solve
+//     warms every device with the same platform. Promotions merge
+//     deterministically: lowest energy wins, an exact schedule beats a
+//     heuristic one at equal energy, and the canonical encoding breaks
+//     exact ties, so the tier's content is independent of device
+//     interleaving. Save/Load persist it as canonical JSON sorted by
+//     signature (byte-identical regeneration); rmserve -cache-warm
+//     loads such a warm file at start and -cache-warm-out saves one at
+//     shutdown (scripts/warm-cache.sh builds them offline).
+//   - anytime refinement: FleetOptions.Refine attaches a bounded
+//     background pool (internal/anytime) that re-solves every accepted
+//     admission's job set with budgeted EX-MEM
+//     (exmem.ScheduleBudgeted: the incumbent is the heuristic's
+//     energy, a node budget caps the search, and the branch-and-bound
+//     prunes on an admissible fractional-switching relaxation).
+//     Admission still returns the MDF schedule immediately; when the
+//     exact search finds a strictly better schedule it is first
+//     promoted into the shared tier and then swapped into the device
+//     through the ordinary event machinery — an EventScheduleSwapped
+//     event with the full schedule as payload, so watch streams, the
+//     flightlog and the durable WAL see it like any lifecycle event
+//     and recovery replays the swap verbatim (no re-search). Swaps are
+//     refused if the device's job set changed since the offer (stale),
+//     and with Refine off the fleet is byte-identical to previous
+//     behaviour — the equivalence suite pins device states, event
+//     logs and deterministic statistics.
+//
+// Together they give "exact quality at heuristic latency" on a warm
+// fleet: recurring workload shapes hit exact entries at cache-lookup
+// latency from the first request on (BenchmarkFleetAnytimeWarm in
+// benchmarks/README.md records the p99/energy evidence). Per-tier
+// counters — L1 hits, shared hits, re-packs, promotions, refinement
+// searches and swaps — surface in /v1/stats and /metrics.
+//
 // # Operating rmserve
 //
 // The daemon (rmserve -listen) ships its own observability surface,

@@ -142,6 +142,27 @@ type StatsResult struct {
 	CacheStale     int `json:"cache_stale,omitempty"`
 	CacheEvictions int `json:"cache_evictions,omitempty"`
 	CacheRepacks   int `json:"cache_repacks,omitempty"`
+	// CacheSharedHits counts lookups served from the fleet-wide shared
+	// cache tier after missing the device-local first level, and
+	// CachePromotions the entries device caches promoted into that tier
+	// (zero without a shared tier; fleet-wide results only).
+	CacheSharedHits int `json:"cache_shared_hits,omitempty"`
+	CachePromotions int `json:"cache_promotions,omitempty"`
+	// ScheduleSwaps counts accepted anytime-refinement schedule swaps:
+	// a background exact search beat the admitted schedule and the
+	// replacement passed the manager's validation. Deterministic only
+	// when refinement is driven deterministically (the test suites);
+	// with background refinement workers it depends on interleaving.
+	ScheduleSwaps int `json:"schedule_swaps,omitempty"`
+	// Refine* mirror the anytime refinement pool's counters (all
+	// operational, fleet-wide results only): exact searches run, the
+	// subset that beat their incumbent, tasks skipped because the
+	// shared tier already held an exact result, and offers dropped on
+	// a full refinement queue.
+	RefineSearches int `json:"refine_searches,omitempty"`
+	RefineImproved int `json:"refine_improved,omitempty"`
+	RefineSkipped  int `json:"refine_skipped,omitempty"`
+	RefineDropped  int `json:"refine_dropped,omitempty"`
 	// MaxQueueDepth is the mailbox high-water mark (operational, not
 	// deterministic).
 	MaxQueueDepth int `json:"max_queue_depth,omitempty"`
@@ -180,6 +201,10 @@ func (s StatsResult) Deterministic() StatsResult {
 	s.WatchDropped = 0
 	s.QuotaBudgetRefusals = 0
 	s.QuotaRateRefusals = 0
+	s.RefineSearches = 0
+	s.RefineImproved = 0
+	s.RefineSkipped = 0
+	s.RefineDropped = 0
 	return s
 }
 

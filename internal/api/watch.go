@@ -22,6 +22,10 @@ const (
 	EventJobCancelled EventType = "job_cancelled"
 	// EventScheduleChanged: the device's active schedule was replaced.
 	EventScheduleChanged EventType = "schedule_changed"
+	// EventScheduleSwapped: anytime refinement replaced the device's
+	// schedule with a strictly cheaper one; Payload carries the full new
+	// schedule so the event log stays a complete operation log.
+	EventScheduleSwapped EventType = "schedule_swapped"
 	// EventClockAdvanced: an explicit advance moved the device clock; At
 	// carries the new time. Together with the admission events this makes
 	// the stream a complete operation log — the durability layer replays
@@ -64,6 +68,11 @@ type Event struct {
 	Missed bool `json:"missed,omitempty"`
 	// Dropped counts the events a Lagged marker stands in for.
 	Dropped int `json:"dropped,omitempty"`
+	// Payload carries event-type-specific data (for ScheduleSwapped:
+	// the new schedule's segments as canonical JSON). A string rather
+	// than a structured field so Event stays comparable — the recovery
+	// verifier and the watch rings depend on that.
+	Payload string `json:"payload,omitempty"`
 }
 
 // WatchRequest subscribes to the event stream.

@@ -59,8 +59,9 @@ import (
 const (
 	frameHeader = 8
 	// maxFramePayload bounds a single record. Event payloads are tens of
-	// bytes; anything claiming a megabyte is garbage read from a torn
-	// header, not a record.
+	// bytes (a few KB for schedule-swap events, which carry the swapped
+	// schedule); anything claiming a megabyte is garbage read from a
+	// torn header, not a record.
 	maxFramePayload = 1 << 20
 )
 
@@ -116,6 +117,10 @@ func appendEventJSON(dst []byte, ev api.Event) []byte {
 	if ev.Dropped != 0 {
 		dst = append(dst, `,"dropped":`...)
 		dst = strconv.AppendInt(dst, int64(ev.Dropped), 10)
+	}
+	if ev.Payload != "" {
+		dst = append(dst, `,"payload":`...)
+		dst = appendJSONString(dst, ev.Payload)
 	}
 	return append(dst, '}')
 }

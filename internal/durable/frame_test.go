@@ -21,6 +21,8 @@ func testEvents() []api.Event {
 		{Device: 0, Seq: 6, Type: api.EventJobCancelled, JobID: 12},
 		{Device: 0, Seq: 7, Type: api.EventClockAdvanced, At: 99.25},
 		{Device: 9, Seq: 8, Type: api.EventLagged, Dropped: 1234},
+		{Device: 4, Seq: 9, Type: api.EventScheduleSwapped, At: 7.5,
+			Payload: `[{"start":7.5,"end":9.25,"placements":[{"job":3,"point":1}]}]`},
 	}
 }
 

@@ -48,6 +48,12 @@ import (
 // infeasible.
 var ErrBudget = errors.New("exmem: node budget exceeded")
 
+// ErrNoImprovement is returned by ScheduleBudgeted when the search
+// proves no schedule strictly cheaper than the incumbent exists (or the
+// problem is infeasible outright): the incumbent is already optimal
+// within EX-MEM's search class.
+var ErrNoImprovement = errors.New("exmem: no schedule beats the incumbent")
+
 // DefaultNodeLimit bounds the number of search nodes (state expansions
 // plus enumerated joint assignments) per scheduling call.
 const DefaultNodeLimit = 50_000_000
@@ -134,11 +140,8 @@ type state struct {
 
 var errBudgetPanic = errors.New("exmem: internal budget")
 
-// Schedule implements sched.Scheduler.
-func (s *Scheduler) Schedule(jobs job.Set, plat platform.Platform, t float64) (k *schedule.Schedule, err error) {
-	if err := jobs.Validate(t); err != nil {
-		return nil, err
-	}
+// newSolver builds a solver and canonical root state for (jobs, plat, t).
+func (s *Scheduler) newSolver(jobs job.Set, plat platform.Platform, t float64) (*solver, state) {
 	sol := &solver{
 		cap:   plat.Capacity(),
 		m:     plat.NumTypes(),
@@ -164,6 +167,15 @@ func (s *Scheduler) Schedule(jobs job.Set, plat platform.Platform, t float64) (k
 		root.rho = append(root.rho, sol.metas[i].j.Remaining)
 	}
 	sol.canonicalize(&root)
+	return sol, root
+}
+
+// Schedule implements sched.Scheduler.
+func (s *Scheduler) Schedule(jobs job.Set, plat platform.Platform, t float64) (k *schedule.Schedule, err error) {
+	if err := jobs.Validate(t); err != nil {
+		return nil, err
+	}
+	sol, root := s.newSolver(jobs, plat, t)
 
 	defer func() {
 		s.stats = Stats{Nodes: sol.nodes, MemoHits: sol.hits, MemoEntries: len(sol.memo)}
@@ -200,6 +212,49 @@ func (s *Scheduler) Schedule(jobs job.Set, plat platform.Platform, t float64) (k
 		if !exact || math.IsInf(val, 1) {
 			return nil, sched.ErrInfeasible
 		}
+	}
+	k, err = sol.reconstruct(root)
+	if err != nil {
+		return nil, err
+	}
+	k.Normalize()
+	return k, nil
+}
+
+// ScheduleBudgeted searches for a schedule strictly cheaper than the
+// incumbent energy, under the configured node budget. It is the anytime
+// refinement entry point: the incumbent (typically the MMKP-MDF
+// schedule already running) caps the search from the start, so the
+// solver only explores subtrees that could still beat it and proves
+// either a strictly better exact schedule or that none exists.
+//
+// Outcomes: a schedule with Energy < incumbent (exact within EX-MEM's
+// cut-at-completion class), ErrNoImprovement when the incumbent is
+// already optimal (or the problem infeasible), or ErrBudget when the
+// node budget ran out first — the caller keeps the incumbent either
+// way. Branch-and-bound is always enabled here regardless of
+// Options.PureExhaustive: the incumbent bound is the whole point.
+func (s *Scheduler) ScheduleBudgeted(jobs job.Set, plat platform.Platform, t, incumbent float64) (k *schedule.Schedule, err error) {
+	if err := jobs.Validate(t); err != nil {
+		return nil, err
+	}
+	sol, root := s.newSolver(jobs, plat, t)
+	sol.pure = false
+
+	defer func() {
+		s.stats = Stats{Nodes: sol.nodes, MemoHits: sol.hits, MemoEntries: len(sol.memo)}
+		if r := recover(); r != nil {
+			if r == errBudgetPanic { //nolint:errorlint // sentinel identity
+				k, err = nil, ErrBudget
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	val, exact := sol.solve(root, incumbent)
+	if !exact || math.IsInf(val, 1) || val >= incumbent-1e-12 {
+		return nil, ErrNoImprovement
 	}
 	k, err = sol.reconstruct(root)
 	if err != nil {
@@ -298,17 +353,50 @@ func (sol *solver) lowerBound(st *state) float64 {
 		if meta.fastest*st.rho[i] > slack+schedule.Eps {
 			return math.Inf(1)
 		}
-		best := math.Inf(1)
-		for _, p := range meta.j.Table.Points {
-			if p.Time*st.rho[i] <= slack+schedule.Eps {
-				if e := p.Energy * st.rho[i]; e < best {
-					best = e
-				}
-			}
-		}
-		lb += best
+		lb += relaxedEnergy(meta.j.Table.Points, st.rho[i], slack)
 	}
 	return lb
+}
+
+// relaxedEnergy is the fractional-switching relaxation of one job's
+// remaining energy: the cheapest convex mixture of operating points
+// that finishes rho work within slack, ignoring resource contention.
+// Mixtures matter for admissibility — a job whose cheap point is too
+// slow on its own can still run it for part of the work and switch to a
+// faster point, landing below every single feasible point's energy. The
+// pre-relaxation bound (cheapest single feasible point) could therefore
+// exceed the true optimum and prune optimal subtrees; with the search
+// seeded at exactly the incumbent energy (ScheduleBudgeted's normal
+// case) that pruned the root itself, masking real improvements.
+// The LP optimum lies on a vertex mixing at most two points, so trying
+// every feasible point and every slack-exhausting pair is exact.
+func relaxedEnergy(points []opset.Point, rho, slack float64) float64 {
+	best := math.Inf(1)
+	for i := range points {
+		p := &points[i]
+		if p.Time*rho <= slack+schedule.Eps {
+			if e := p.Energy * rho; e < best {
+				best = e
+			}
+			continue
+		}
+		// p alone misses the deadline; mix it with a faster point q,
+		// sizing p's share f so the pair exactly exhausts the slack.
+		for j := range points {
+			q := &points[j]
+			if q.Time >= p.Time {
+				continue
+			}
+			f := (slack/rho - q.Time) / (p.Time - q.Time)
+			if f <= 0 || f >= 1 {
+				continue
+			}
+			if e := rho * (f*p.Energy + (1-f)*q.Energy); e < best {
+				best = e
+			}
+		}
+	}
+	return best
 }
 
 // child is one enumerated joint assignment expanded into the successor

@@ -239,3 +239,78 @@ func TestDoesNotMutate(t *testing.T) {
 		}
 	}
 }
+
+// mdfGapCase builds a feasible case where MMKP-MDF (one operating point
+// per job for the job's whole lifetime) is strictly suboptimal: the
+// blocker owns both big cores until t=4, so the switcher's cheap point
+// alone misses its deadline and MDF must commit to the expensive
+// single-alloc point for the full job — while the adaptive class runs
+// the cheap point beside the blocker and switches to the fast point
+// once the big cores free up. This is the energy-side analogue of
+// TestAdaptationBeyondMDF (where MDF fails outright).
+func mdfGapCase() (job.Set, platform.Platform) {
+	plat := platform.Motivational2L2B()
+	blocker := &opset.Table{App: "blocker", Points: []opset.Point{
+		{Alloc: platform.Alloc{1, 2}, Time: 4, Energy: 5},
+	}}
+	blocker.SortByEnergy()
+	switcher := &opset.Table{App: "switcher", Points: []opset.Point{
+		{Alloc: platform.Alloc{1, 0}, Time: 20, Energy: 2},
+		{Alloc: platform.Alloc{1, 0}, Time: 8, Energy: 9},
+		{Alloc: platform.Alloc{2, 2}, Time: 5, Energy: 10},
+	}}
+	switcher.SortByEnergy()
+	jobs := job.Set{
+		{ID: 1, Table: blocker, Deadline: 4, Remaining: 1},
+		{ID: 2, Table: switcher, Deadline: 8.5, Remaining: 1},
+	}
+	return jobs, plat
+}
+
+// The anytime entry point must return a schedule strictly cheaper than
+// the MDF incumbent on the gap case, and prove optimality (the
+// ErrNoImprovement outcome) when re-seeded with its own result.
+func TestScheduleBudgetedImproves(t *testing.T) {
+	jobs, plat := mdfGapCase()
+	mk, err := core.New().Schedule(jobs, plat, 0)
+	if err != nil {
+		t.Fatalf("MDF infeasible on the gap case: %v", err)
+	}
+	incumbent := mk.Energy(jobs)
+	k, err := New().ScheduleBudgeted(jobs, plat, 0, incumbent)
+	if err != nil {
+		t.Fatalf("ScheduleBudgeted: %v (incumbent %v)", err, incumbent)
+	}
+	if err := k.Validate(plat, jobs, 0); err != nil {
+		t.Fatal(err)
+	}
+	refined := k.Energy(jobs)
+	if refined >= incumbent-1e-9 {
+		t.Errorf("refined energy %v does not beat incumbent %v", refined, incumbent)
+	}
+	if _, err := New().ScheduleBudgeted(jobs, plat, 0, refined); !errors.Is(err, ErrNoImprovement) {
+		t.Errorf("re-seeded search: %v, want ErrNoImprovement", err)
+	}
+}
+
+// An infeasible problem folds into ErrNoImprovement: the caller keeps
+// the incumbent, whatever it was.
+func TestScheduleBudgetedInfeasible(t *testing.T) {
+	jobs := job.Set{{ID: 1, Table: motiv.Lambda1(), Deadline: 1, Remaining: 1}}
+	if _, err := New().ScheduleBudgeted(jobs, motiv.Platform(), 0, math.Inf(1)); !errors.Is(err, ErrNoImprovement) {
+		t.Errorf("err = %v, want ErrNoImprovement", err)
+	}
+}
+
+// Exhausting the node budget returns ErrBudget, never a schedule.
+func TestScheduleBudgetedBudget(t *testing.T) {
+	jobs := job.Set{
+		{ID: 1, Table: motiv.Lambda1(), Deadline: 60, Remaining: 1},
+		{ID: 2, Table: motiv.Lambda1(), Deadline: 55, Remaining: 1},
+		{ID: 3, Table: motiv.Lambda2(), Deadline: 50, Remaining: 1},
+	}
+	s := NewWithOptions(Options{NodeLimit: 10})
+	if _, err := s.ScheduleBudgeted(jobs, motiv.Platform(), 0, math.Inf(1)); !errors.Is(err, ErrBudget) {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"adaptrm/internal/anytime"
 	"adaptrm/internal/api"
 	"adaptrm/internal/opset"
 	"adaptrm/internal/platform"
@@ -59,6 +60,30 @@ type Options struct {
 	Cache bool
 	// CacheParams tunes the per-device caches when Cache is set.
 	CacheParams schedcache.Params
+	// SharedCache, when non-nil, backs every per-device cache with one
+	// fleet-wide read-mostly second tier: a solve on any device becomes
+	// a lookup candidate on all of them (cross-device promotion), and a
+	// warm tier loaded from disk (schedcache.Shared.Load) serves its
+	// entries from the first request on. Requires Cache.
+	SharedCache *schedcache.Shared
+	// Refine enables the anytime refinement pool: every accepted
+	// admission is offered to a bounded background EX-MEM search seeded
+	// with the admitted schedule's energy as the incumbent; a strictly
+	// cheaper exact schedule is swapped in through the normal event
+	// machinery (rm.SwapSchedule). With Refine off, fleet behaviour is
+	// byte-identical to a build without the feature.
+	Refine bool
+	// RefineBudget caps each background search's node count; zero means
+	// anytime.DefaultBudget.
+	RefineBudget int64
+	// RefineWorkers is the background worker count when Refine is set.
+	// Zero means 1; negative starts none, leaving the pool to be
+	// stepped explicitly through Refiner (deterministic tests).
+	RefineWorkers int
+	// RefineQueue bounds the pending refinement tasks; zero means
+	// anytime.DefaultQueue. Offers beyond the bound are dropped — the
+	// device keeps its heuristic schedule.
+	RefineQueue int
 	// BatchWindow enables batched admission: a shard worker picking up
 	// a submit opportunistically drains further queued submits for the
 	// same device whose arrival times lie within BatchWindow seconds of
@@ -134,6 +159,22 @@ type Stats struct {
 	// CacheHits/CacheMisses/CacheStale/CacheEvictions/CacheRepacks sum
 	// the per-device schedule-cache counters (zero when caching is off).
 	CacheHits, CacheMisses, CacheStale, CacheEvictions, CacheRepacks int
+	// CacheSharedHits sums lookups served from the fleet-wide shared
+	// tier after missing the device-local L1, and CachePromotions the
+	// entries device caches offered to the shared tier that won its
+	// deterministic merge. Both zero without Options.SharedCache.
+	CacheSharedHits, CachePromotions int
+	// Swaps counts accepted anytime-refinement schedule swaps
+	// (rm.Stats.Swapped summed fleet-wide). Deterministic only when
+	// refinement is driven deterministically; with background workers
+	// the count depends on search/traffic interleaving.
+	Swaps int
+	// RefineSearches/RefineImproved/RefineSkipped/RefineDropped mirror
+	// the refinement pool's counters (operational; zero without
+	// Options.Refine): exact searches run, searches that beat their
+	// incumbent, tasks skipped because the shared tier already held an
+	// exact result, and offers dropped on a full queue.
+	RefineSearches, RefineImproved, RefineSkipped, RefineDropped int
 	// MaxQueueDepth is the high-water mark of pending requests over all
 	// shard mailboxes (operational, not deterministic).
 	MaxQueueDepth int
@@ -174,6 +215,7 @@ type device struct {
 	mu    sync.Mutex
 	mgr   *rm.Manager
 	cache *schedcache.Cache
+	plat  platform.Platform
 	errs  []error
 	// history retains the tail of the device's event stream for watch
 	// resumes; appended by the manager's event sink under mu.
@@ -188,6 +230,9 @@ const (
 	opAdvance
 	opCancel
 	opBatch
+	// opSwap offers a refined schedule to the device (fire-and-forget:
+	// the manager's validation decides, rejection is not an error).
+	opSwap
 )
 
 // opReply is the outcome of one mailbox operation.
@@ -209,6 +254,8 @@ type op struct {
 	jobID        int
 	// items holds the requests of an opBatch.
 	items []rm.Request
+	// swap holds the refined schedule of an opSwap.
+	swap *schedule.Schedule
 	// reply, when non-nil, receives the outcome (buffered size 1, so an
 	// abandoned caller never blocks the worker); when nil, errors are
 	// recorded on the device and surfaced by Close (async replay path).
@@ -302,7 +349,13 @@ type Fleet struct {
 	// per-subscriber ring capacity.
 	hub         *hub
 	watchBuffer int
-	wg          sync.WaitGroup
+	// sharedCache is Options.SharedCache (nil when the fleet runs on
+	// per-device caches only); refiner is the anytime refinement pool
+	// (nil without Options.Refine), refineWorkers its Start count.
+	sharedCache   *schedcache.Shared
+	refiner       *anytime.Refiner
+	refineWorkers int
+	wg            sync.WaitGroup
 	// mu guards closed: submitters hold it shared for the whole
 	// enqueue, Close holds it exclusively while marking the fleet
 	// closed, so no send can race the channel close.
@@ -330,20 +383,59 @@ func build(devs []DeviceConfig, opt Options) (*Fleet, error) {
 		return nil, errors.New("fleet: no devices")
 	}
 	opt.normalize()
-	f := &Fleet{batchWindow: opt.BatchWindow, hub: newHub(), watchBuffer: opt.WatchBuffer}
+	if opt.SharedCache != nil && !opt.Cache {
+		return nil, errors.New("fleet: SharedCache requires Cache")
+	}
+	f := &Fleet{batchWindow: opt.BatchWindow, hub: newHub(), watchBuffer: opt.WatchBuffer,
+		sharedCache: opt.SharedCache}
 	for i, dc := range devs {
 		s := dc.Scheduler
 		var cache *schedcache.Cache
 		if opt.Cache {
 			cache = schedcache.New(opt.CacheParams)
+			if opt.SharedCache != nil {
+				cache.AttachShared(opt.SharedCache)
+			}
 			s = schedcache.Wrap(s, cache)
 		}
 		mgr, err := rm.New(dc.Platform, dc.Library, s, opt.Manager)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: device %d: %w", i, err)
 		}
-		d := &device{id: i, mgr: mgr, cache: cache, history: newEventRing(opt.EventHistory)}
+		d := &device{id: i, mgr: mgr, cache: cache, plat: dc.Platform, history: newEventRing(opt.EventHistory)}
 		f.devices = append(f.devices, d)
+	}
+	if opt.Refine {
+		f.refineWorkers = opt.RefineWorkers
+		f.refiner = anytime.New(anytime.Config{
+			Budget: opt.RefineBudget,
+			Queue:  opt.RefineQueue,
+			// Skip searches whose exact result is already fleet-visible
+			// through the shared tier — another device (or the warm file)
+			// solved the same problem shape.
+			Probe: func(t anytime.Task) bool {
+				d := f.devices[t.Device]
+				if d.cache == nil {
+					return false
+				}
+				exact, ok := d.cache.ProbeShared(t.Jobs, t.Plat, t.Now)
+				return ok && exact
+			},
+			// Promote the refined schedule into the cache tiers keyed by
+			// the captured problem — worthwhile even when the swap offer
+			// below loses its race against newer traffic.
+			Store: func(t anytime.Task, k *schedule.Schedule) {
+				if d := f.devices[t.Device]; d.cache != nil {
+					d.cache.StoreExact(t.Jobs, t.Plat, t.Now, k)
+				}
+			},
+			// Offer the schedule to the device through its shard mailbox,
+			// preserving per-device FIFO order; the manager's validation
+			// decides, and a post refused by a closing fleet just drops.
+			Swap: func(t anytime.Task, k *schedule.Schedule) {
+				_ = f.post(context.Background(), t.Device, op{kind: opSwap, swap: k})
+			},
+		})
 	}
 	f.shards = make([]*shard, opt.Shards)
 	for i := range f.shards {
@@ -362,7 +454,19 @@ func (f *Fleet) start() {
 	for _, sh := range f.shards {
 		go f.worker(sh)
 	}
+	if f.refiner != nil && f.refineWorkers >= 0 {
+		f.refiner.Start(f.refineWorkers)
+	}
 }
+
+// Refiner exposes the anytime refinement pool (nil without
+// Options.Refine). Tests built with RefineWorkers < 0 drive it
+// deterministically through TryStep.
+func (f *Fleet) Refiner() *anytime.Refiner { return f.refiner }
+
+// SharedTier exposes the fleet-wide shared cache tier (nil without
+// Options.SharedCache) for warm-file persistence and stats export.
+func (f *Fleet) SharedTier() *schedcache.Shared { return f.sharedCache }
 
 // NumDevices returns the fleet size.
 func (f *Fleet) NumDevices() int { return len(f.devices) }
@@ -423,6 +527,9 @@ func (f *Fleet) execute(sh *shard, o op) {
 	switch o.kind {
 	case opSubmit:
 		r.jobID, r.accepted, r.done, r.err = d.mgr.Submit(o.at, o.app, o.deadline)
+		if r.accepted {
+			f.offerRefine(d)
+		}
 	case opAdvance:
 		r.done, r.err = d.mgr.AdvanceTo(o.at)
 	case opCancel:
@@ -433,10 +540,39 @@ func (f *Fleet) execute(sh *shard, o op) {
 			sh.batches.Add(1)
 			sh.batched.Add(int64(len(o.items)))
 		}
+		if anyAccepted(r.verdicts) {
+			f.offerRefine(d)
+		}
+	case opSwap:
+		r.accepted = d.mgr.SwapSchedule(o.swap)
 	}
 	deliver(o, r)
 	d.mu.Unlock()
 	sh.depth.Add(-1)
+}
+
+// anyAccepted reports whether a batch admitted at least one request.
+func anyAccepted(vs []rm.Verdict) bool {
+	for _, v := range vs {
+		if v.Accepted {
+			return true
+		}
+	}
+	return false
+}
+
+// offerRefine captures the device's post-admission problem and offers
+// it to the refinement pool. Called under d.mu by the owning shard
+// worker; the enqueue never blocks (a full queue drops the offer).
+func (f *Fleet) offerRefine(d *device) {
+	if f.refiner == nil {
+		return
+	}
+	jobs, now, incumbent, ok := d.mgr.RefineSnapshot()
+	if !ok {
+		return
+	}
+	f.refiner.Enqueue(anytime.Task{Device: d.id, Jobs: jobs, Plat: d.plat, Now: now, Incumbent: incumbent})
 }
 
 // coalescible reports whether a queued op may join a batch seeded at
@@ -514,6 +650,9 @@ func (f *Fleet) executeBatch(sh *shard, batch []op) {
 	sh.items = items[:0]
 	d.mu.Lock()
 	verdicts, done, err := d.mgr.SubmitBatch(at, items)
+	if err == nil && anyAccepted(verdicts) {
+		f.offerRefine(d)
+	}
 	for i, b := range batch {
 		var r opReply
 		if err != nil {
@@ -623,6 +762,16 @@ func (f *Fleet) Close() error {
 		close(sh.mailbox)
 	}
 	f.wg.Wait()
+	if f.refiner != nil {
+		// Stop the refinement pool only after the shard workers have
+		// drained: admissions executed during the drain still enqueue
+		// refinement offers, and Close lets the pool finish them so their
+		// exact results are promoted into the cache tiers (feeding warm
+		// files). Swap offers found now are refused by the closed flag
+		// inside post — no send can race a closed mailbox because post
+		// checks f.closed under the lock before touching a channel.
+		f.refiner.Close()
+	}
 	var errs []error
 	for _, d := range f.devices {
 		d.mu.Lock()
@@ -666,6 +815,16 @@ func (f *Fleet) Stats() Stats {
 		out.CacheStale += cs.Stale
 		out.CacheEvictions += cs.Evictions
 		out.CacheRepacks += cs.Repacks
+		out.CacheSharedHits += cs.SharedHits
+		out.CachePromotions += cs.Promotions
+		out.Swaps += ms.Swapped
+	}
+	if f.refiner != nil {
+		rs := f.refiner.Stats()
+		out.RefineSearches = int(rs.Searches)
+		out.RefineImproved = int(rs.Improved)
+		out.RefineSkipped = int(rs.Skipped)
+		out.RefineDropped = int(rs.Dropped)
 	}
 	for _, sh := range f.shards {
 		if m := int(sh.maxDepth.Load()); m > out.MaxQueueDepth {

@@ -14,6 +14,12 @@ package fleet
 //	SubmitBatch (joint) derived* admitted×k schedule_changed   (k ≥ 2)
 //	Cancel              cancelled schedule_changed
 //	AdvanceTo           derived* clock_advanced
+//	SwapSchedule        schedule_swapped
+//
+// A schedule_swapped anchor is special: the swapped-in schedule came
+// from an unbounded background search, so instead of re-running it,
+// replay re-applies the schedule carried in the event's payload
+// verbatim (rm.ReplaySwap) — deterministic by construction.
 //
 // where derived* is any run of started / completed / schedule_changed
 // events produced while the clock moves (including reschedule-on-finish
@@ -161,6 +167,8 @@ func (f *Fleet) replayDevice(d *device, dr DeviceRecovery) (DeviceRecoveryResult
 			err = d.mgr.Cancel(o.jobID)
 		case opAdvance:
 			_, err = d.mgr.AdvanceTo(o.at)
+		case opSwap:
+			err = d.mgr.ReplaySwap(o.at, o.payload)
 		}
 		if err != nil {
 			return res, fmt.Errorf("replaying seq %d: %w", res.AppliedSeq+uint64(cursor)+1, err)
@@ -187,6 +195,7 @@ type replayOp struct {
 	app          string
 	jobID        int
 	items        []rm.Request
+	payload      string // schedule_swapped: the logged schedule JSON
 }
 
 // derivedEvent reports the event kinds that never start a unit on their
@@ -218,6 +227,12 @@ func parseReplayOps(evs []api.Event) (ops []replayOp, cut int, err error) {
 			i = j + 1
 		case api.EventClockAdvanced:
 			ops = append(ops, replayOp{kind: opAdvance, at: a.At})
+			i = j + 1
+		case api.EventScheduleSwapped:
+			if a.Payload == "" {
+				return nil, 0, fmt.Errorf("schedule swap at seq %d carries no payload", a.Seq)
+			}
+			ops = append(ops, replayOp{kind: opSwap, at: a.At, payload: a.Payload})
 			i = j + 1
 		case api.EventJobCancelled:
 			if j+1 == len(evs) {

@@ -186,6 +186,7 @@ func (s *Service) Stats(ctx context.Context, req api.StatsRequest) (api.StatsRes
 			Energy:         ds.Energy,
 			Activations:    ds.Activations,
 			SchedulingTime: ds.SchedulingTime,
+			ScheduleSwaps:  ds.Swapped,
 		}, nil
 	}
 	fs := s.f.Stats()
@@ -206,6 +207,13 @@ func (s *Service) Stats(ctx context.Context, req api.StatsRequest) (api.StatsRes
 		CacheStale:        fs.CacheStale,
 		CacheEvictions:    fs.CacheEvictions,
 		CacheRepacks:      fs.CacheRepacks,
+		CacheSharedHits:   fs.CacheSharedHits,
+		CachePromotions:   fs.CachePromotions,
+		ScheduleSwaps:     fs.Swaps,
+		RefineSearches:    fs.RefineSearches,
+		RefineImproved:    fs.RefineImproved,
+		RefineSkipped:     fs.RefineSkipped,
+		RefineDropped:     fs.RefineDropped,
 		MaxQueueDepth:     fs.MaxQueueDepth,
 		CoalescedBatches:  fs.CoalescedBatches,
 		CoalescedRequests: fs.CoalescedRequests,

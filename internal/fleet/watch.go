@@ -262,6 +262,7 @@ func toAPIEvent(dev int, ev rm.Event) api.Event {
 		App:      ev.App,
 		Deadline: ev.Deadline,
 		Missed:   ev.Missed,
+		Payload:  ev.Payload,
 	}
 }
 

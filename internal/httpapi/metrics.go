@@ -242,6 +242,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("adaptrm_cache_stale_total", "Schedule-cache entries invalidated on reuse.", int64(agg.CacheStale), nil)
 	counter("adaptrm_cache_evictions_total", "Schedule-cache LRU evictions.", int64(agg.CacheEvictions), nil)
 	counter("adaptrm_cache_repacks_total", "Schedule-cache re-pack reuses.", int64(agg.CacheRepacks), nil)
+	counter("adaptrm_cache_shared_hits_total", "Lookups served from the fleet-wide shared cache tier.",
+		int64(agg.CacheSharedHits), nil)
+	counter("adaptrm_cache_promotions_total", "Entries promoted into the shared cache tier.",
+		int64(agg.CachePromotions), nil)
+	counter("adaptrm_schedule_swaps_total", "Accepted anytime-refinement schedule swaps.",
+		int64(agg.ScheduleSwaps), func(s api.StatsResult) int64 { return int64(s.ScheduleSwaps) })
+	counter("adaptrm_refine_searches_total", "Background exact refinement searches run.",
+		int64(agg.RefineSearches), nil)
+	counter("adaptrm_refine_improved_total", "Refinement searches that beat their incumbent.",
+		int64(agg.RefineImproved), nil)
+	counter("adaptrm_refine_skipped_total", "Refinement tasks skipped (exact result already shared).",
+		int64(agg.RefineSkipped), nil)
+	counter("adaptrm_refine_dropped_total", "Refinement offers dropped on a full queue.",
+		int64(agg.RefineDropped), nil)
 	counter("adaptrm_coalesced_batches_total", "Multi-request batched activations.", int64(agg.CoalescedBatches), nil)
 	counter("adaptrm_coalesced_requests_total", "Submits decided inside a coalesced batch.", int64(agg.CoalescedRequests), nil)
 

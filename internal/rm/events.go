@@ -24,6 +24,14 @@ const (
 	// EventScheduleChanged: the active schedule was replaced (admission,
 	// cancellation re-plan, or a reschedule-on-finish).
 	EventScheduleChanged EventType = "schedule_changed"
+	// EventScheduleSwapped: anytime refinement replaced the active
+	// schedule with a strictly cheaper one (SwapSchedule). Unlike
+	// EventScheduleChanged — whose schedule is re-derived during replay
+	// by re-running the deterministic admission solve — a swap's
+	// schedule comes from an unbounded background search, so the event
+	// carries the full new schedule in Payload and replay re-applies it
+	// verbatim.
+	EventScheduleSwapped EventType = "schedule_swapped"
 	// EventClockAdvanced: an explicit AdvanceTo moved the device clock;
 	// At carries the new time. Interior advances (the one a Submit or
 	// SubmitBatch performs before deciding) emit no clock event — the
@@ -55,6 +63,12 @@ type Event struct {
 	Deadline float64
 	// Missed flags a deadline violation on a completion.
 	Missed bool
+	// Payload carries event-type-specific data: for
+	// EventScheduleSwapped, the swapped-in schedule's segments as
+	// canonical JSON (the SnapshotSegment wire form). It is a string —
+	// not a structured field — so Event stays comparable, which the
+	// recovery verifier and the watch ring rely on.
+	Payload string
 }
 
 // SetEventSink installs fn as the manager's event observer; nil removes

@@ -71,6 +71,9 @@ type Stats struct {
 	// cumulative wall time.
 	Activations    int
 	SchedulingTime time.Duration
+	// Swapped counts accepted anytime-refinement schedule swaps
+	// (SwapSchedule offers that validated and were strictly cheaper).
+	Swapped int
 }
 
 // Options tunes the manager.

@@ -43,6 +43,10 @@ type Snapshot struct {
 	Energy           float64 `json:"energy"`
 	Activations      int     `json:"activations"`
 	SchedulingTimeNs int64   `json:"scheduling_time_ns"`
+	// Swapped counts accepted refinement swaps. omitempty keeps
+	// snapshots of swap-free managers byte-identical to pre-refinement
+	// builds (and their files loadable by them).
+	Swapped int `json:"swapped,omitempty"`
 
 	// Active are the unfinished admitted jobs in admission order.
 	Active []SnapshotJob `json:"active,omitempty"`
@@ -100,6 +104,7 @@ func (m *Manager) Snapshot() *Snapshot {
 		Energy:           m.stats.Energy,
 		Activations:      m.stats.Activations,
 		SchedulingTimeNs: int64(m.stats.SchedulingTime),
+		Swapped:          m.stats.Swapped,
 	}
 	for _, j := range m.active {
 		s.Active = append(s.Active, SnapshotJob{
@@ -173,6 +178,7 @@ func (m *Manager) Restore(s *Snapshot) error {
 		Energy:         s.Energy,
 		Activations:    s.Activations,
 		SchedulingTime: time.Duration(s.SchedulingTimeNs),
+		Swapped:        s.Swapped,
 	}
 	if len(s.Started) > 0 && m.started == nil {
 		m.started = make(map[int]bool, len(s.Started))

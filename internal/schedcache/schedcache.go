@@ -27,9 +27,7 @@ package schedcache
 import (
 	"container/list"
 	"fmt"
-	"hash/fnv"
 	"math"
-	"sort"
 	"strconv"
 	"sync"
 
@@ -81,23 +79,37 @@ func (p *Params) normalize() {
 	}
 }
 
-// Stats counts cache activity. Hits are lookups whose cached result
-// validated against the concrete job set; Repacks counts the subset of
-// hits served by re-packing the cached assignment rather than replaying
+// Stats counts cache activity. Hits are lookups whose L1-cached result
+// validated against the concrete job set; SharedHits are lookups that
+// missed (or failed validation in) the L1 but validated from the
+// attached shared tier. Repacks counts the subset of hits — either tier
+// — served by re-packing the cached assignment rather than replaying
 // the schedule verbatim. Stale counts lookups that found a signature
-// match which failed both reuse paths (counted as misses too, since they
-// trigger a solve).
+// match which failed every reuse path (counted as misses too, since
+// they trigger a solve). Promotions counts entries this cache offered
+// to the shared tier that won the deterministic merge.
 type Stats struct {
 	Hits, Misses, Stale, Evictions, Repacks int
+	SharedHits, Promotions                  int
 }
 
-// HitRate returns Hits / (Hits + Misses), or 0 when idle.
+// HitRate returns served lookups over all lookups, or 0 when idle.
+// Shared-tier hits count as served: the solve was skipped either way.
 func (s Stats) HitRate() float64 {
-	if s.Hits+s.Misses == 0 {
+	served := s.Hits + s.SharedHits
+	if served+s.Misses == 0 {
 		return 0
 	}
-	return float64(s.Hits) / float64(s.Hits+s.Misses)
+	return float64(served) / float64(served+s.Misses)
 }
+
+// FNV-64a parameters, hand-rolled so PlatformHash streams field bytes
+// through plain arithmetic instead of hash/fnv's allocating Write path;
+// the digest is byte-identical to the previous hash/fnv implementation.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
 
 // PlatformHash fingerprints a platform over its full type list (name,
 // count, frequency, IPC, power, DVFS levels). Equal hashes mean
@@ -105,23 +117,38 @@ func (s Stats) HitRate() float64 {
 // 64-bit FNV digest, not an equality proof — which is safe here solely
 // because every cached result is re-validated against the concrete
 // platform before reuse. Do not build validation-free sharing on it.
+// The function performs no heap allocations, keeping the shared-tier
+// probe path at 0 allocs/op.
 func PlatformHash(p platform.Platform) uint64 {
-	h := fnv.New64a()
-	write := func(s string) { h.Write([]byte(s)); h.Write([]byte{0}) }
+	h := uint64(fnvOffset64)
+	var tmp [32]byte
+	write := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * fnvPrime64
+		}
+		h = (h ^ 0) * fnvPrime64 // NUL field separator
+	}
+	writeBytes := func(b []byte) {
+		for _, c := range b {
+			h = (h ^ uint64(c)) * fnvPrime64
+		}
+		h = (h ^ 0) * fnvPrime64
+	}
+	writeFloat := func(f float64) { writeBytes(strconv.AppendFloat(tmp[:0], f, 'g', -1, 64)) }
 	write(p.Name)
 	for _, t := range p.Types {
 		write(t.Name)
-		write(strconv.Itoa(t.Count))
-		write(strconv.FormatFloat(t.FreqHz, 'g', -1, 64))
-		write(strconv.FormatFloat(t.IPC, 'g', -1, 64))
-		write(strconv.FormatFloat(t.StaticWatts, 'g', -1, 64))
-		write(strconv.FormatFloat(t.DynamicWatts, 'g', -1, 64))
+		writeBytes(strconv.AppendInt(tmp[:0], int64(t.Count), 10))
+		writeFloat(t.FreqHz)
+		writeFloat(t.IPC)
+		writeFloat(t.StaticWatts)
+		writeFloat(t.DynamicWatts)
 		for _, l := range t.Levels {
-			write(strconv.FormatFloat(l.FreqHz, 'g', -1, 64))
-			write(strconv.FormatFloat(l.VoltScale, 'g', -1, 64))
+			writeFloat(l.FreqHz)
+			writeFloat(l.VoltScale)
 		}
 	}
-	return h.Sum64()
+	return h
 }
 
 // sigEntry is one job's contribution to a signature.
@@ -141,22 +168,29 @@ type Signature string
 // shapes at different instants share a signature.
 func NewSignature(jobs job.Set, plat platform.Platform, t float64, p Params) Signature {
 	p.normalize()
-	entries, _ := canonical(jobs, t, p)
-	return signature(plat, entries)
+	entries, order := canonical(jobs, t, p)
+	return signature(plat, entries, order)
 }
 
-func signature(plat platform.Platform, entries []sigEntry) Signature {
-	var b []byte
-	b = strconv.AppendUint(b, PlatformHash(plat), 16)
-	for _, e := range entries {
-		b = append(b, '|')
-		b = append(b, e.table...)
-		b = append(b, ';')
-		b = strconv.AppendInt(b, int64(e.progress), 10)
-		b = append(b, ';')
-		b = strconv.AppendInt(b, int64(e.slack), 10)
+func signature(plat platform.Platform, entries []sigEntry, order []int) Signature {
+	return Signature(appendSignature(nil, plat, entries, order))
+}
+
+// appendSignature emits the signature bytes into dst: the platform
+// fingerprint followed by the job entries in canonical order. entries
+// is indexed through order, so callers never materialise a sorted copy.
+func appendSignature(dst []byte, plat platform.Platform, entries []sigEntry, order []int) []byte {
+	dst = strconv.AppendUint(dst, PlatformHash(plat), 16)
+	for _, idx := range order {
+		e := &entries[idx]
+		dst = append(dst, '|')
+		dst = append(dst, e.table...)
+		dst = append(dst, ';')
+		dst = strconv.AppendInt(dst, int64(e.progress), 10)
+		dst = append(dst, ';')
+		dst = strconv.AppendInt(dst, int64(e.slack), 10)
 	}
-	return Signature(b)
+	return dst
 }
 
 // slackBucket maps a slack to its logarithmic bucket index: slacks
@@ -171,45 +205,85 @@ func slackBucket(slack, width float64) int {
 
 // canonical buckets every job and sorts by (table, progress bucket,
 // slack bucket), breaking exact ties by (remaining, deadline, ID). It
-// returns the sorted entries (the signature basis) together with the
-// job indices in that order (the placement-remapping basis), so the
-// bucket and ordering logic exists exactly once.
+// returns the bucketed entries (in job order — index them through the
+// permutation) together with the job indices in canonical order (the
+// placement-remapping basis), so the bucket and ordering logic exists
+// exactly once.
 func canonical(jobs job.Set, t float64, p Params) ([]sigEntry, []int) {
-	entries := make([]sigEntry, len(jobs))
+	entries := fillEntries(make([]sigEntry, 0, len(jobs)), jobs, t, p)
 	order := make([]int, len(jobs))
-	for i, j := range jobs {
-		entries[i] = sigEntry{
+	sortOrder(entries, jobs, order)
+	return entries, order
+}
+
+// fillEntries appends one bucketed sigEntry per job to dst.
+func fillEntries(dst []sigEntry, jobs job.Set, t float64, p Params) []sigEntry {
+	for _, j := range jobs {
+		dst = append(dst, sigEntry{
 			table:    j.Table.Name(),
 			progress: int(math.Round(j.Remaining / p.ProgressBucket)),
 			slack:    slackBucket(j.Slack(t), p.SlackBucket),
-		}
+		})
+	}
+	return dst
+}
+
+// sortOrder fills order with 0..n-1 and insertion-sorts it into
+// canonical order. Insertion sort keeps the scratch path allocation-free
+// (sort.Slice allocates its swapper) and job sets are small enough that
+// the quadratic worst case never dominates a solve.
+func sortOrder(entries []sigEntry, jobs job.Set, order []int) {
+	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(i, k int) bool {
-		a, b := entries[order[i]], entries[order[k]]
-		if a.table != b.table {
-			return a.table < b.table
+	for i := 1; i < len(order); i++ {
+		for k := i; k > 0 && canonLess(entries, jobs, order[k], order[k-1]); k-- {
+			order[k], order[k-1] = order[k-1], order[k]
 		}
-		if a.progress != b.progress {
-			return a.progress < b.progress
-		}
-		if a.slack != b.slack {
-			return a.slack < b.slack
-		}
-		ja, jb := jobs[order[i]], jobs[order[k]]
-		if ja.Remaining != jb.Remaining {
-			return ja.Remaining < jb.Remaining
-		}
-		if ja.Deadline != jb.Deadline {
-			return ja.Deadline < jb.Deadline
-		}
-		return ja.ID < jb.ID
-	})
-	sorted := make([]sigEntry, len(jobs))
-	for i, idx := range order {
-		sorted[i] = entries[idx]
 	}
-	return sorted, order
+}
+
+// canonLess reports whether job a precedes job b in canonical order.
+func canonLess(entries []sigEntry, jobs job.Set, a, b int) bool {
+	ea, eb := &entries[a], &entries[b]
+	if ea.table != eb.table {
+		return ea.table < eb.table
+	}
+	if ea.progress != eb.progress {
+		return ea.progress < eb.progress
+	}
+	if ea.slack != eb.slack {
+		return ea.slack < eb.slack
+	}
+	ja, jb := jobs[a], jobs[b]
+	if ja.Remaining != jb.Remaining {
+		return ja.Remaining < jb.Remaining
+	}
+	if ja.Deadline != jb.Deadline {
+		return ja.Deadline < jb.Deadline
+	}
+	return ja.ID < jb.ID
+}
+
+// sigScratch holds the reusable buffers of an allocation-free signature
+// build: bucketed entries, the canonical permutation and the signature
+// bytes. The returned byte slice aliases buf and is valid until the
+// next build.
+type sigScratch struct {
+	entries []sigEntry
+	order   []int
+	buf     []byte
+}
+
+func (sc *sigScratch) signature(jobs job.Set, plat platform.Platform, t float64, p Params) []byte {
+	sc.entries = fillEntries(sc.entries[:0], jobs, t, p)
+	if cap(sc.order) < len(jobs) {
+		sc.order = make([]int, len(jobs))
+	}
+	sc.order = sc.order[:len(jobs)]
+	sortOrder(sc.entries, jobs, sc.order)
+	sc.buf = appendSignature(sc.buf[:0], plat, sc.entries, sc.order)
+	return sc.buf
 }
 
 // entry is one cached result in canonical form: segment times are
@@ -226,13 +300,15 @@ type entry struct {
 	njobs      int
 }
 
-// Cache is a goroutine-safe LRU of canonicalised schedules.
+// Cache is a goroutine-safe LRU of canonicalised schedules, optionally
+// backed by a fleet-wide Shared second tier.
 type Cache struct {
 	mu     sync.Mutex
 	params Params
 	lru    *list.List // front = most recent; values are *entry
 	index  map[Signature]*list.Element
 	stats  Stats
+	shared *Shared // nil when the cache runs standalone
 
 	// packMu guards the shared re-pack scratch. Lookups acquire it with
 	// TryLock so the common single-caller path re-packs allocation-free
@@ -240,6 +316,12 @@ type Cache struct {
 	packMu sync.Mutex
 	packer sched.Packer
 	dense  sched.DenseAssignment
+
+	// sigMu guards the signature scratch under the same TryLock
+	// discipline; the shared-tier probe path builds its signature here
+	// with zero heap allocations (pinned by BenchmarkSharedTierLookup).
+	sigMu   sync.Mutex
+	scratch sigScratch
 }
 
 // New creates a cache with the given parameters.
@@ -269,47 +351,115 @@ func (c *Cache) Stats() Stats {
 	return c.stats
 }
 
+// AttachShared backs the cache with a fleet-wide second tier. Attach
+// before traffic starts; lookups snapshot the pointer under the cache
+// lock, so attaching mid-flight is safe but leaves concurrent lookups
+// on whichever tier they observed.
+func (c *Cache) AttachShared(s *Shared) {
+	c.mu.Lock()
+	c.shared = s
+	c.mu.Unlock()
+}
+
+// SharedTier returns the attached shared tier, or nil.
+func (c *Cache) SharedTier() *Shared {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shared
+}
+
+// ProbeShared reports whether the shared tier holds an entry for the
+// signature of (jobs, plat, t) — and whether that entry came from an
+// exact solver — without reconstructing a schedule or touching the hit
+// counters. The anytime refiner uses it to skip solves whose result is
+// already fleet-visible; the probe performs zero heap allocations
+// (signature built in cache scratch, pinned by
+// BenchmarkSharedTierLookup).
+func (c *Cache) ProbeShared(jobs job.Set, plat platform.Platform, t float64) (exact, ok bool) {
+	c.mu.Lock()
+	shared := c.shared
+	c.mu.Unlock()
+	if shared == nil {
+		return false, false
+	}
+	if c.sigMu.TryLock() {
+		sig := c.scratch.signature(jobs, plat, t, c.params)
+		exact, ok = shared.probeBytes(sig)
+		c.sigMu.Unlock()
+		return exact, ok
+	}
+	entries, order := canonical(jobs, t, c.params)
+	return shared.probeBytes(appendSignature(nil, plat, entries, order))
+}
+
 // Lookup returns a schedule for (jobs, plat, t) reconstructed from a
 // cached canonical entry, or ok=false on a miss. Verbatim replay is
 // tried first (exact progress match); when it fails, the cached
 // operating-point assignment is re-packed against the concrete job set.
-// A signature match failing both paths is reported as a miss (and
-// counted in Stats.Stale); the stale entry stays cached, since other job
-// sets in the same bucket may still validate.
+// When the L1 entry fails every reuse path the attached shared tier is
+// consulted the same way — a shared hit is re-installed into the L1 so
+// later lookups stay local. A signature match failing every path is
+// reported as a miss (and counted in Stats.Stale); the stale entry
+// stays cached, since other job sets in the same bucket may validate.
 func (c *Cache) Lookup(jobs job.Set, plat platform.Platform, t float64) (*schedule.Schedule, bool) {
 	entries, order := canonical(jobs, t, c.params)
-	return c.lookup(signature(plat, entries), order, jobs, plat, t)
+	return c.lookup(signature(plat, entries, order), order, jobs, plat, t)
 }
 
 // lookup is Lookup with the signature and canonical order precomputed,
-// so the wrapper's miss path reuses them for the store.
+// so the wrapper's miss path reuses them for the store: a full miss
+// costs exactly one signature build across both tiers and the store.
 func (c *Cache) lookup(sig Signature, order []int, jobs job.Set, plat platform.Platform, t float64) (*schedule.Schedule, bool) {
 	c.mu.Lock()
-	el, ok := c.index[sig]
+	el, found := c.index[sig]
 	var e *entry
-	if ok {
+	if found {
 		c.lru.MoveToFront(el)
 		e = el.Value.(*entry)
 	}
+	shared := c.shared
 	c.mu.Unlock()
-	if !ok {
-		c.miss()
-		return nil, false
+	if found {
+		if k, repacked, ok := c.tryReuse(e, jobs, order, plat, t); ok {
+			c.hit(repacked)
+			return k, true
+		}
 	}
+	if shared != nil {
+		if se, ok := shared.get(sig); ok {
+			le := &entry{sig: sig, segments: se.segments, assignment: se.assignment, njobs: se.njobs}
+			if k, repacked, ok := c.tryReuse(le, jobs, order, plat, t); ok {
+				c.install(sig, le)
+				c.sharedHit(repacked)
+				return k, true
+			}
+			found = true // shared entry existed but failed validation: stale
+		}
+	}
+	if found {
+		c.stale()
+	} else {
+		c.miss()
+	}
+	return nil, false
+}
+
+// tryReuse attempts both reuse paths of a canonical entry against the
+// concrete job set: verbatim reconstruction first, then re-packing the
+// cached operating-point assignment. Either way the result is validated
+// before being reported usable.
+func (c *Cache) tryReuse(e *entry, jobs job.Set, order []int, plat platform.Platform, t float64) (*schedule.Schedule, bool, bool) {
 	if k, err := c.reconstruct(e, jobs, order, t); err == nil {
 		if err := k.Validate(plat, jobs, t); err == nil {
-			c.hit(false)
-			return k, true
+			return k, false, true
 		}
 	}
 	if k, err := c.repack(e, jobs, order, plat, t); err == nil {
 		if err := k.Validate(plat, jobs, t); err == nil {
-			c.hit(true)
-			return k, true
+			return k, true, true
 		}
 	}
-	c.stale()
-	return nil, false
+	return nil, false, false
 }
 
 // repack rebuilds a schedule from the cached operating-point assignment
@@ -342,14 +492,25 @@ func (c *Cache) repack(e *entry, jobs job.Set, order []int, plat platform.Platfo
 }
 
 // Store canonicalises and caches the schedule computed for (jobs, t),
-// evicting the least-recently-used entry when over capacity.
+// evicting the least-recently-used entry when over capacity. When a
+// shared tier is attached the entry is also offered to it under the
+// deterministic merge, marked as a heuristic (non-exact) result.
 func (c *Cache) Store(jobs job.Set, plat platform.Platform, t float64, k *schedule.Schedule) {
 	entries, order := canonical(jobs, t, c.params)
-	c.store(signature(plat, entries), order, jobs, t, k)
+	c.store(signature(plat, entries, order), order, jobs, t, k, false)
+}
+
+// StoreExact canonicalises and caches a schedule produced by an exact
+// solver (the anytime refiner), replacing the L1 entry and promoting to
+// the shared tier with the exact flag set so merges prefer it over a
+// heuristic result of equal energy.
+func (c *Cache) StoreExact(jobs job.Set, plat platform.Platform, t float64, k *schedule.Schedule) {
+	entries, order := canonical(jobs, t, c.params)
+	c.store(signature(plat, entries, order), order, jobs, t, k, true)
 }
 
 // store is Store with the signature and canonical order precomputed.
-func (c *Cache) store(sig Signature, order []int, jobs job.Set, t float64, k *schedule.Schedule) {
+func (c *Cache) store(sig Signature, order []int, jobs job.Set, t float64, k *schedule.Schedule, exact bool) {
 	pos := make(map[int]int, len(order)) // job ID -> canonical position
 	for ci, idx := range order {
 		pos[jobs[idx].ID] = ci
@@ -388,6 +549,29 @@ func (c *Cache) store(sig Signature, order []int, jobs job.Set, t float64, k *sc
 	}
 	e := &entry{sig: sig, segments: segs, assignment: assignment, njobs: len(jobs)}
 	c.mu.Lock()
+	shared := c.shared
+	c.mu.Unlock()
+	if shared != nil {
+		se := &sharedEntry{
+			segments:   segs,
+			assignment: assignment,
+			njobs:      len(jobs),
+			energy:     k.Energy(jobs),
+			exact:      exact,
+		}
+		if shared.promote(sig, se) {
+			c.mu.Lock()
+			c.stats.Promotions++
+			c.mu.Unlock()
+		}
+	}
+	c.install(sig, e)
+}
+
+// install inserts (or replaces) an L1 entry, evicting from the LRU tail
+// when over capacity.
+func (c *Cache) install(sig Signature, e *entry) {
+	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.index[sig]; ok {
 		el.Value = e
@@ -422,6 +606,15 @@ func (c *Cache) reconstruct(e *entry, jobs job.Set, order []int, t float64) (*sc
 		k.Segments[i] = schedule.Segment{Start: seg.Start + t, End: seg.End + t, Placements: ps}
 	}
 	return k, nil
+}
+
+func (c *Cache) sharedHit(repacked bool) {
+	c.mu.Lock()
+	c.stats.SharedHits++
+	if repacked {
+		c.stats.Repacks++
+	}
+	c.mu.Unlock()
 }
 
 func (c *Cache) hit(repacked bool) {

@@ -46,7 +46,7 @@ func (s *Scheduler) ValidatesOutput() bool { return true }
 // cache only ever stores constraint-satisfying schedules.
 func (s *Scheduler) Schedule(jobs job.Set, plat platform.Platform, t float64) (*schedule.Schedule, error) {
 	entries, order := canonical(jobs, t, s.cache.params)
-	sig := signature(plat, entries)
+	sig := signature(plat, entries, order)
 	if k, ok := s.cache.lookup(sig, order, jobs, plat, t); ok {
 		return k, nil
 	}
@@ -57,6 +57,6 @@ func (s *Scheduler) Schedule(jobs job.Set, plat platform.Platform, t float64) (*
 	if err := k.Validate(plat, jobs, t); err != nil {
 		return nil, fmt.Errorf("schedcache: scheduler %s produced invalid schedule: %w", s.inner.Name(), err)
 	}
-	s.cache.store(sig, order, jobs, t, k)
+	s.cache.store(sig, order, jobs, t, k, false)
 	return k, nil
 }

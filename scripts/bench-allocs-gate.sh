@@ -21,7 +21,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN=${ALLOC_BENCH_PATTERN:-'Fig4SearchTimeMDF|AblationPackEDF|WatchFanout|MetricsRecord|WALAppend'}
+PATTERN=${ALLOC_BENCH_PATTERN:-'Fig4SearchTimeMDF|AblationPackEDF|WatchFanout|MetricsRecord|WALAppend|SharedTierLookup'}
 TIME=${ALLOC_BENCH_TIME:-100x}
 BASELINE=benchmarks/allocs-baseline.txt
 
@@ -32,9 +32,10 @@ fi
 
 # The gated set spans the root package (scheduler hot path), the fleet
 # package (watch fan-out publish path), the metrics package (the HTTP
-# instrumentation's per-request recording path) and the durable package
-# (the WAL frame-encode + segment-write append path).
-out=$(go test -run '^$' -bench "$PATTERN" -benchtime "$TIME" -benchmem -timeout 30m . ./internal/fleet ./internal/metrics ./internal/durable)
+# instrumentation's per-request recording path), the durable package
+# (the WAL frame-encode + segment-write append path) and the schedcache
+# package (the shared-tier probe on the admission hot path).
+out=$(go test -run '^$' -bench "$PATTERN" -benchtime "$TIME" -benchmem -timeout 30m . ./internal/fleet ./internal/metrics ./internal/durable ./internal/schedcache)
 printf '%s\n' "$out"
 
 printf '%s\n' "$out" | awk -v baseline="$BASELINE" '

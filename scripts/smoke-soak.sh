@@ -60,4 +60,52 @@ echo "smoke-soak: daemon at $addr, ${RPS} ops/s for ${DURATION}"
 kill -INT "$server_pid"
 wait "$server_pid" || true
 server_pid=""
+
+# Second pass: the anytime-refinement configuration. Build a small warm
+# shared-cache file offline (replay mode with refinement drains the
+# exact searches into the tier at close), then soak strictly against a
+# daemon serving from that warm tier with background refinement on —
+# the counters must still reconcile exactly with the client's.
+"$workdir/rmserve" -devices "$DEVICES" -horizon 60 \
+	-cache-shared -cache-warm-out "$workdir/warm.json" \
+	-refine -refine-workers 2 >"$workdir/warm-build.log" 2>&1
+[[ -s $workdir/warm.json ]] || {
+	echo "warm-cache file not produced" >&2
+	cat "$workdir/warm-build.log" >&2
+	exit 1
+}
+
+# The node budget is capped so background searches cannot monopolise
+# the small CI container's cores; the soak gates reconciliation, not
+# refinement depth.
+"$workdir/rmserve" -listen 127.0.0.1:0 -devices "$DEVICES" \
+	-cache-warm "$workdir/warm.json" -refine -refine-workers 2 \
+	-refine-budget 200000 \
+	>"$workdir/rmserve-warm.log" 2>&1 &
+server_pid=$!
+
+addr=""
+for _ in $(seq 1 50); do
+	addr=$(sed -n 's/^listening: \([^ ]*\).*/\1/p' "$workdir/rmserve-warm.log")
+	[[ -n $addr ]] && break
+	if ! kill -0 "$server_pid" 2>/dev/null; then
+		echo "warm rmserve died before listening:" >&2
+		cat "$workdir/rmserve-warm.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+if [[ -z $addr ]]; then
+	echo "warm rmserve never printed its address" >&2
+	cat "$workdir/rmserve-warm.log" >&2
+	exit 1
+fi
+echo "smoke-soak: warm+refine daemon at $addr, ${RPS} ops/s for ${DURATION}"
+
+"$workdir/rmsoak" -addr "http://$addr" -rps "$RPS" -duration "$DURATION" \
+	-devices "$DEVICES" -strict
+
+kill -INT "$server_pid"
+wait "$server_pid" || true
+server_pid=""
 echo "smoke-soak: ok"
