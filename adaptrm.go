@@ -18,9 +18,11 @@ import (
 	"adaptrm/internal/kpn"
 	"adaptrm/internal/lagrange"
 	"adaptrm/internal/opset"
+	"adaptrm/internal/placement"
 	"adaptrm/internal/platform"
 	"adaptrm/internal/predict"
 	"adaptrm/internal/rm"
+	"adaptrm/internal/router"
 	"adaptrm/internal/sched"
 	"adaptrm/internal/schedcache"
 	"adaptrm/internal/schedule"
@@ -192,6 +194,26 @@ type (
 	// server can record requests into (HTTPServerOptions.FlightLog);
 	// see internal/flightlog.
 	FlightLog = flightlog.Log
+	// DevicePlacement maps a device index to its owner slot — a fleet
+	// shard or a routed backend node (FleetOptions.Placement, NewRouter).
+	DevicePlacement = placement.Placement
+	// ModuloPlacement is the single-node default placement: device
+	// modulo owner count, byte-identical to the fleet's historical
+	// shard assignment.
+	ModuloPlacement = placement.Modulo
+	// PlacementRing is the seeded consistent-hash ring: a pure function
+	// of its config, stable across restarts, minimal remap on growth.
+	PlacementRing = placement.Ring
+	// PlacementRingConfig fixes a ring: owner count, virtual-node
+	// replicas per owner, hash seed.
+	PlacementRingConfig = placement.RingConfig
+	// Router is the multi-node front-end: one Service (Watch and Batch
+	// included) routing every device-addressed call across backend
+	// nodes by placement. rmserve -route is the ready-made daemon.
+	Router = router.Router
+	// RouterBackend is one routed node: its Service (typically an
+	// HTTPClient) plus the name used in errors and metric labels.
+	RouterBackend = router.Backend
 )
 
 // NewFlightLog builds a postmortem ring retaining the newest capacity
@@ -227,6 +249,9 @@ var (
 	ErrForbidden = api.ErrForbidden
 	// ErrServiceClosed: the service is shutting down.
 	ErrServiceClosed = api.ErrClosed
+	// ErrUnavailable: a routed backend node could not be reached (the
+	// router names the peer in the message; HTTP 502 on the wire).
+	ErrUnavailable = api.ErrUnavailable
 )
 
 // ErrInfeasible is returned by schedulers when no feasible schedule
@@ -431,6 +456,29 @@ func Watch(ctx context.Context, svc Service, req WatchRequest) (<-chan Event, er
 		return nil, api.Errf(api.ErrBadRequest, "service does not support watching")
 	}
 	return ws.Watch(ctx, req)
+}
+
+// NewPlacementRing builds the seeded consistent-hash placement. The
+// ring is deterministic for a given config — every router instance,
+// restart and operator runbook derives the same device→owner mapping
+// with no coordination — and growing the owner set remaps only about
+// 1/owners of the devices.
+func NewPlacementRing(cfg PlacementRingConfig) (*PlacementRing, error) {
+	return placement.NewRing(cfg)
+}
+
+// NewRouter composes backend Services — typically HTTPClients for
+// independent rmserve nodes, each hosting the full device space — into
+// one Service that routes every device-addressed call to the
+// placement's owner, preserving per-device request order. Fleet-wide
+// stats fan out and merge deterministically; fleet-wide watches merge
+// one stream per backend; single-device watches (FromSeq resumes
+// included) delegate to the owner. Backend taxonomy errors pass
+// through untouched; unreachable peers surface as ErrUnavailable. A
+// nil placement defaults to a ring over the backends. cmd/rmserve
+// -route -peers is the ready-made routing daemon.
+func NewRouter(backends []RouterBackend, place DevicePlacement) (*Router, error) {
+	return router.New(backends, place)
 }
 
 // NewScheduleCache creates a goroutine-safe memoizing schedule cache.

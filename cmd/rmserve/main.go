@@ -1,4 +1,5 @@
-// Command rmserve runs the fleet service in one of two modes.
+// Command rmserve runs the fleet service in one of three modes: replay,
+// daemon, or multi-node router.
 //
 // Replay mode (default): spin up M devices behind K shard workers,
 // replay a generated multi-tenant request trace through the concurrent
@@ -40,6 +41,18 @@
 // "Durability and recovery" section in internal/durable's package
 // documentation.
 //
+// Router mode (-route -peers): serve the same HTTP protocol as a thin
+// consistent-hash routing front-end over N backend daemons instead of
+// a local fleet. Device-addressed calls go to the device's owner on a
+// deterministic placement ring (internal/placement; -ring-replicas and
+// -ring-seed parameterise it and must match across routers of one
+// deployment), fleet-wide stats fan out and merge, watch streams merge
+// per device, and an unreachable backend surfaces as the taxonomy's
+// "unavailable" error (HTTP 502). /metrics additionally exports
+// adaptrm_router_* families: per-peer request counters, error classes
+// and latency histograms. Clients cannot otherwise tell a router from
+// a single node.
+//
 // Usage:
 //
 //	rmserve [-devices M] [-shards K] [-sched mdf|lr|exmem|greedy|fixed|fixed-remap]
@@ -53,6 +66,9 @@
 //	        [-pprof-token SECRET] [-flightlog-size N]
 //	        [-data-dir DIR [-fsync MODE]] [-event-history N]
 //	        [-devices M] [-shards K] [-sched NAME] [-cache] ...
+//	rmserve -route -listen :8080 -peers host1:9001,host2:9002
+//	        [-ring-replicas N] [-ring-seed N] [-peer-token SECRET]
+//	        [-token SECRET | -tenants FILE.json] [-pprof-token SECRET]
 //
 // -quota-rate/-quota-burst attach a token bucket to the single -token
 // tenant (the replay-mode -rate/-burst flags shape the generated trace,
@@ -73,6 +89,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -81,8 +98,10 @@ import (
 	"adaptrm/internal/fleet"
 	"adaptrm/internal/flightlog"
 	"adaptrm/internal/httpapi"
+	"adaptrm/internal/placement"
 	"adaptrm/internal/platform"
 	"adaptrm/internal/rm"
+	"adaptrm/internal/router"
 	"adaptrm/internal/schedcache"
 	"adaptrm/internal/schedreg"
 	"adaptrm/internal/workload"
@@ -121,7 +140,23 @@ func main() {
 	quotaBurst := flag.Int("quota-burst", 0, "daemon mode: token-bucket burst for the -token tenant (0 = ceil(rate))")
 	pprofToken := flag.String("pprof-token", "", "daemon mode: enable /debug/pprof/ behind this token (empty = profiling off)")
 	flightlogSize := flag.Int("flightlog-size", flightlog.DefaultCapacity, "daemon mode: postmortem ring capacity (0 disables /debug/flightlog and the SIGQUIT dump)")
+	route := flag.Bool("route", false, "router mode: serve a consistent-hash routing front-end over -peers instead of a local fleet (requires -listen)")
+	peers := flag.String("peers", "", "router mode: comma-separated backend addresses (host:port or http://...)")
+	ringReplicas := flag.Int("ring-replicas", 0, "router mode: virtual nodes per peer on the placement ring (0 = default)")
+	ringSeed := flag.Uint64("ring-seed", 0, "router mode: placement-ring seed; all routers of a deployment must share it")
+	peerToken := flag.String("peer-token", "", "router mode: bearer token the router presents to its backends")
 	flag.Parse()
+
+	if *route {
+		serveRouter(routeConfig{
+			listen: *listen, peers: *peers, peerToken: *peerToken,
+			ringReplicas: *ringReplicas, ringSeed: *ringSeed,
+			token: *token, tenantsPath: *tenantsPath,
+			quotaRate: *quotaRate, quotaBurst: *quotaBurst,
+			pprofToken: *pprofToken,
+		})
+		return
+	}
 
 	plat := platform.OdroidXU4()
 	lib, err := dse.StandardLibrary(plat)
@@ -299,6 +334,121 @@ func closeWAL(w *durable.Writer) {
 	}
 	if err := w.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "rmserve: wal close:", err)
+	}
+}
+
+// routeConfig bundles the router-mode settings.
+type routeConfig struct {
+	listen, peers, peerToken string
+	ringReplicas             int
+	ringSeed                 uint64
+	token, tenantsPath       string
+	quotaRate                float64
+	quotaBurst               int
+	pprofToken               string
+}
+
+// serveRouter runs the multi-node routing front-end: a consistent-hash
+// ring over the -peers backends, served over the same HTTP protocol as
+// a single node — clients cannot tell a router from a fleet, except
+// for the extra adaptrm_router_* metric families on /metrics. The
+// router holds no fleet state of its own; it ends on SIGINT/SIGTERM
+// without any drain beyond the HTTP shutdown.
+func serveRouter(cfg routeConfig) {
+	if cfg.listen == "" {
+		fatal(errors.New("-route requires -listen"))
+	}
+	var backends []router.Backend
+	for _, p := range strings.Split(cfg.peers, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		base := p
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		backends = append(backends, router.Backend{
+			Name: p, Service: httpapi.NewClient(base, cfg.peerToken, nil),
+		})
+	}
+	if len(backends) == 0 {
+		fatal(errors.New("-route requires -peers host:port,..."))
+	}
+	ring, err := placement.NewRing(placement.RingConfig{
+		Owners: len(backends), Replicas: cfg.ringReplicas, Seed: cfg.ringSeed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	rt, err := router.New(backends, ring)
+	if err != nil {
+		fatal(err)
+	}
+
+	var opt httpapi.ServerOptions
+	switch {
+	case cfg.tenantsPath != "":
+		data, err := os.ReadFile(cfg.tenantsPath)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Tenants, err = httpapi.ReadTenantsJSON(data)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("tenants:   %d configured from %s\n", len(opt.Tenants), cfg.tenantsPath)
+	case cfg.token != "":
+		opt.Tenants = []httpapi.Tenant{{Name: "default", Token: cfg.token, Rate: cfg.quotaRate, Burst: cfg.quotaBurst}}
+		fmt.Println("tenants:   single default tenant (bearer token)")
+	default:
+		fmt.Println("tenants:   open access (no -token/-tenants)")
+	}
+	opt.PprofToken = cfg.pprofToken
+
+	handler, err := httpapi.NewServer(rt, opt)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfgRing := ring.Config()
+	fmt.Printf("router:    %d peers, ring %d replicas/peer seed %d\n",
+		len(backends), cfgRing.Replicas, cfgRing.Seed)
+	for i, b := range backends {
+		fmt.Printf("peer %d:    %s\n", i, b.Name)
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	fmt.Printf("listening: %s (routing; POST /v1/submit /v1/submit-batch /v1/advance /v1/cancel, GET /v1/stats /v1/watch /healthz /metrics)\n",
+		ln.Addr())
+
+	select {
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(os.Stderr, "\nrmserve: router shutting down")
+		handler.StopStreams()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "rmserve: shutdown:", err)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
 	}
 }
 

@@ -25,9 +25,18 @@
 // against its own count; -strict turns transport errors or a failed
 // reconciliation into a non-zero exit for CI.
 //
+// -addr takes a single daemon, or a comma-separated list: workers
+// round-robin across the listed addresses (worker w drives address
+// w mod len), so the same flag soaks one node, a multi-node router
+// front-end, or the nodes directly. A device always belongs to one
+// worker and hence one address, preserving per-device order, and the
+// reconciliation sums the submitted counter over every listed
+// /metrics — list either the router or its nodes, never both (the
+// router's merged counters would double-count).
+//
 // Usage:
 //
-//	rmsoak -addr http://127.0.0.1:8080 [-token SECRET]
+//	rmsoak -addr http://127.0.0.1:8080[,http://...] [-token SECRET]
 //	       [-rps 200] [-concurrency 4] [-duration 10s]
 //	       [-devices 8] [-seed 1] [-burst N] [-burst-window S]
 //	       [-advance-every 5] [-cancel-every 7]
@@ -79,7 +88,7 @@ type soakStats struct {
 }
 
 func main() {
-	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the rmserve daemon")
+	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the rmserve daemon, or a comma-separated list (workers round-robin across them; reconciliation sums every listed /metrics, so list either a router or its nodes, never both)")
 	token := flag.String("token", "", "bearer token (when the daemon runs tenanted)")
 	rps := flag.Float64("rps", 200, "aggregate offered rate in ops/sec (open loop)")
 	concurrency := flag.Int("concurrency", 4, "worker goroutines (each owns devices d with d%concurrency==w)")
@@ -115,12 +124,22 @@ func main() {
 		fatal(err)
 	}
 
-	client := httpapi.NewClient(*addr, *token, &http.Client{Timeout: 30 * time.Second})
-	ctx := context.Background()
-	if err := client.Health(ctx); err != nil {
-		fatal(fmt.Errorf("daemon not answering at %s: %w", *addr, err))
+	// One client per listed address; worker w drives clients[w%len].
+	// A device is always owned by one worker, hence one client, so
+	// per-device virtual-time order survives a multi-address soak.
+	addrs := splitAddrs(*addr)
+	if len(addrs) == 0 {
+		fatal(errors.New("-addr lists no addresses"))
 	}
-	before, err := scrapeSubmitted(*addr, *token)
+	clients := make([]*httpapi.Client, len(addrs))
+	ctx := context.Background()
+	for i, a := range addrs {
+		clients[i] = httpapi.NewClient(a, *token, &http.Client{Timeout: 30 * time.Second})
+		if err := clients[i].Health(ctx); err != nil {
+			fatal(fmt.Errorf("daemon not answering at %s: %w", a, err))
+		}
+	}
+	before, err := scrapeSubmittedAll(addrs, *token)
 	if err != nil {
 		fatal(fmt.Errorf("pre-run /metrics scrape: %w", err))
 	}
@@ -137,7 +156,7 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			worker(ctx, client, trace, st, workerConfig{
+			worker(ctx, clients[w%len(clients)], trace, st, workerConfig{
 				id: w, concurrency: *concurrency, rps: *rps,
 				start: start, deadline: deadline, tickets: &tickets,
 				advanceEvery: *advanceEvery, cancelEvery: *cancelEvery,
@@ -147,7 +166,7 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	after, err := scrapeSubmitted(*addr, *token)
+	after, err := scrapeSubmittedAll(addrs, *token)
 	reconciled := false
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rmsoak: post-run /metrics scrape:", err)
@@ -245,6 +264,35 @@ func worker(ctx context.Context, client *httpapi.Client, trace []workload.FleetR
 			}
 		}
 	}
+}
+
+// splitAddrs parses the -addr flag: a comma-separated address list,
+// empty elements dropped.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// scrapeSubmittedAll sums the submitted counter across every listed
+// address. Against a single node (or a router, whose /metrics already
+// merges its backends) this is one scrape; against a node list the sum
+// reconstructs the fleet-wide count, since each device's submits land
+// on exactly one node.
+func scrapeSubmittedAll(addrs []string, token string) (int64, error) {
+	var total int64
+	for _, a := range addrs {
+		v, err := scrapeSubmitted(a, token)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", a, err)
+		}
+		total += v
+	}
+	return total, nil
 }
 
 // scrapeSubmitted fetches /metrics and returns the fleet-wide

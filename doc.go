@@ -141,6 +141,52 @@
 // counters — L1 hits, shared hits, re-packs, promotions, refinement
 // searches and swaps — surface in /v1/stats and /metrics.
 //
+// # Multi-node routing
+//
+// A fleet outgrows one process along two axes — device count and
+// admission rate — and the service layer scales past both without
+// changing the protocol, by composing Services:
+//
+//   - placement (internal/placement): who owns which device is a
+//     first-class, transport-independent concern. Placement maps a
+//     device index to an owner slot; Modulo is the single-node default
+//     (byte-identical to the fleet's historical dev % shards
+//     assignment, pinned by test), and Ring is a seeded consistent-hash
+//     ring — a pure function of {owners, replicas, seed}, so every
+//     router instance, restart and operator runbook derives the same
+//     mapping with no coordination, and growing the owner set remaps
+//     only ~1/owners of the devices. FleetOptions can carry a custom
+//     Placement to repartition devices across shards; DumpJSON emits
+//     the full point table as canonical JSON for golden tests and
+//     operator inspection.
+//   - routing (internal/router): NewRouter wraps N backend Services —
+//     typically HTTP clients for independent rmserve nodes, each
+//     hosting the full device space — as one api.Service (Watch and
+//     Batch included) that sends every device-addressed call to the
+//     ring owner. Per-device request order is preserved (a device
+//     always resolves to the same backend); fleet-wide stats fan out
+//     concurrently and merge deterministically (counters summed —
+//     exact, since only the owner's counters are nonzero per device —
+//     device count maxed); fleet-wide watches merge one stream per
+//     backend, preserving per-device sequence order; single-device
+//     watches, including FromSeq resumes, delegate wholesale to the
+//     owner, whose retention ring holds the history. Backend taxonomy
+//     errors and context cancellations pass through untouched — a
+//     client two HTTP hops away still matches errors.Is against the
+//     same sentinels — while transport failures surface as
+//     ErrUnavailable naming the dead peer (HTTP 502 on the wire), and
+//     a merged query refuses rather than return a silent partial sum.
+//     The router is itself a Service, so it serves through the same
+//     HTTP front-end: rmserve -route -peers host1:p,host2:p boots a
+//     routing daemon whose /metrics adds per-peer request counters,
+//     error classes and latency histograms on top of the merged fleet
+//     gauges. The cross-topology equivalence suite pins one in-process
+//     fleet against the router over two live HTTP nodes sharing the
+//     ring: identical verdicts, job ids, merged statistics and
+//     per-device event logs (internal/router; scripts/
+//     multi-node-smoke.sh re-proves it over real sockets in CI, dead
+//     peer included).
+//
 // # Operating rmserve
 //
 // The daemon (rmserve -listen) ships its own observability surface,

@@ -318,3 +318,74 @@ func TestFacadeCachingScheduler(t *testing.T) {
 		t.Errorf("cache stats = %+v, want 1 hit / 1 miss", st)
 	}
 }
+
+// TestFacadeRouter exercises the re-exported multi-node surface: a
+// consistent-hash ring, two in-process backend fleets, and the router
+// serving the Service protocol across them with merged statistics and
+// the ErrUnavailable sentinel on a dead peer.
+func TestFacadeRouter(t *testing.T) {
+	const devices = 4
+	lib := motiv.Library()
+	newNode := func() *Fleet {
+		devs := make([]FleetDevice, devices)
+		for i := range devs {
+			devs[i] = FleetDevice{Platform: Motivational2L2B(), Library: lib, Scheduler: NewMMKPMDF()}
+		}
+		f, err := NewFleet(devs, FleetOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = f.Close() })
+		return f
+	}
+	ring, err := NewPlacementRing(PlacementRingConfig{Owners: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := []*Fleet{newNode(), newNode()}
+	rt, err := NewRouter([]RouterBackend{
+		{Name: "node0", Service: nodes[0].Service()},
+		{Name: "node1", Service: nodes[1].Service()},
+	}, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var svc Service = rt // the router is a plain Service
+
+	ctx := context.Background()
+	for d := 0; d < devices; d++ {
+		if r, err := svc.Submit(ctx, SubmitRequest{Device: d, At: 0, App: "lambda1", Deadline: 9}); err != nil || !r.Accepted {
+			t.Fatalf("device %d: %+v, %v", d, r, err)
+		}
+	}
+	st, err := svc.Stats(ctx, StatsRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Submitted != devices || st.Devices != devices {
+		t.Errorf("merged stats = %+v", st)
+	}
+	// Placement also repartitions a fleet's own shards.
+	f, err := NewFleet([]FleetDevice{
+		{Platform: Motivational2L2B(), Library: lib, Scheduler: NewMMKPMDF()},
+		{Platform: Motivational2L2B(), Library: lib, Scheduler: NewMMKPMDF()},
+	}, FleetOptions{Placement: ModuloPlacement(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A router over an unreachable backend surfaces the taxonomy
+	// sentinel.
+	ts := httptest.NewServer(nil)
+	deadURL := ts.URL
+	ts.Close()
+	rt2, err := NewRouter([]RouterBackend{{Name: "gone", Service: NewHTTPClient(deadURL, "", nil)}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt2.Submit(ctx, SubmitRequest{Device: 0, At: 0, App: "lambda1", Deadline: 9}); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("dead peer: %v, want ErrUnavailable", err)
+	}
+}

@@ -41,6 +41,11 @@ const (
 	CodeForbidden = "forbidden"
 	// CodeClosed: the service is shutting down and accepts no new work.
 	CodeClosed = "closed"
+	// CodeUnavailable: a backend node of a multi-node deployment could
+	// not be reached (connection refused, transport failure mid-call).
+	// Distinct from CodeOverloaded — the node is gone, not busy — and
+	// from CodeClosed — the node never answered, it did not decline.
+	CodeUnavailable = "unavailable"
 	// CodeInternal: unclassified server-side failure.
 	CodeInternal = "internal"
 )
@@ -85,6 +90,7 @@ var (
 	ErrUnauthorized    = &Error{Code: CodeUnauthorized, Message: "missing or unknown token"}
 	ErrForbidden       = &Error{Code: CodeForbidden, Message: "device not permitted for tenant"}
 	ErrClosed          = &Error{Code: CodeClosed, Message: "service closed"}
+	ErrUnavailable     = &Error{Code: CodeUnavailable, Message: "backend node unavailable"}
 	ErrInternal        = &Error{Code: CodeInternal, Message: "internal error"}
 )
 
@@ -94,7 +100,8 @@ var knownCodes = map[string]bool{
 	CodeInfeasible: true, CodeUnknownDevice: true, CodeUnknownApp: true,
 	CodeUnknownJob: true, CodeBadRequest: true, CodePayloadTooLarge: true,
 	CodeOverloaded: true, CodeQuotaExceeded: true, CodeUnauthorized: true,
-	CodeForbidden: true, CodeClosed: true, CodeInternal: true,
+	CodeForbidden: true, CodeClosed: true, CodeUnavailable: true,
+	CodeInternal: true,
 }
 
 // ErrorCode extracts the taxonomy code from an error chain, or

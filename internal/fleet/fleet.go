@@ -25,6 +25,7 @@ import (
 	"adaptrm/internal/anytime"
 	"adaptrm/internal/api"
 	"adaptrm/internal/opset"
+	"adaptrm/internal/placement"
 	"adaptrm/internal/platform"
 	"adaptrm/internal/rm"
 	"adaptrm/internal/sched"
@@ -49,7 +50,16 @@ type DeviceConfig struct {
 type Options struct {
 	// Shards is the number of worker goroutines; devices are assigned
 	// round-robin (device i → shard i mod Shards). Zero means 1.
+	// Ignored when Placement is set — the placement's owner count
+	// becomes the shard count.
 	Shards int
+	// Placement maps devices onto shards. Nil means the historical
+	// default, placement.Modulo(Shards) — device i → shard i mod
+	// Shards, byte-identical to the fleet before the placement layer
+	// existed. A custom placement (e.g. a placement.Ring shared with a
+	// multi-node router) must return owners in [0, Owners()) and
+	// defines the shard count via Owners().
+	Placement placement.Placement
 	// MailboxSize is the per-shard request buffer; Submit blocks when
 	// the target shard's mailbox is full (backpressure). Zero means 64.
 	MailboxSize int
@@ -111,6 +121,11 @@ type Options struct {
 func (o *Options) normalize() {
 	if o.Shards <= 0 {
 		o.Shards = 1
+	}
+	if o.Placement == nil {
+		o.Placement = placement.Modulo(o.Shards)
+	} else {
+		o.Shards = o.Placement.Owners()
 	}
 	if o.MailboxSize <= 0 {
 		o.MailboxSize = 64
@@ -343,6 +358,10 @@ func (s *shard) enqueue(ctx context.Context, o op) error {
 type Fleet struct {
 	devices []*device
 	shards  []*shard
+	// place maps devices onto shards (Options.Placement; the modulo
+	// default when unset). Static for the fleet's lifetime so
+	// per-device mailbox order is preserved.
+	place placement.Placement
 	// batchWindow is Options.BatchWindow (0 = no coalescing).
 	batchWindow float64
 	// hub fans device events out to watchers; watchBuffer is the default
@@ -386,8 +405,11 @@ func build(devs []DeviceConfig, opt Options) (*Fleet, error) {
 	if opt.SharedCache != nil && !opt.Cache {
 		return nil, errors.New("fleet: SharedCache requires Cache")
 	}
+	if opt.Shards <= 0 {
+		return nil, fmt.Errorf("fleet: placement reports %d owners", opt.Shards)
+	}
 	f := &Fleet{batchWindow: opt.BatchWindow, hub: newHub(), watchBuffer: opt.WatchBuffer,
-		sharedCache: opt.SharedCache}
+		sharedCache: opt.SharedCache, place: opt.Placement}
 	for i, dc := range devs {
 		s := dc.Scheduler
 		var cache *schedcache.Cache
@@ -471,9 +493,11 @@ func (f *Fleet) SharedTier() *schedcache.Shared { return f.sharedCache }
 // NumDevices returns the fleet size.
 func (f *Fleet) NumDevices() int { return len(f.devices) }
 
-// shardOf returns the shard owning a device; the assignment is static so
-// per-device mailbox order is preserved.
-func (f *Fleet) shardOf(dev int) *shard { return f.shards[dev%len(f.shards)] }
+// shardOf returns the shard owning a device, resolved through the
+// fleet's placement; the assignment is static so per-device mailbox
+// order is preserved. With the default placement this is the historical
+// dev % len(shards).
+func (f *Fleet) shardOf(dev int) *shard { return f.shards[f.place.Owner(dev)] }
 
 // worker drains one shard's mailbox, applying each operation under the
 // target device's lock. Outcomes go to the op's reply channel when one

@@ -114,6 +114,8 @@ func statusSentinel(status int) *api.Error {
 		return api.ErrPayloadTooLarge
 	case http.StatusServiceUnavailable:
 		return api.ErrOverloaded
+	case http.StatusBadGateway:
+		return api.ErrUnavailable
 	default:
 		if status >= 400 && status < 500 {
 			return api.ErrBadRequest

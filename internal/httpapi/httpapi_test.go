@@ -201,6 +201,7 @@ func TestErrorStatusAndRoundTrip(t *testing.T) {
 		{api.ErrQuotaExceeded, http.StatusTooManyRequests},
 		{api.ErrUnauthorized, http.StatusUnauthorized},
 		{api.ErrForbidden, http.StatusForbidden},
+		{api.ErrUnavailable, http.StatusBadGateway},
 		{api.ErrInternal, http.StatusInternalServerError},
 	}
 	for _, c := range cases {

@@ -3,6 +3,7 @@ package httpapi
 import (
 	"crypto/subtle"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"sort"
@@ -319,6 +320,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if err := e.Err(); err != nil {
 		// The connection died mid-scrape; nothing sensible left to do.
 		return
+	}
+
+	// A routing service's own families (per-peer request counters,
+	// error classes, latency histograms) ride along on the same scrape.
+	// Discovered by interface — stdlib types only — so this package
+	// never imports the router, mirroring the QueueDepths pattern.
+	if rm, ok := s.svc.(interface{ WriteMetrics(io.Writer) error }); ok {
+		_ = rm.WriteMetrics(w)
 	}
 }
 

@@ -383,6 +383,10 @@ func statusOf(code string) int {
 		return http.StatusTooManyRequests
 	case api.CodeOverloaded, api.CodeClosed:
 		return http.StatusServiceUnavailable
+	case api.CodeUnavailable:
+		// A routing front-end reporting a dead backend — the gateway's
+		// own status, distinct from 503 (this node declining work).
+		return http.StatusBadGateway
 	default:
 		return http.StatusInternalServerError
 	}

@@ -1,0 +1,188 @@
+// Package placement is the device-addressing layer of the fleet: a
+// policy mapping device IDs onto owners, extracted from the fleet's
+// previously inlined modulo sharding so the same abstraction serves
+// both intra-process shard assignment and multi-node routing.
+//
+// Two policies ship. Modulo is the historical single-node default —
+// device i belongs to owner i mod N — and stays byte-identical to the
+// fleet behaviour before this package existed. Ring is a deterministic
+// consistent-hash ring with seeded virtual nodes: the mapping is a pure
+// function of (owners, replicas, seed), so every process that agrees on
+// those three numbers agrees on every device's owner, across restarts
+// and across machines — which is what lets a routing front-end and its
+// backend nodes partition a fleet without coordination. Growing a ring
+// by one owner remaps only ~1/owners of the devices (the consistent-
+// hashing property), so scale-out does not reshuffle the world.
+//
+// Placements are immutable after construction and safe for concurrent
+// use.
+package placement
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Placement maps a device ID onto its owner, a slot in [0, Owners()).
+// Implementations must be deterministic, total over non-negative device
+// IDs, and goroutine-safe.
+type Placement interface {
+	// Owner returns the owning slot of a device.
+	Owner(device int) int
+	// Owners returns the number of owner slots.
+	Owners() int
+}
+
+// Modulo is the historical fleet sharding: device i → owner i mod N.
+// It is the single-node default, pinned byte-identical to the fleet's
+// pre-placement behaviour (shardOf(dev) = dev % shards).
+type Modulo int
+
+// Owner implements Placement.
+func (m Modulo) Owner(device int) int { return device % int(m) }
+
+// Owners implements Placement.
+func (m Modulo) Owners() int { return int(m) }
+
+// DefaultReplicas is the virtual-node count per owner when
+// RingConfig.Replicas is zero. 64 keeps the expected per-owner load
+// imbalance of a ring within a few percent while the ring stays tiny
+// (owners × replicas points).
+const DefaultReplicas = 64
+
+// RingConfig parameterises a consistent-hash ring. The zero value of
+// Replicas and Seed are usable defaults; Owners must be positive.
+type RingConfig struct {
+	// Owners is the number of owner slots (nodes).
+	Owners int
+	// Replicas is the virtual-node count per owner; zero means
+	// DefaultReplicas. More replicas smooth the load split at the cost
+	// of a larger (still tiny) point table.
+	Replicas int
+	// Seed perturbs every hash on the ring. All parties of a
+	// partitioned fleet must share it; changing it reshuffles the whole
+	// mapping, so treat it like part of the topology, not a secret.
+	Seed uint64
+}
+
+// ringPoint is one virtual node on the ring.
+type ringPoint struct {
+	hash  uint64
+	owner int
+}
+
+// Ring is a deterministic consistent-hash ring: Owners × Replicas
+// seeded virtual nodes sorted on a 64-bit circle, with a device's owner
+// being the first point at or after the device's own hash (wrapping).
+// The mapping is a pure function of the config — stable across
+// restarts, processes and machines.
+type Ring struct {
+	cfg    RingConfig
+	points []ringPoint
+}
+
+// NewRing builds a ring from cfg.
+func NewRing(cfg RingConfig) (*Ring, error) {
+	if cfg.Owners <= 0 {
+		return nil, fmt.Errorf("placement: ring needs at least one owner, got %d", cfg.Owners)
+	}
+	if cfg.Replicas < 0 {
+		return nil, fmt.Errorf("placement: negative replica count %d", cfg.Replicas)
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = DefaultReplicas
+	}
+	r := &Ring{cfg: cfg, points: make([]ringPoint, 0, cfg.Owners*cfg.Replicas)}
+	for o := 0; o < cfg.Owners; o++ {
+		for v := 0; v < cfg.Replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(cfg.Seed, o, v), owner: o})
+		}
+	}
+	// Sort by hash; break the (astronomically unlikely) hash ties by
+	// owner so the ring is a total order and the dump is canonical.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].owner < r.points[j].owner
+	})
+	return r, nil
+}
+
+// MustRing is NewRing for static configs known to be valid; it panics
+// on error.
+func MustRing(cfg RingConfig) *Ring {
+	r, err := NewRing(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Owner implements Placement: the owner of the first ring point at or
+// after the device's hash, wrapping past the top of the circle.
+func (r *Ring) Owner(device int) int {
+	h := deviceHash(r.cfg.Seed, device)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].owner
+}
+
+// Owners implements Placement.
+func (r *Ring) Owners() int { return r.cfg.Owners }
+
+// Config returns the ring's (normalised) configuration.
+func (r *Ring) Config() RingConfig { return r.cfg }
+
+// ringDump is the canonical wire form of a ring (see DumpJSON).
+type ringDump struct {
+	Owners   int             `json:"owners"`
+	Replicas int             `json:"replicas"`
+	Seed     uint64          `json:"seed"`
+	Points   []ringPointDump `json:"points"`
+}
+
+type ringPointDump struct {
+	Hash  string `json:"hash"` // %016x, so the dump is diff-stable
+	Owner int    `json:"owner"`
+}
+
+// DumpJSON serialises the ring canonically: config plus every virtual
+// node in circle order, hashes as fixed-width hex. Two rings built from
+// the same config dump byte-identically, which is what the stability
+// tests (and operators diffing topologies across nodes) rely on.
+func (r *Ring) DumpJSON() ([]byte, error) {
+	d := ringDump{Owners: r.cfg.Owners, Replicas: r.cfg.Replicas, Seed: r.cfg.Seed,
+		Points: make([]ringPointDump, len(r.points))}
+	for i, p := range r.points {
+		d.Points[i] = ringPointDump{Hash: fmt.Sprintf("%016x", p.hash), Owner: p.owner}
+	}
+	return json.MarshalIndent(d, "", "  ")
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche 64-bit mixer, so
+// consecutive small integers (device IDs, owner/replica pairs) spread
+// uniformly over the circle.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// pointHash places virtual node (owner, replica) on the circle. The
+// domain constant separates point hashes from device hashes so an
+// owner index never collides with the device of the same integer.
+func pointHash(seed uint64, owner, replica int) uint64 {
+	return mix64(mix64(seed^0x9e3779b97f4a7c15) ^ uint64(owner)<<32 ^ uint64(replica))
+}
+
+// deviceHash places a device key on the circle.
+func deviceHash(seed uint64, device int) uint64 {
+	return mix64(mix64(seed^0xd1b54a32d192ed03) ^ uint64(device))
+}

@@ -1,0 +1,157 @@
+package placement
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestModuloMatchesInlinedSharding(t *testing.T) {
+	// The historical fleet sharding was shardOf(dev) = dev % len(shards).
+	// Modulo must reproduce it exactly for every shard count the fleet
+	// ever normalises to.
+	for shards := 1; shards <= 9; shards++ {
+		m := Modulo(shards)
+		if m.Owners() != shards {
+			t.Fatalf("Modulo(%d).Owners() = %d", shards, m.Owners())
+		}
+		for dev := 0; dev < 100; dev++ {
+			if got, want := m.Owner(dev), dev%shards; got != want {
+				t.Fatalf("Modulo(%d).Owner(%d) = %d, want %d", shards, dev, got, want)
+			}
+		}
+	}
+}
+
+func TestRingRejectsBadConfig(t *testing.T) {
+	if _, err := NewRing(RingConfig{Owners: 0}); err == nil {
+		t.Fatal("ring with zero owners must be rejected")
+	}
+	if _, err := NewRing(RingConfig{Owners: -2}); err == nil {
+		t.Fatal("ring with negative owners must be rejected")
+	}
+	if _, err := NewRing(RingConfig{Owners: 1, Replicas: -1}); err == nil {
+		t.Fatal("ring with negative replicas must be rejected")
+	}
+}
+
+func TestRingDeterministicAcrossConstructions(t *testing.T) {
+	// Two independently built rings with the same config must agree on
+	// every device — this is the property the router and the backend
+	// nodes depend on (no coordination beyond sharing the config).
+	cfg := RingConfig{Owners: 3, Replicas: 32, Seed: 42}
+	a := MustRing(cfg)
+	b := MustRing(cfg)
+	for dev := 0; dev < 4096; dev++ {
+		if a.Owner(dev) != b.Owner(dev) {
+			t.Fatalf("ring disagreement on device %d: %d vs %d", dev, a.Owner(dev), b.Owner(dev))
+		}
+	}
+}
+
+func TestRingDumpCanonical(t *testing.T) {
+	cfg := RingConfig{Owners: 2, Replicas: 8, Seed: 7}
+	a, _ := MustRing(cfg).DumpJSON()
+	b, _ := MustRing(cfg).DumpJSON()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same config produced different dumps:\n%s\n---\n%s", a, b)
+	}
+	c, _ := MustRing(RingConfig{Owners: 2, Replicas: 8, Seed: 8}).DumpJSON()
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical dumps")
+	}
+}
+
+// TestRingDumpGolden pins the exact mapping of a tiny ring so a change
+// to the hash function or the sort order cannot slip by unnoticed: any
+// such change redistributes live fleets and must be deliberate.
+func TestRingDumpGolden(t *testing.T) {
+	r := MustRing(RingConfig{Owners: 2, Replicas: 2, Seed: 1})
+	got, err := r.DumpJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{
+  "owners": 2,
+  "replicas": 2,
+  "seed": 1,
+  "points": [
+    {
+      "hash": "19438ae6b813b33d",
+      "owner": 0
+    },
+    {
+      "hash": "445018e305810b78",
+      "owner": 0
+    },
+    {
+      "hash": "bb5ea1e65016bc97",
+      "owner": 1
+    },
+    {
+      "hash": "d68deef3b9b4ad69",
+      "owner": 1
+    }
+  ]
+}`
+	if string(got) != want {
+		t.Fatalf("ring dump changed — hash function or ordering is no longer stable:\n%s", got)
+	}
+}
+
+func TestRingOwnerInRange(t *testing.T) {
+	r := MustRing(RingConfig{Owners: 5, Seed: 99})
+	for dev := 0; dev < 10000; dev++ {
+		o := r.Owner(dev)
+		if o < 0 || o >= 5 {
+			t.Fatalf("device %d placed on owner %d, out of [0,5)", dev, o)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	// With default replicas the load split over many devices should be
+	// within a loose factor of even — this is a sanity bound, not a
+	// statistical claim.
+	const owners, devices = 4, 20000
+	r := MustRing(RingConfig{Owners: owners, Seed: 3})
+	counts := make([]int, owners)
+	for dev := 0; dev < devices; dev++ {
+		counts[r.Owner(dev)]++
+	}
+	mean := float64(devices) / owners
+	for o, c := range counts {
+		if dev := math.Abs(float64(c)-mean) / mean; dev > 0.5 {
+			t.Fatalf("owner %d holds %d of %d devices (%.0f%% off even split %v)",
+				o, c, devices, dev*100, counts)
+		}
+	}
+}
+
+func TestRingMinimalRemapOnGrowth(t *testing.T) {
+	// Consistent hashing's point: adding one owner moves roughly
+	// 1/(owners+1) of the devices, and every move lands on the new
+	// owner — no device changes hands between surviving owners.
+	const devices = 8192
+	small := MustRing(RingConfig{Owners: 3, Seed: 11})
+	big := MustRing(RingConfig{Owners: 4, Seed: 11})
+	moved := 0
+	for dev := 0; dev < devices; dev++ {
+		a, b := small.Owner(dev), big.Owner(dev)
+		if a == b {
+			continue
+		}
+		moved++
+		if b != 3 {
+			t.Fatalf("device %d moved between surviving owners %d→%d", dev, a, b)
+		}
+	}
+	if frac := float64(moved) / devices; frac > 0.45 {
+		t.Fatalf("growth 3→4 owners remapped %.0f%% of devices; consistent hashing should move ~25%%", frac*100)
+	}
+}
+
+func TestPlacementInterfaceSatisfied(t *testing.T) {
+	var _ Placement = Modulo(1)
+	var _ Placement = MustRing(RingConfig{Owners: 1})
+}

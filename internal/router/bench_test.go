@@ -1,0 +1,67 @@
+package router_test
+
+import (
+	"testing"
+
+	"adaptrm/internal/api"
+	"adaptrm/internal/fleet"
+	"adaptrm/internal/placement"
+	"adaptrm/internal/router"
+)
+
+// benchSubmitCancel drives the steady-state admit/cancel pair through
+// any Service: the device returns to empty every iteration, so the
+// scheduler does the same minimal work each time and the transport
+// stack under test dominates the delta between variants.
+func benchSubmitCancel(b *testing.B, svc api.Service) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := svc.Submit(bg, api.SubmitRequest{Device: 0, At: 0, App: "lambda1", Deadline: 9})
+		if err != nil || !res.Accepted {
+			b.Fatalf("submit: %+v, %v", res, err)
+		}
+		if _, err := svc.Cancel(bg, api.CancelRequest{Device: 0, JobID: res.JobID}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouterHop isolates what one router hop costs an admission,
+// at two levels: in-process (Direct vs Routed — the ring lookup, the
+// metrics record and the generic dispatch, nothing else) and over live
+// HTTP (OneHop: client → node, vs TwoHop: client → router daemon →
+// node — the realistic deployed delta, one extra JSON/HTTP round
+// trip). Recorded numbers live in benchmarks/README.md.
+func BenchmarkRouterHop(b *testing.B) {
+	newBench := func(b *testing.B) *fleet.Fleet {
+		b.Helper()
+		f := newFleet(b, 1, fleet.Options{})
+		b.Cleanup(func() { _ = f.Close() })
+		return f
+	}
+
+	b.Run("Direct", func(b *testing.B) {
+		benchSubmitCancel(b, newBench(b).Service())
+	})
+	b.Run("Routed", func(b *testing.B) {
+		f := newBench(b)
+		rt, err := router.New([]router.Backend{{Name: "node0", Service: f.Service()}}, placement.Modulo(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSubmitCancel(b, rt)
+	})
+	b.Run("OneHopHTTP", func(b *testing.B) {
+		benchSubmitCancel(b, overHTTP(b, newBench(b).Service()))
+	})
+	b.Run("TwoHopHTTP", func(b *testing.B) {
+		inner := overHTTP(b, newBench(b).Service())
+		rt, err := router.New([]router.Backend{{Name: "node0", Service: inner}}, placement.Modulo(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSubmitCancel(b, overHTTP(b, rt))
+	})
+}

@@ -1,0 +1,241 @@
+// Package router is the multi-node front-end of the fleet protocol: an
+// api.Service (plus the Watch and Batch extensions) that owns a
+// placement over N backend Services and routes every device-addressed
+// operation to the backend owning that device. The backends are
+// typically httpapi.Clients pointed at independent rmserve nodes — the
+// HTTP client already is an api.Service, so the router composes over
+// the wire for free — but any Service works, which is what the
+// cross-topology equivalence suite exploits.
+//
+// Routing is stateless and deterministic: the placement (normally a
+// placement.Ring shared with the operators who partitioned the fleet)
+// is a pure function of its config, so every router instance, restart
+// and test harness agrees on every device's owner without
+// coordination. Per-device request order is preserved — a device
+// always resolves to the same backend, which serialises it exactly as
+// a single-node fleet shard would.
+//
+// Fleet-wide operations fan out. Stats queries every backend
+// concurrently and merges in fixed peer order — counters summed,
+// device count maxed — so the merge is deterministic for given peer
+// snapshots. Fleet-wide watches open one stream per backend and merge
+// them into a single channel; per-device ordering survives because
+// each device's events all travel one stream, and cross-device
+// interleaving was never guaranteed by the protocol in the first
+// place. Single-device watches (including FromSeq resumes) delegate
+// wholesale to the owning backend.
+//
+// A backend that cannot be reached surfaces as api.ErrUnavailable with
+// the peer named in the message; taxonomy errors and context
+// cancellation pass through untouched, so a client two hops away still
+// matches errors.Is against the same sentinels it would in process.
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"adaptrm/internal/api"
+	"adaptrm/internal/placement"
+)
+
+// Backend is one routed node: a service plus the name the router uses
+// in error messages and metric labels (conventionally its host:port).
+type Backend struct {
+	Name    string
+	Service api.Service
+}
+
+// Router routes the fleet protocol across backends by device placement.
+type Router struct {
+	backends []Backend
+	place    placement.Placement
+	metrics  *routerMetrics
+}
+
+var (
+	_ api.Service      = (*Router)(nil)
+	_ api.BatchService = (*Router)(nil)
+	_ api.WatchService = (*Router)(nil)
+)
+
+// New builds a router over backends using place, whose owner count must
+// equal the backend count. Nil place means placement.Ring over the
+// backends with default parameters — callers partitioning a real fleet
+// normally pass the explicit ring the node operators share.
+func New(backends []Backend, place placement.Placement) (*Router, error) {
+	if len(backends) == 0 {
+		return nil, errors.New("router: no backends")
+	}
+	for i, b := range backends {
+		if b.Service == nil {
+			return nil, fmt.Errorf("router: backend %d (%q) has no service", i, b.Name)
+		}
+	}
+	if place == nil {
+		place = placement.MustRing(placement.RingConfig{Owners: len(backends)})
+	}
+	if place.Owners() != len(backends) {
+		return nil, fmt.Errorf("router: placement owns %d slots, have %d backends",
+			place.Owners(), len(backends))
+	}
+	return &Router{backends: backends, place: place, metrics: newRouterMetrics(backends)}, nil
+}
+
+// Placement exposes the router's placement, letting harnesses build a
+// backend fleet partitioned by the identical mapping.
+func (r *Router) Placement() placement.Placement { return r.place }
+
+// ownerOf resolves a device to its backend index.
+func (r *Router) ownerOf(device int) int { return r.place.Owner(device) }
+
+// peerError classifies a backend call's failure. Taxonomy errors pass
+// through untouched — the backend answered, its verdict stands two hops
+// away exactly as it would in process. Context endings pass through —
+// the caller gave up, the peer is not to blame. Everything else is a
+// transport failure (connection refused, reset mid-call, a proxy
+// mangling the envelope): the peer is unreachable, which the taxonomy
+// spells api.ErrUnavailable, with the peer named for the operator.
+func (r *Router) peerError(peer int, err error) error {
+	if err == nil {
+		return nil
+	}
+	var ae *api.Error
+	if errors.As(err, &ae) {
+		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return api.Errf(api.ErrUnavailable, "peer %s: %v", r.backends[peer].Name, err)
+}
+
+// route runs one device-addressed call against the owning backend,
+// recording per-peer metrics and folding transport failures into the
+// taxonomy.
+func route[Res any](r *Router, device int, op string,
+	call func(b Backend) (Res, error)) (Res, error) {
+	p := r.ownerOf(device)
+	stop := r.metrics.begin(p, op)
+	res, err := call(r.backends[p])
+	err = r.peerError(p, err)
+	stop(err)
+	return res, err
+}
+
+// Submit implements api.Service, delegating to the device's owner.
+func (r *Router) Submit(ctx context.Context, req api.SubmitRequest) (api.SubmitResult, error) {
+	return route(r, req.Device, opSubmit, func(b Backend) (api.SubmitResult, error) {
+		return b.Service.Submit(ctx, req)
+	})
+}
+
+// Advance implements api.Service, delegating to the device's owner.
+func (r *Router) Advance(ctx context.Context, req api.AdvanceRequest) (api.AdvanceResult, error) {
+	return route(r, req.Device, opAdvance, func(b Backend) (api.AdvanceResult, error) {
+		return b.Service.Advance(ctx, req)
+	})
+}
+
+// Cancel implements api.Service, delegating to the device's owner.
+func (r *Router) Cancel(ctx context.Context, req api.CancelRequest) (api.CancelResult, error) {
+	return route(r, req.Device, opCancel, func(b Backend) (api.CancelResult, error) {
+		return b.Service.Cancel(ctx, req)
+	})
+}
+
+// SubmitBatch implements api.BatchService: the whole batch addresses
+// one device, so it routes like any single-device call. A backend that
+// is only a plain Service decides the items sequentially through the
+// api.SubmitBatch fallback — verdicts are identical either way.
+func (r *Router) SubmitBatch(ctx context.Context, req api.BatchSubmitRequest) (api.BatchSubmitResult, error) {
+	return route(r, req.Device, opBatch, func(b Backend) (api.BatchSubmitResult, error) {
+		return api.SubmitBatch(ctx, b.Service, req)
+	})
+}
+
+// Stats implements api.Service. A single-device query routes to the
+// owner; the fleet-wide query fans out to every backend concurrently
+// and merges the snapshots in fixed peer order (see merge), so the
+// result is deterministic for given per-peer values. Any unreachable
+// backend fails the merged query — a partial sum silently missing a
+// node's counters would be indistinguishable from real values.
+func (r *Router) Stats(ctx context.Context, req api.StatsRequest) (api.StatsResult, error) {
+	if req.Device != nil {
+		return route(r, *req.Device, opStats, func(b Backend) (api.StatsResult, error) {
+			return b.Service.Stats(ctx, req)
+		})
+	}
+	results := make([]api.StatsResult, len(r.backends))
+	errs := make([]error, len(r.backends))
+	var wg sync.WaitGroup
+	wg.Add(len(r.backends))
+	for i := range r.backends {
+		go func(i int) {
+			defer wg.Done()
+			stop := r.metrics.begin(i, opStats)
+			res, err := r.backends[i].Service.Stats(ctx, req)
+			err = r.peerError(i, err)
+			stop(err)
+			results[i], errs[i] = res, err
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return api.StatsResult{}, err
+		}
+	}
+	return mergeStats(results), nil
+}
+
+// mergeStats folds per-backend snapshots into the fleet-wide view, in
+// backend order. Every node of a routed deployment hosts the full
+// device space (the placement partitions traffic, not configuration),
+// so Devices is the maximum, not the sum; a device's counters are all
+// zero on every node but its owner, so plain sums reconstruct exactly
+// the numbers a single fleet would report. Shards sums (total worker
+// goroutines behind the router) and MaxQueueDepth maxes — both are
+// operational fields the Deterministic() view strips anyway.
+func mergeStats(in []api.StatsResult) api.StatsResult {
+	var out api.StatsResult
+	for _, s := range in {
+		if s.Devices > out.Devices {
+			out.Devices = s.Devices
+		}
+		if s.MaxQueueDepth > out.MaxQueueDepth {
+			out.MaxQueueDepth = s.MaxQueueDepth
+		}
+		out.Shards += s.Shards
+		out.Submitted += s.Submitted
+		out.Accepted += s.Accepted
+		out.Rejected += s.Rejected
+		out.Completed += s.Completed
+		out.DeadlineMisses += s.DeadlineMisses
+		out.Cancelled += s.Cancelled
+		out.Energy += s.Energy
+		out.Activations += s.Activations
+		out.SchedulingTime += s.SchedulingTime
+		out.CacheHits += s.CacheHits
+		out.CacheMisses += s.CacheMisses
+		out.CacheStale += s.CacheStale
+		out.CacheEvictions += s.CacheEvictions
+		out.CacheRepacks += s.CacheRepacks
+		out.CacheSharedHits += s.CacheSharedHits
+		out.CachePromotions += s.CachePromotions
+		out.ScheduleSwaps += s.ScheduleSwaps
+		out.RefineSearches += s.RefineSearches
+		out.RefineImproved += s.RefineImproved
+		out.RefineSkipped += s.RefineSkipped
+		out.RefineDropped += s.RefineDropped
+		out.CoalescedBatches += s.CoalescedBatches
+		out.CoalescedRequests += s.CoalescedRequests
+		out.WatchSubscribers += s.WatchSubscribers
+		out.WatchDropped += s.WatchDropped
+		out.QuotaBudgetRefusals += s.QuotaBudgetRefusals
+		out.QuotaRateRefusals += s.QuotaRateRefusals
+	}
+	return out
+}

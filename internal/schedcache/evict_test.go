@@ -1,0 +1,101 @@
+package schedcache
+
+import (
+	"testing"
+
+	"adaptrm/internal/core"
+	"adaptrm/internal/job"
+	"adaptrm/internal/motiv"
+)
+
+// TestRefinementAwareEviction pins the eviction order under pressure:
+// the victim is always the least-recently-used *heuristic* entry, so
+// exact results (bought with budgeted background searches) survive LRU
+// pressure from cheap heuristic traffic.
+func TestRefinementAwareEviction(t *testing.T) {
+	plat := motiv.Platform()
+	s := core.New()
+	mk := func(deadline float64) job.Set {
+		return job.Set{testJob(1, "lambda1", 0, deadline, 1)}
+	}
+	add := func(c *Cache, deadline float64, exact bool) {
+		jobs := mk(deadline)
+		k, err := s.Schedule(jobs, plat, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact {
+			c.StoreExact(jobs, plat, 0, k)
+		} else {
+			c.Store(jobs, plat, 0, k)
+		}
+	}
+	has := func(c *Cache, deadline float64) bool {
+		_, ok := c.Lookup(mk(deadline), plat, 0)
+		return ok
+	}
+
+	// An exact entry at the LRU tail outlives a fresher heuristic one:
+	// exact(9) is oldest, yet heuristic(12) is the victim.
+	c := New(Params{Capacity: 2, SlackBucket: 0.1})
+	add(c, 9, true)
+	add(c, 12, false)
+	add(c, 15, false)
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Stats().Evictions)
+	}
+	if !has(c, 9) {
+		t.Error("exact entry evicted while a heuristic one was available")
+	}
+	if has(c, 12) {
+		t.Error("LRU heuristic entry survived")
+	}
+	if !has(c, 15) {
+		t.Error("just-stored entry evicted")
+	}
+
+	// Among several heuristics the least-recently-used one goes, even
+	// with an exact entry sitting between them in LRU order.
+	c = New(Params{Capacity: 3, SlackBucket: 0.1})
+	add(c, 9, false)  // oldest heuristic — the victim
+	add(c, 12, true)  // exact, protected
+	add(c, 15, false) // fresher heuristic
+	add(c, 18, false)
+	if has(c, 9) {
+		t.Error("oldest heuristic survived")
+	}
+	for _, dl := range []float64{12, 15, 18} {
+		if !has(c, dl) {
+			t.Errorf("deadline-%g entry evicted, want kept", dl)
+		}
+	}
+
+	// All-exact cache: plain LRU applies — the oldest exact entry goes.
+	c = New(Params{Capacity: 2, SlackBucket: 0.1})
+	add(c, 9, true)
+	add(c, 12, true)
+	add(c, 15, true)
+	if has(c, 9) {
+		t.Error("all-exact cache must fall back to plain LRU")
+	}
+	if !has(c, 12) || !has(c, 15) {
+		t.Error("newer exact entries evicted")
+	}
+
+	// StoreExact replacing an existing heuristic entry upgrades it in
+	// place (no eviction), and the upgrade protects it afterwards.
+	c = New(Params{Capacity: 2, SlackBucket: 0.1})
+	add(c, 9, false)
+	add(c, 12, false)
+	add(c, 9, true) // upgrade in place
+	if c.Len() != 2 || c.Stats().Evictions != 0 {
+		t.Fatalf("in-place upgrade changed occupancy: len %d, evictions %d", c.Len(), c.Stats().Evictions)
+	}
+	add(c, 15, false)
+	if !has(c, 9) {
+		t.Error("upgraded entry lost its exact protection")
+	}
+	if has(c, 12) {
+		t.Error("heuristic entry outlived the upgraded exact one")
+	}
+}

@@ -298,6 +298,11 @@ type entry struct {
 	segments   []schedule.Segment // Start/End relative to t0; JobID = canonical index
 	assignment []int              // per canonical position; nil when points vary
 	njobs      int
+	// exact marks a schedule produced by an exact solver (StoreExact,
+	// i.e. the anytime refiner). Eviction prefers sacrificing heuristic
+	// entries: an exact result cost a budgeted branch-and-bound search,
+	// a heuristic one is a µs re-solve away.
+	exact bool
 }
 
 // Cache is a goroutine-safe LRU of canonicalised schedules, optionally
@@ -547,7 +552,7 @@ func (c *Cache) store(sig Signature, order []int, jobs job.Set, t float64, k *sc
 			}
 		}
 	}
-	e := &entry{sig: sig, segments: segs, assignment: assignment, njobs: len(jobs)}
+	e := &entry{sig: sig, segments: segs, assignment: assignment, njobs: len(jobs), exact: exact}
 	c.mu.Lock()
 	shared := c.shared
 	c.mu.Unlock()
@@ -568,8 +573,13 @@ func (c *Cache) store(sig Signature, order []int, jobs job.Set, t float64, k *sc
 	c.install(sig, e)
 }
 
-// install inserts (or replaces) an L1 entry, evicting from the LRU tail
-// when over capacity.
+// install inserts (or replaces) an L1 entry, evicting when over
+// capacity. Eviction is refinement-aware LRU: the victim is the
+// least-recently-used heuristic entry, so exact results — each bought
+// with a budgeted background search — stay hot under pressure; only
+// when every entry is exact does plain LRU apply. An all-exact cache
+// thrashing its tail is still strictly better than re-running the
+// searches that filled it.
 func (c *Cache) install(sig Signature, e *entry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -580,9 +590,15 @@ func (c *Cache) install(sig Signature, e *entry) {
 	}
 	c.index[sig] = c.lru.PushFront(e)
 	for c.lru.Len() > c.params.Capacity {
-		back := c.lru.Back()
-		c.lru.Remove(back)
-		delete(c.index, back.Value.(*entry).sig)
+		victim := c.lru.Back()
+		for el := victim; el != nil; el = el.Prev() {
+			if !el.Value.(*entry).exact {
+				victim = el
+				break
+			}
+		}
+		c.lru.Remove(victim)
+		delete(c.index, victim.Value.(*entry).sig)
 		c.stats.Evictions++
 	}
 }
