@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"adaptrm/internal/api"
+	"adaptrm/internal/control"
 	"adaptrm/internal/core"
 	"adaptrm/internal/dse"
 	"adaptrm/internal/exmem"
@@ -106,7 +107,33 @@ type (
 	// SharedScheduleCacheStats counts shared-tier activity (entries,
 	// exact entries, hits, promotions).
 	SharedScheduleCacheStats = schedcache.SharedStats
+	// Controller is the closed-loop degradation controller
+	// (FleetOptions.Control): externally ticked, it observes queue
+	// pressure and admission latency and tunes the coalescing window,
+	// the degradation tier and the refinement throttle.
+	Controller = control.Controller
+	// ControllerConfig tunes the controller's thresholds and hysteresis.
+	ControllerConfig = control.Config
+	// ControllerStatus is an observability snapshot of the controller.
+	ControllerStatus = control.Status
+	// ControlMode is the degradation tier of the serving stack.
+	ControlMode = control.Mode
 )
+
+// The degradation tiers a Controller walks through, least to most
+// degraded: full service, heuristic-only admission (refinement off),
+// and early load shedding with ErrOverloaded.
+const (
+	ControlModeNormal        = control.ModeNormal
+	ControlModeHeuristicOnly = control.ModeHeuristicOnly
+	ControlModeShedding      = control.ModeShedding
+)
+
+// NewController builds a closed-loop degradation controller to hand a
+// fleet via FleetOptions.Control. The caller owns ticking: drive
+// Controller.Tick from a ticker (stop it before Fleet.Close), and read
+// Controller.Status for observability.
+func NewController(cfg ControllerConfig) *Controller { return control.New(cfg) }
 
 // Service-protocol types, re-exported for downstream users. The
 // protocol (internal/api) is transport-agnostic: the in-process fleet

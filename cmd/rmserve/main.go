@@ -60,6 +60,8 @@
 //	        [-cache] [-cache-size N] [-cache-slack F] [-mailbox N]
 //	        [-cache-shared] [-cache-warm FILE] [-cache-warm-out FILE]
 //	        [-refine] [-refine-budget N] [-refine-workers K]
+//	        [-control [-control-interval D] [-control-max-window F]
+//	         [-control-high-latency D]]
 //	        [-resched] [-data-dir DIR [-fsync MODE]] [-v]
 //	rmserve -listen :8080 [-token SECRET | -tenants FILE.json]
 //	        [-quota-rate R [-quota-burst B]]
@@ -90,9 +92,11 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"adaptrm/internal/control"
 	"adaptrm/internal/dse"
 	"adaptrm/internal/durable"
 	"adaptrm/internal/fleet"
@@ -126,6 +130,10 @@ func main() {
 	refineWorkers := flag.Int("refine-workers", 1, "background refinement worker goroutines")
 	mailbox := flag.Int("mailbox", 64, "per-shard mailbox size")
 	batchWindow := flag.Float64("batch-window", 0, "coalesce queued same-device submits within this many seconds of virtual time into one batched activation (0 disables)")
+	ctlEnable := flag.Bool("control", false, "attach the closed-loop degradation controller: adaptive batch window, heuristic-only fallback, load shedding under sustained queue pressure")
+	ctlInterval := flag.Duration("control-interval", 200*time.Millisecond, "controller tick interval with -control")
+	ctlMaxWindow := flag.Float64("control-max-window", 0, "ceiling the controller may stretch -batch-window to under pressure (0 disables window tuning)")
+	ctlLatency := flag.Duration("control-high-latency", 0, "mean admission latency per tick that counts as overload with -control (0 = queue-depth signal only)")
 	burst := flag.Int("burst", 0, "burst size: requests per arrival event (replay mode; ≤1 = plain Poisson)")
 	burstWindow := flag.Float64("burst-window", 0, "spread of a burst's arrivals in seconds (replay mode; 0 = coincident)")
 	resched := flag.Bool("resched", false, "re-run the scheduler at every job completion")
@@ -171,6 +179,16 @@ func main() {
 			fatal(err)
 		}
 		devs[i] = fleet.DeviceConfig{Platform: plat, Library: lib, Scheduler: s}
+		if *ctlEnable {
+			// Degraded-mode fallback: a fresh per-device MDF instance,
+			// outside any cache wrapping, so heuristic-only admission
+			// costs exactly one heuristic solve.
+			fb, err := schedreg.New("mdf")
+			if err != nil {
+				fatal(err)
+			}
+			devs[i].Fallback = fb
+		}
 	}
 	opt := fleet.Options{
 		Shards:        *shards,
@@ -183,6 +201,15 @@ func main() {
 		Refine:        *refine,
 		RefineBudget:  *refineBudget,
 		RefineWorkers: *refineWorkers,
+	}
+	var ctl *control.Controller
+	if *ctlEnable {
+		ctl = control.New(control.Config{
+			BaseWindow:  *batchWindow,
+			MaxWindow:   *ctlMaxWindow,
+			HighLatency: *ctlLatency,
+		})
+		opt.Control = ctl
 	}
 	if *cacheWarm != "" || *cacheWarmOut != "" {
 		*cacheShared = true
@@ -238,6 +265,11 @@ func main() {
 		fmt.Printf("wal:       %s (fsync %s), recovered %d events, %d snapshots, %d torn bytes truncated\n",
 			walState.Dir, *fsyncMode, walState.Events, walState.Snapshots, walState.TruncatedBytes)
 	}
+	stopTick := startController(ctl, *ctlInterval)
+	if ctl != nil {
+		fmt.Printf("control:   tick %v, window %g..%gs, latency signal %v\n",
+			*ctlInterval, *batchWindow, *ctlMaxWindow, *ctlLatency)
+	}
 
 	if *listen != "" {
 		serveDaemon(f, wal, daemonConfig{
@@ -246,6 +278,7 @@ func main() {
 			pprofToken: *pprofToken, flightlogSize: *flightlogSize,
 			cache: *cache, verbose: *verbose, devices: *devices,
 			shared: shared, warmOut: *cacheWarmOut,
+			stopTick: stopTick,
 		})
 		return
 	}
@@ -265,12 +298,43 @@ func main() {
 	if err := f.Replay(trace); err != nil {
 		fatal(err)
 	}
+	stopTick()
 	if err := f.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "rmserve: device errors:", err)
 	}
 	closeWAL(wal)
 	saveWarm(shared, *cacheWarmOut)
 	report(f, time.Since(start), *cache, *verbose, false, *devices)
+}
+
+// startController drives the degradation controller from a wall-clock
+// ticker until the returned stop function runs. Stop is called before
+// Fleet.Close in every shutdown path: a tick's mode broadcast must not
+// race the closing watch hub. With a nil controller both the goroutine
+// and the stop are no-ops.
+func startController(ctl *control.Controller, interval time.Duration) (stop func()) {
+	if ctl == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	epoch := time.Now()
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-t.C:
+				ctl.Tick(now.Sub(epoch).Seconds())
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done); wg.Wait() }) }
 }
 
 // saveWarm persists the shared cache tier after the drain, so the next
@@ -463,6 +527,9 @@ type daemonConfig struct {
 	devices                    int
 	shared                     *schedcache.Shared
 	warmOut                    string
+	// stopTick stops the degradation controller's ticker goroutine; the
+	// daemon runs it before Fleet.Close (nil when -control is off).
+	stopTick func()
 }
 
 // serveDaemon exposes the fleet over HTTP until SIGINT/SIGTERM, then
@@ -575,6 +642,9 @@ func serveDaemon(f *fleet.Fleet, wal *durable.Writer, cfg daemonConfig) {
 			fatal(err)
 		}
 	}
+	if cfg.stopTick != nil {
+		cfg.stopTick()
+	}
 	if err := f.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "rmserve: device errors:", err)
 	}
@@ -617,6 +687,10 @@ func report(f *fleet.Fleet, wall time.Duration, cache, verbose, daemon bool, dev
 	if s.RefineSearches > 0 || s.Swaps > 0 {
 		fmt.Printf("refinement:      %d searches, %d improved, %d swaps applied, %d skipped, %d dropped\n",
 			s.RefineSearches, s.RefineImproved, s.Swaps, s.RefineSkipped, s.RefineDropped)
+	}
+	if s.ControlMode != "" {
+		fmt.Printf("control:         mode %s, %d ticks, %d mode changes, %d shed\n",
+			s.ControlMode, s.ControlTicks, s.ControlModeChanges, s.Shed)
 	}
 	if daemon {
 		fmt.Printf("service:         %v uptime, max queue depth %d\n",

@@ -18,12 +18,19 @@
 // Latencies are recorded per op kind in an HDR-style histogram
 // (~1.6% relative error; see internal/metrics), so p99.9 of a
 // million-op run costs a few fixed KiB, not a sample array. Admission
-// rejections (infeasible) and cancels of already-completed jobs
-// (unknown job) are expected outcomes, counted but not errors; every
-// other failure is a transport error. Before and after the run rmsoak
-// scrapes /metrics and reconciles the server's submitted-counter delta
-// against its own count; -strict turns transport errors or a failed
-// reconciliation into a non-zero exit for CI.
+// rejections (infeasible), cancels of already-completed jobs (unknown
+// job) and overloaded refusals (a daemon in ModeShedding protecting
+// itself, or mailbox backpressure) are expected outcomes, counted but
+// not errors; every other failure is a transport error. Before and
+// after the run rmsoak scrapes /metrics and reconciles the server's
+// submitted-counter delta against its own count — shed requests never
+// reach a device, so the reconciliation stays exact while the daemon
+// degrades — and, when the daemon exports adaptrm_shed_total, checks
+// the shed delta against the client-observed overloaded count.
+// -strict turns transport errors or a failed reconciliation into a
+// non-zero exit for CI; an intentionally-shedding daemon still passes.
+// -max-p99 additionally bounds the client-side submit p99 (the
+// overload-stage CI assertion).
 //
 // -addr takes a single daemon, or a comma-separated list: workers
 // round-robin across the listed addresses (worker w drives address
@@ -40,7 +47,7 @@
 //	       [-rps 200] [-concurrency 4] [-duration 10s]
 //	       [-devices 8] [-seed 1] [-burst N] [-burst-window S]
 //	       [-advance-every 5] [-cancel-every 7]
-//	       [-tsv FILE] [-strict]
+//	       [-tsv FILE] [-strict] [-max-p99 D]
 //
 // -devices must match the daemon's fleet size (requests address devices
 // [0, devices)). The trace's applications come from the same standard
@@ -78,13 +85,14 @@ var opKinds = []string{"submit", "advance", "cancel"}
 type soakStats struct {
 	lat [3]*metrics.HDR // per op kind, indexed like opKinds
 
-	submits   atomic.Int64 // submit round-trips with an admission verdict
-	accepted  atomic.Int64
-	rejected  atomic.Int64
-	advances  atomic.Int64
-	cancels   atomic.Int64
-	unknown   atomic.Int64 // cancels of already-finished jobs (expected)
-	transport atomic.Int64 // everything else: the soak's failure signal
+	submits    atomic.Int64 // submit round-trips with an admission verdict
+	accepted   atomic.Int64
+	rejected   atomic.Int64
+	advances   atomic.Int64
+	cancels    atomic.Int64
+	unknown    atomic.Int64 // cancels of already-finished jobs (expected)
+	overloaded atomic.Int64 // ops refused with the overloaded taxonomy error: load shed by a degrading daemon or mailbox backpressure — deliberate protection, not a failure
+	transport  atomic.Int64 // everything else: the soak's failure signal
 }
 
 func main() {
@@ -100,7 +108,8 @@ func main() {
 	advanceEvery := flag.Int("advance-every", 5, "advance a device's clock every N of its submits (0 = never)")
 	cancelEvery := flag.Int("cancel-every", 7, "cancel every Nth accepted job (0 = never)")
 	tsv := flag.String("tsv", "", "write the machine-readable latency table to this file ('-' = stdout)")
-	strict := flag.Bool("strict", false, "exit non-zero on transport errors or a failed /metrics reconciliation")
+	strict := flag.Bool("strict", false, "exit non-zero on transport errors or a failed /metrics reconciliation (shed overloaded errors are expected outcomes, not failures)")
+	maxP99 := flag.Duration("max-p99", 0, "exit non-zero when the client-side submit p99 exceeds this bound (0 = no bound; for overload-stage CI)")
 	flag.Parse()
 	if *rps <= 0 || *concurrency <= 0 || *devices <= 0 || *duration <= 0 {
 		fatal(errors.New("rps, concurrency, devices and duration must be positive"))
@@ -139,7 +148,7 @@ func main() {
 			fatal(fmt.Errorf("daemon not answering at %s: %w", a, err))
 		}
 	}
-	before, err := scrapeSubmittedAll(addrs, *token)
+	before, err := scrapeCountersAll(addrs, *token)
 	if err != nil {
 		fatal(fmt.Errorf("pre-run /metrics scrape: %w", err))
 	}
@@ -166,22 +175,46 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	after, err := scrapeSubmittedAll(addrs, *token)
+	after, err := scrapeCountersAll(addrs, *token)
 	reconciled := false
+	shedDelta := int64(0)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rmsoak: post-run /metrics scrape:", err)
 	} else {
-		reconciled = after-before == st.submits.Load()
+		// Shed submits were refused before reaching a device, so they are
+		// absent from both the client submit count and the server
+		// submitted counter — the reconciliation stays exact while the
+		// daemon degrades. The shed counter reconciles separately: the
+		// server cannot have shed more than this (sole) client observed
+		// as overloaded errors.
+		reconciled = after.submitted-before.submitted == st.submits.Load()
+		shedDelta = after.shed - before.shed
 	}
 
-	printReport(os.Stdout, *addr, *rps, *concurrency, elapsed, st, before, after, err == nil, reconciled)
+	printReport(os.Stdout, *addr, *rps, *concurrency, elapsed, st, before.submitted, after.submitted, shedDelta, err == nil, reconciled)
 	if *tsv != "" {
 		if err := writeTSV(*tsv, st); err != nil {
 			fatal(err)
 		}
 	}
+	fail := false
 	if *strict && (st.transport.Load() > 0 || err != nil || !reconciled) {
 		fmt.Fprintln(os.Stderr, "rmsoak: strict mode: transport errors or reconciliation failure")
+		fail = true
+	}
+	if *strict && err == nil && shedDelta > st.overloaded.Load() {
+		fmt.Fprintf(os.Stderr, "rmsoak: strict mode: server shed %d but client observed only %d overloaded errors\n",
+			shedDelta, st.overloaded.Load())
+		fail = true
+	}
+	if *maxP99 > 0 {
+		if p99 := time.Duration(st.lat[0].Quantile(0.99)); p99 > *maxP99 {
+			fmt.Fprintf(os.Stderr, "rmsoak: submit p99 %v exceeds bound %v\n",
+				p99.Round(time.Microsecond), *maxP99)
+			fail = true
+		}
+	}
+	if fail {
 		os.Exit(1)
 	}
 }
@@ -230,6 +263,13 @@ func worker(ctx context.Context, client *httpapi.Client, trace []workload.FleetR
 		case errors.Is(err, api.ErrInfeasible):
 			st.submits.Add(1)
 			st.rejected.Add(1)
+		case errors.Is(err, api.ErrOverloaded):
+			// Shed before any scheduler activation (or bounced off a full
+			// mailbox): the request never reached the device, so it is
+			// deliberately NOT a submit — the /metrics submitted-counter
+			// reconciliation stays exact while the daemon sheds.
+			st.overloaded.Add(1)
+			continue
 		default:
 			st.transport.Add(1)
 			continue // the device clock may not have advanced; skip follow-ups
@@ -240,10 +280,13 @@ func worker(ctx context.Context, client *httpapi.Client, trace []workload.FleetR
 			t0 = time.Now()
 			_, err := client.Advance(ctx, api.AdvanceRequest{Device: r.Device, To: r.At})
 			st.lat[1].Observe(int64(time.Since(t0)))
-			if err != nil {
-				st.transport.Add(1)
-			} else {
+			switch {
+			case err == nil:
 				st.advances.Add(1)
+			case errors.Is(err, api.ErrOverloaded):
+				st.overloaded.Add(1)
+			default:
+				st.transport.Add(1)
 			}
 		}
 		if cfg.cancelEvery > 0 && acceptedSeen > 0 && acceptedSeen%cfg.cancelEvery == 0 {
@@ -258,6 +301,8 @@ func worker(ctx context.Context, client *httpapi.Client, trace []workload.FleetR
 				case errors.Is(err, api.ErrUnknownJob):
 					// The job completed under an earlier advance: expected.
 					st.unknown.Add(1)
+				case errors.Is(err, api.ErrOverloaded):
+					st.overloaded.Add(1)
 				default:
 					st.transport.Add(1)
 				}
@@ -278,58 +323,84 @@ func splitAddrs(s string) []string {
 	return out
 }
 
-// scrapeSubmittedAll sums the submitted counter across every listed
-// address. Against a single node (or a router, whose /metrics already
-// merges its backends) this is one scrape; against a node list the sum
-// reconstructs the fleet-wide count, since each device's submits land
-// on exactly one node.
-func scrapeSubmittedAll(addrs []string, token string) (int64, error) {
-	var total int64
+// soakCounters are the server-side counters the soak reconciles
+// against, summed over the scraped addresses.
+type soakCounters struct {
+	submitted int64
+	// shed is adaptrm_shed_total, the admissions the degradation
+	// controller rejected early (0 when the family is absent — a
+	// controller-less daemon does not export it).
+	shed int64
+}
+
+// scrapeCountersAll sums the reconciliation counters across every
+// listed address. Against a single node (or a router, whose /metrics
+// already merges its backends) this is one scrape; against a node list
+// the sum reconstructs the fleet-wide count, since each device's
+// submits land on exactly one node.
+func scrapeCountersAll(addrs []string, token string) (soakCounters, error) {
+	var total soakCounters
 	for _, a := range addrs {
-		v, err := scrapeSubmitted(a, token)
+		v, err := scrapeCounters(a, token)
 		if err != nil {
-			return 0, fmt.Errorf("%s: %w", a, err)
+			return soakCounters{}, fmt.Errorf("%s: %w", a, err)
 		}
-		total += v
+		total.submitted += v.submitted
+		total.shed += v.shed
 	}
 	return total, nil
 }
 
-// scrapeSubmitted fetches /metrics and returns the fleet-wide
-// adaptrm_requests_submitted_total sample (the unlabeled one).
-func scrapeSubmitted(addr, token string) (int64, error) {
+// scrapeCounters fetches /metrics and returns the fleet-wide samples
+// (the unlabeled ones) of the reconciliation counters. The submitted
+// counter is mandatory; the shed counter is optional.
+func scrapeCounters(addr, token string) (soakCounters, error) {
+	var out soakCounters
 	req, err := http.NewRequest(http.MethodGet, strings.TrimRight(addr, "/")+"/metrics", nil)
 	if err != nil {
-		return 0, err
+		return out, err
 	}
 	if token != "" {
 		req.Header.Set("Authorization", "Bearer "+token)
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		return 0, err
+		return out, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return 0, fmt.Errorf("GET /metrics: %d: %s", resp.StatusCode, body)
+		return out, fmt.Errorf("GET /metrics: %d: %s", resp.StatusCode, body)
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	found := false
 	for sc.Scan() {
 		line := sc.Text()
 		if v, ok := strings.CutPrefix(line, "adaptrm_requests_submitted_total "); ok {
-			return strconv.ParseInt(v, 10, 64)
+			if out.submitted, err = strconv.ParseInt(v, 10, 64); err != nil {
+				return out, err
+			}
+			found = true
+		}
+		if v, ok := strings.CutPrefix(line, "adaptrm_shed_total "); ok {
+			if out.shed, err = strconv.ParseInt(v, 10, 64); err != nil {
+				return out, err
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return 0, err
+		return out, err
 	}
-	return 0, errors.New("adaptrm_requests_submitted_total not found in /metrics")
+	if !found {
+		return out, errors.New("adaptrm_requests_submitted_total not found in /metrics")
+	}
+	return out, nil
 }
 
-func printReport(w io.Writer, addr string, rps float64, concurrency int, elapsed time.Duration, st *soakStats, before, after int64, scraped, reconciled bool) {
-	total := st.submits.Load() + st.advances.Load() + st.cancels.Load() + st.unknown.Load() + st.transport.Load()
+func printReport(w io.Writer, addr string, rps float64, concurrency int, elapsed time.Duration, st *soakStats, before, after, shedDelta int64, scraped, reconciled bool) {
+	total := st.submits.Load() + st.advances.Load() + st.cancels.Load() + st.unknown.Load() +
+		st.overloaded.Load() + st.transport.Load()
 	fmt.Fprintln(w, "rmsoak report")
 	fmt.Fprintln(w, "-------------")
 	fmt.Fprintf(w, "target:    %s\n", addr)
@@ -340,7 +411,8 @@ func printReport(w io.Writer, addr string, rps float64, concurrency int, elapsed
 	fmt.Fprintf(w, "achieved:  %.0f ops/s (%d ops incl. follow-ups)\n", float64(total)/elapsed.Seconds(), total)
 	fmt.Fprintf(w, "ops:       %d submits (%d accepted, %d rejected), %d advances, %d cancels (+%d already done)\n",
 		st.submits.Load(), st.accepted.Load(), st.rejected.Load(), st.advances.Load(), st.cancels.Load(), st.unknown.Load())
-	fmt.Fprintf(w, "errors:    %d transport\n", st.transport.Load())
+	fmt.Fprintf(w, "errors:    %d transport, %d overloaded (shed by the server — deliberate, not a failure)\n",
+		st.transport.Load(), st.overloaded.Load())
 	for i, kind := range opKinds {
 		h := st.lat[i]
 		if h.Count() == 0 {
@@ -364,6 +436,10 @@ func printReport(w io.Writer, addr string, rps float64, concurrency int, elapsed
 	default:
 		fmt.Fprintf(w, "server:    submitted %d → %d (delta %d) — MISMATCH vs client %d\n",
 			before, after, after-before, st.submits.Load())
+	}
+	if scraped && (shedDelta > 0 || st.overloaded.Load() > 0) {
+		fmt.Fprintf(w, "shedding:  server shed %d, client observed %d overloaded\n",
+			shedDelta, st.overloaded.Load())
 	}
 }
 

@@ -224,6 +224,49 @@
 // client's own counts (-strict fails CI otherwise; see
 // scripts/smoke-soak.sh and benchmarks/README.md for recorded runs).
 //
+// # Adaptive control and graceful degradation
+//
+// Under overload a static configuration collapses: queues fill, every
+// admission waits on a full solve, and the latency the paper's runtime
+// exists to protect is lost exactly when traffic peaks. rmserve
+// -control closes the loop instead (internal/control): a deterministic,
+// externally-ticked controller observes per-shard queue depth (and
+// optionally mean admission latency) and owns three actuators, applied
+// in order of increasing damage:
+//
+//   - coalescing window: under sustained queue pressure the batch
+//     window stretches (doubling toward -control-max-window), amortising
+//     solver activations across queued submits, and shrinks back once
+//     drained;
+//   - degradation tier: normal → heuristic_only (refinement offers are
+//     skipped and admission falls back to the pure MDF heuristic,
+//     trading allocation quality for latency — the graceful-degradation
+//     idea of E-Mapper, arXiv 2406.18980) → shedding (admissions are
+//     rejected early with the overloaded taxonomy error before any
+//     scheduler activation is spent; advances and cancels still run, so
+//     admitted work keeps draining);
+//   - refinement throttle: background exact searches pause outside the
+//     normal tier.
+//
+// Layers read a consistent Limits snapshot per operation pickup rather
+// than static knobs; without -control a fixed snapshot pins behaviour
+// byte-identical to a build without the control layer (and a live
+// controller under steady light load is pinned identical too, under
+// -race). Hysteresis (consecutive-tick thresholds, slower out than in)
+// keeps the loop from oscillating at a boundary. Every tier transition
+// emits a mode_changed watch event that rides the ordinary event
+// machinery — SSE streams, the WAL, crash recovery — and replays
+// verbatim, so a recovered device resumes in the mode it crashed in.
+// /healthz names the current mode and deepest shard backlog (a probe
+// can pull a shedding backend out of rotation before requests bounce),
+// /metrics and /v1/stats export the mode, shed count and controller
+// decisions, a routed deployment reports the worst tier across its
+// backends, and rmsoak counts overloaded refusals separately from
+// transport errors so an intentionally-shedding daemon still passes
+// -strict reconciliation (scripts/smoke-soak.sh drives a 5x overload
+// stage in CI; the controller tick is allocation-free, gated by
+// BenchmarkControlTick).
+//
 // # Durability and recovery
 //
 // With rmserve -data-dir the fleet survives kill -9: internal/durable

@@ -185,6 +185,17 @@ type StatsResult struct {
 	// fleet-wide results, summed over its tenants.
 	QuotaBudgetRefusals int `json:"quota_budget_refusals,omitempty"`
 	QuotaRateRefusals   int `json:"quota_rate_refusals,omitempty"`
+	// ControlMode names the degradation controller's current mode
+	// ("normal", "heuristic_only", "shedding"; empty without a
+	// controller — a routed result reports the worst mode across its
+	// backends). Shed counts admission requests rejected early with
+	// ErrOverloaded before a scheduler activation was spent, and
+	// ControlTicks / ControlModeChanges the controller's decision
+	// counters. All operational (fleet-wide results only).
+	ControlMode        string `json:"control_mode,omitempty"`
+	Shed               int    `json:"shed,omitempty"`
+	ControlTicks       int    `json:"control_ticks,omitempty"`
+	ControlModeChanges int    `json:"control_mode_changes,omitempty"`
 }
 
 // Deterministic strips the wall-clock, operational and transport-level
@@ -205,6 +216,10 @@ func (s StatsResult) Deterministic() StatsResult {
 	s.RefineImproved = 0
 	s.RefineSkipped = 0
 	s.RefineDropped = 0
+	s.ControlMode = ""
+	s.Shed = 0
+	s.ControlTicks = 0
+	s.ControlModeChanges = 0
 	return s
 }
 

@@ -26,6 +26,12 @@ const (
 	// schedule with a strictly cheaper one; Payload carries the full new
 	// schedule so the event log stays a complete operation log.
 	EventScheduleSwapped EventType = "schedule_swapped"
+	// EventModeChanged: the degradation controller switched the device's
+	// operating mode; Payload carries the new mode's wire name
+	// ("normal", "heuristic_only", "shedding"), so the transition rides
+	// the watch/WAL machinery like any lifecycle event and replay
+	// restores it verbatim.
+	EventModeChanged EventType = "mode_changed"
 	// EventClockAdvanced: an explicit advance moved the device clock; At
 	// carries the new time. Together with the admission events this makes
 	// the stream a complete operation log — the durability layer replays

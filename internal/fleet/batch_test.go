@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"adaptrm/internal/api"
 	"adaptrm/internal/core"
@@ -176,6 +177,56 @@ func TestBatchWindowCoalescesQueuedSubmits(t *testing.T) {
 		t.Fatalf("admissions: %+v", s)
 	}
 	// One activation for the wedged submit, one for the joint batch.
+	if s.Activations != 2 {
+		t.Errorf("activations = %d, want 2 (solo + coalesced batch)", s.Activations)
+	}
+	if s.CoalescedBatches != 1 || s.CoalescedRequests != 3 {
+		t.Errorf("coalescing counters: %+v, want 1 batch of 3", s)
+	}
+}
+
+// TestCloseDuringCoalesceWindowFlushesPending is the shutdown barrier
+// of batched admission: Close racing an in-flight coalescing window
+// (worker wedged in a solve, more submits parked in the mailbox) must
+// flush the pending FIFO through the normal decide path before the
+// shard exits — every request decided, none dropped. The assertions
+// hold in both interleavings (Close beginning before or after the
+// release); the sleep biases the schedule toward the racy one.
+func TestCloseDuringCoalesceWindowFlushesPending(t *testing.T) {
+	release := make(chan struct{})
+	devs := []DeviceConfig{{
+		Platform:  motiv.Platform(),
+		Library:   motiv.Library(),
+		Scheduler: blockingScheduler(release),
+	}}
+	f, err := New(devs, Options{Shards: 1, MailboxSize: 8, BatchWindow: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first submit wedges the worker inside its solve; three
+	// coalescible submits park behind it.
+	if err := f.Replay([]workload.FleetRequest{
+		{Device: 0, At: 0, App: "lambda1", Deadline: 20},
+		{Device: 0, At: 1, App: "lambda1", Deadline: 30},
+		{Device: 0, At: 1, App: "lambda2", Deadline: 35},
+		{Device: 0, At: 1, App: "lambda1", Deadline: 40},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Close with the window still in flight: it must block until the
+	// parked submits are decided, not abandon them.
+	closed := make(chan error, 1)
+	go func() { closed <- f.Close() }()
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	if err := <-closed; err != nil {
+		t.Fatal(err)
+	}
+	s := f.Stats()
+	if s.Submitted != 4 || s.Accepted != 4 || s.Completed != 4 {
+		t.Fatalf("flush lost requests: %+v", s)
+	}
+	// One activation for the wedged submit, one for the coalesced rest.
 	if s.Activations != 2 {
 		t.Errorf("activations = %d, want 2 (solo + coalesced batch)", s.Activations)
 	}

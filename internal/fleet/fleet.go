@@ -24,6 +24,7 @@ import (
 
 	"adaptrm/internal/anytime"
 	"adaptrm/internal/api"
+	"adaptrm/internal/control"
 	"adaptrm/internal/opset"
 	"adaptrm/internal/placement"
 	"adaptrm/internal/platform"
@@ -44,6 +45,14 @@ type DeviceConfig struct {
 	// own instance unless the implementation is known to be stateless
 	// and goroutine-safe; the fleet never shares it across devices.
 	Scheduler sched.Scheduler
+	// Fallback, when non-nil, is the device's cheap heuristic scheduler
+	// for degraded modes (rm.Options.Fallback): while the degradation
+	// controller holds the fleet at ModeHeuristicOnly or above,
+	// admission solves run here instead of Scheduler — typically a
+	// plain MMKP-MDF instance without cache wrapping. Like Scheduler it
+	// must not be shared across devices unless stateless and
+	// goroutine-safe. Ignored without Options.Control.
+	Fallback sched.Scheduler
 }
 
 // Options tunes the fleet front-end.
@@ -116,6 +125,17 @@ type Options struct {
 	// shard worker. Zero means 256; WatchRequest.Buffer overrides it
 	// per subscription.
 	WatchBuffer int
+	// Control attaches a closed-loop degradation controller. The fleet
+	// binds it to its own queue-pressure signal and mode broadcast
+	// (control.Controller.Attach) and reads the controller's Limits
+	// snapshot — mode, coalescing window, refinement throttle — on
+	// every operation pickup instead of the static BatchWindow/Refine
+	// knobs above (which then only seed the controller-less provider).
+	// The caller owns ticking: drive Controller.Tick from a wall-clock
+	// ticker (rmserve -control) or explicitly in tests, and stop
+	// ticking before Close. Nil keeps the historical static behaviour,
+	// byte-identical to a build without the control layer.
+	Control *control.Controller
 }
 
 func (o *Options) normalize() {
@@ -205,6 +225,15 @@ type Stats struct {
 	// bounded rings (surfaced in-stream as EventLagged markers). Both
 	// are operational.
 	WatchSubscribers, WatchDropped int
+	// ControlMode names the degradation controller's current mode
+	// (empty without Options.Control), Shed the admission requests it
+	// rejected early with ErrOverloaded before any scheduler activation
+	// was spent, and ControlTicks / ControlModeChanges its decision
+	// counters. All operational: the controller is driven by wall-clock
+	// ticks against live queue depths.
+	ControlMode                    string
+	Shed                           int
+	ControlTicks, ControlModeChanges int
 }
 
 // AcceptRate returns Accepted / Submitted, or 0 when idle.
@@ -248,6 +277,11 @@ const (
 	// opSwap offers a refined schedule to the device (fire-and-forget:
 	// the manager's validation decides, rejection is not an error).
 	opSwap
+	// opMode exists only as a replay unit (parseReplayOps): live mode
+	// transitions are broadcast directly under the device locks by
+	// applyMode, never through the mailboxes — a full mailbox is exactly
+	// when a transition must still land.
+	opMode
 )
 
 // opReply is the outcome of one mailbox operation.
@@ -362,8 +396,15 @@ type Fleet struct {
 	// default when unset). Static for the fleet's lifetime so
 	// per-device mailbox order is preserved.
 	place placement.Placement
-	// batchWindow is Options.BatchWindow (0 = no coalescing).
-	batchWindow float64
+	// limits is the per-activation knob snapshot every layer reads: the
+	// degradation mode, the coalescing window and the refinement
+	// throttle. Without Options.Control it is a static provider frozen
+	// at the BatchWindow/Refine options (byte-identical to the
+	// pre-control fleet); with a controller it is the controller itself.
+	limits control.Provider
+	// ctl is Options.Control (nil without a controller); kept for shed
+	// accounting and Stats export.
+	ctl *control.Controller
 	// hub fans device events out to watchers; watchBuffer is the default
 	// per-subscriber ring capacity.
 	hub         *hub
@@ -408,8 +449,18 @@ func build(devs []DeviceConfig, opt Options) (*Fleet, error) {
 	if opt.Shards <= 0 {
 		return nil, fmt.Errorf("fleet: placement reports %d owners", opt.Shards)
 	}
-	f := &Fleet{batchWindow: opt.BatchWindow, hub: newHub(), watchBuffer: opt.WatchBuffer,
+	f := &Fleet{hub: newHub(), watchBuffer: opt.WatchBuffer,
 		sharedCache: opt.SharedCache, place: opt.Placement}
+	if opt.Control != nil {
+		f.ctl = opt.Control
+		f.limits = opt.Control
+	} else {
+		f.limits = control.Static(control.Limits{
+			Mode:        control.ModeNormal,
+			BatchWindow: opt.BatchWindow,
+			Refine:      opt.Refine,
+		})
+	}
 	for i, dc := range devs {
 		s := dc.Scheduler
 		var cache *schedcache.Cache
@@ -420,7 +471,11 @@ func build(devs []DeviceConfig, opt Options) (*Fleet, error) {
 			}
 			s = schedcache.Wrap(s, cache)
 		}
-		mgr, err := rm.New(dc.Platform, dc.Library, s, opt.Manager)
+		mgrOpt := opt.Manager
+		if opt.Control != nil {
+			mgrOpt.Fallback = dc.Fallback
+		}
+		mgr, err := rm.New(dc.Platform, dc.Library, s, mgrOpt)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: device %d: %w", i, err)
 		}
@@ -462,6 +517,9 @@ func build(devs []DeviceConfig, opt Options) (*Fleet, error) {
 	f.shards = make([]*shard, opt.Shards)
 	for i := range f.shards {
 		f.shards[i] = &shard{mailbox: make(chan op, opt.MailboxSize)}
+	}
+	if f.ctl != nil {
+		f.ctl.Attach(f, f.applyMode)
 	}
 	return f, nil
 }
@@ -521,8 +579,13 @@ func (f *Fleet) worker(sh *shard) {
 				return // mailbox closed and nothing parked
 			}
 		}
-		if f.batchWindow > 0 && o.kind == opSubmit && o.deadline > o.at+f.batchWindow {
-			f.coalesce(sh, o)
+		// The coalescing window is read once per pickup and pinned for
+		// the whole batch formation: under a live controller the window
+		// moves between ticks, and a batch must be judged against one
+		// consistent value (coalescible's deadline-validity bound depends
+		// on it).
+		if w := f.limits.Limits().BatchWindow; w > 0 && o.kind == opSubmit && o.deadline > o.at+w {
+			f.coalesce(sh, o, w)
 			continue
 		}
 		f.execute(sh, o)
@@ -589,7 +652,7 @@ func anyAccepted(vs []rm.Verdict) bool {
 // it to the refinement pool. Called under d.mu by the owning shard
 // worker; the enqueue never blocks (a full queue drops the offer).
 func (f *Fleet) offerRefine(d *device) {
-	if f.refiner == nil {
+	if f.refiner == nil || !f.limits.Limits().Refine {
 		return
 	}
 	jobs, now, incumbent, ok := d.mgr.RefineSnapshot()
@@ -603,11 +666,12 @@ func (f *Fleet) offerRefine(d *device) {
 // seed: a submit for the same device whose arrival lies inside the
 // window and whose deadline stays valid at any possible batch time
 // (bounded by seed.at+window, since batched requests are stamped with
-// the batch's latest arrival).
-func (f *Fleet) coalescible(seed, p op) bool {
+// the batch's latest arrival). The window is the value pinned at batch
+// pickup, not a live read — see worker.
+func coalescible(seed, p op, window float64) bool {
 	return p.kind == opSubmit && p.dev == seed.dev &&
-		p.at >= seed.at && p.at <= seed.at+f.batchWindow &&
-		p.deadline > seed.at+f.batchWindow
+		p.at >= seed.at && p.at <= seed.at+window &&
+		p.deadline > seed.at+window
 }
 
 // coalesce forms and executes a batch seeded by one submit: it first
@@ -615,12 +679,12 @@ func (f *Fleet) coalescible(seed, p op) bool {
 // same-device op that must keep its place in line), then drains the
 // mailbox without blocking. Everything non-matching parks in sh.pending
 // in drain order, preserving per-device FIFO.
-func (f *Fleet) coalesce(sh *shard, seed op) {
+func (f *Fleet) coalesce(sh *shard, seed op, window float64) {
 	batch := append(sh.batch[:0], seed)
 	barrier := false
 	for i := 0; i < len(sh.pending) && len(batch) < maxCoalesce; {
 		p := sh.pending[i]
-		if f.coalescible(seed, p) {
+		if coalescible(seed, p, window) {
 			batch = append(batch, p)
 			sh.pending = append(sh.pending[:i], sh.pending[i+1:]...)
 			continue
@@ -638,7 +702,7 @@ func (f *Fleet) coalesce(sh *shard, seed op) {
 				barrier = true
 				break
 			}
-			if f.coalescible(seed, p) {
+			if coalescible(seed, p, window) {
 				batch = append(batch, p)
 				continue
 			}
@@ -859,7 +923,49 @@ func (f *Fleet) Stats() Stats {
 	}
 	out.WatchSubscribers = f.hub.subscribers()
 	out.WatchDropped = int(f.hub.dropped.Load())
+	if f.ctl != nil {
+		cs := f.ctl.Status()
+		out.ControlMode = cs.Mode.String()
+		out.Shed = int(cs.Sheds)
+		out.ControlTicks = int(cs.Ticks)
+		out.ControlModeChanges = int(cs.ModeChanges)
+	}
 	return out
+}
+
+// QueuePressure implements control.Source: the deepest pending-op
+// backlog over all shard mailboxes and the per-shard mailbox capacity.
+// Purely operational — depths move while being read.
+func (f *Fleet) QueuePressure() (maxDepth, capacity int) {
+	for _, sh := range f.shards {
+		if d := int(sh.depth.Load()); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if len(f.shards) > 0 {
+		capacity = cap(f.shards[0].mailbox)
+	}
+	return maxDepth, capacity
+}
+
+// applyMode broadcasts a controller tier transition to every device:
+// each manager records the mode and emits an EventModeChanged through
+// the normal event machinery under the device lock, so the transition
+// rides flightlog/WAL/SSE/recovery exactly like a lifecycle event.
+// Invoked synchronously from Controller.Tick on the ticking goroutine;
+// callers must stop ticking before Close (a closed fleet skips the
+// broadcast — its hub is ending the watch streams).
+func (f *Fleet) applyMode(_, to control.Mode) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.closed {
+		return
+	}
+	for _, d := range f.devices {
+		d.mu.Lock()
+		d.mgr.SetMode(to)
+		d.mu.Unlock()
+	}
 }
 
 // QueueDepths snapshots the pending-operation count of every shard

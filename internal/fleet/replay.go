@@ -15,11 +15,16 @@ package fleet
 //	Cancel              cancelled schedule_changed
 //	AdvanceTo           derived* clock_advanced
 //	SwapSchedule        schedule_swapped
+//	SetMode             mode_changed
 //
 // A schedule_swapped anchor is special: the swapped-in schedule came
 // from an unbounded background search, so instead of re-running it,
 // replay re-applies the schedule carried in the event's payload
-// verbatim (rm.ReplaySwap) — deterministic by construction.
+// verbatim (rm.ReplaySwap) — deterministic by construction. A
+// mode_changed anchor works the same way: the degradation controller's
+// decision depended on live queue depths, so replay restores the mode
+// carried in the payload verbatim (rm.ReplayMode) instead of
+// re-deciding it.
 //
 // where derived* is any run of started / completed / schedule_changed
 // events produced while the clock moves (including reschedule-on-finish
@@ -169,6 +174,8 @@ func (f *Fleet) replayDevice(d *device, dr DeviceRecovery) (DeviceRecoveryResult
 			_, err = d.mgr.AdvanceTo(o.at)
 		case opSwap:
 			err = d.mgr.ReplaySwap(o.at, o.payload)
+		case opMode:
+			err = d.mgr.ReplayMode(o.at, o.payload)
 		}
 		if err != nil {
 			return res, fmt.Errorf("replaying seq %d: %w", res.AppliedSeq+uint64(cursor)+1, err)
@@ -233,6 +240,12 @@ func parseReplayOps(evs []api.Event) (ops []replayOp, cut int, err error) {
 				return nil, 0, fmt.Errorf("schedule swap at seq %d carries no payload", a.Seq)
 			}
 			ops = append(ops, replayOp{kind: opSwap, at: a.At, payload: a.Payload})
+			i = j + 1
+		case api.EventModeChanged:
+			if a.Payload == "" {
+				return nil, 0, fmt.Errorf("mode change at seq %d carries no payload", a.Seq)
+			}
+			ops = append(ops, replayOp{kind: opMode, at: a.At, payload: a.Payload})
 			i = j + 1
 		case api.EventJobCancelled:
 			if j+1 == len(evs) {

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"adaptrm/internal/api"
+	"adaptrm/internal/control"
 	"adaptrm/internal/rm"
 )
 
@@ -88,12 +90,44 @@ func completions(done []rm.Completion) []api.Completion {
 	return out
 }
 
+// shed rejects an admission request early when the degradation
+// controller holds the fleet in ModeShedding: the request is refused
+// with api.ErrOverloaded before any mailbox slot or scheduler
+// activation is spent. Only valid device indices shed (an unknown
+// device keeps its taxonomy error), and only submit paths — advances
+// and cancels always run so admitted work keeps draining.
+func (s *Service) shed(dev int) error {
+	f := s.f
+	if f.ctl == nil || dev < 0 || dev >= len(f.devices) {
+		return nil
+	}
+	if f.limits.Limits().Mode != control.ModeShedding {
+		return nil
+	}
+	f.ctl.NoteShed()
+	return api.Errf(api.ErrOverloaded, "device %d: shedding load", dev)
+}
+
+// observeLatency feeds one admission's service latency back to the
+// degradation controller (no-op without one).
+func (s *Service) observeLatency(start time.Time) {
+	if s.f.ctl != nil {
+		s.f.ctl.ObserveLatency(time.Since(start))
+	}
+}
+
 // Submit implements api.Service: it negotiates admission of one request
 // and returns the decision. A rejection returns the result (carrying
 // any completions observed while the device advanced) together with
-// api.ErrInfeasible.
+// api.ErrInfeasible. In ModeShedding the request is refused with
+// api.ErrOverloaded before a scheduler activation is spent.
 func (s *Service) Submit(ctx context.Context, req api.SubmitRequest) (api.SubmitResult, error) {
+	if err := s.shed(req.Device); err != nil {
+		return api.SubmitResult{}, err
+	}
+	start := time.Now()
 	r, err := s.do(ctx, req.Device, op{kind: opSubmit, at: req.At, app: req.App, deadline: req.Deadline})
+	s.observeLatency(start)
 	res := api.SubmitResult{JobID: r.jobID, Accepted: r.accepted, Completions: completions(r.done)}
 	if err != nil {
 		return res, err
@@ -118,11 +152,16 @@ func (s *Service) SubmitBatch(ctx context.Context, req api.BatchSubmitRequest) (
 	if len(req.Items) == 0 {
 		return api.BatchSubmitResult{}, nil
 	}
+	if err := s.shed(req.Device); err != nil {
+		return api.BatchSubmitResult{}, err
+	}
 	items := make([]rm.Request, len(req.Items))
 	for i, it := range req.Items {
 		items[i] = rm.Request{App: it.App, Deadline: it.Deadline}
 	}
+	start := time.Now()
 	r, err := s.do(ctx, req.Device, op{kind: opBatch, at: req.At, items: items})
+	s.observeLatency(start)
 	res := api.BatchSubmitResult{Completions: completions(r.done)}
 	if err != nil {
 		return res, err
@@ -217,8 +256,12 @@ func (s *Service) Stats(ctx context.Context, req api.StatsRequest) (api.StatsRes
 		MaxQueueDepth:     fs.MaxQueueDepth,
 		CoalescedBatches:  fs.CoalescedBatches,
 		CoalescedRequests: fs.CoalescedRequests,
-		WatchSubscribers:  fs.WatchSubscribers,
-		WatchDropped:      fs.WatchDropped,
+		WatchSubscribers:   fs.WatchSubscribers,
+		WatchDropped:       fs.WatchDropped,
+		ControlMode:        fs.ControlMode,
+		Shed:               fs.Shed,
+		ControlTicks:       fs.ControlTicks,
+		ControlModeChanges: fs.ControlModeChanges,
 	}, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"adaptrm/internal/api"
+	"adaptrm/internal/control"
 	"adaptrm/internal/flightlog"
 	"adaptrm/internal/metrics"
 )
@@ -263,6 +264,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	e.Family("adaptrm_watch_subscribers", "Open watch subscriptions.", "gauge")
 	e.Int("adaptrm_watch_subscribers", int64(agg.WatchSubscribers))
 	counter("adaptrm_watch_dropped_total", "Events dropped from slow watch subscribers.", int64(agg.WatchDropped), nil)
+
+	// Degradation-controller families, emitted only when the service
+	// reports a controller mode — a controller-less daemon's scrape
+	// stays byte-identical to a pre-control build.
+	if agg.ControlMode != "" {
+		var mode int64
+		if m, err := control.ParseMode(agg.ControlMode); err == nil {
+			mode = int64(m)
+		}
+		e.Family("adaptrm_control_mode", "Degradation tier (0 normal, 1 heuristic-only, 2 shedding).", "gauge")
+		e.Int("adaptrm_control_mode", mode)
+		counter("adaptrm_shed_total", "Admission requests shed early with an overloaded error.", int64(agg.Shed), nil)
+		counter("adaptrm_control_ticks_total", "Degradation-controller decision ticks.", int64(agg.ControlTicks), nil)
+		counter("adaptrm_control_mode_changes_total", "Degradation-tier transitions (both directions).", int64(agg.ControlModeChanges), nil)
+	}
 
 	// Per-shard queue depth, when the wrapped service exposes it (the
 	// fleet's service view does; a plain api.Service need not).

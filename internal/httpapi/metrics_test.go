@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"adaptrm/internal/api"
+	"adaptrm/internal/control"
 	"adaptrm/internal/fleet"
 	"adaptrm/internal/flightlog"
 	"adaptrm/internal/httpapi"
@@ -528,6 +529,66 @@ func TestHealthz(t *testing.T) {
 	}
 	if body.Status != "ok" || body.Devices != devices || body.UptimeS != 5 {
 		t.Fatalf("healthz body %+v, want ok/%d devices/5s uptime", body, devices)
+	}
+}
+
+// TestHealthzControl pins the degradation fields of the liveness body:
+// without a controller the control keys are absent (probe configs stay
+// valid byte for byte), with a controller in a degraded tier the body
+// names the mode so a probe can pull the backend out of rotation.
+func TestHealthzControl(t *testing.T) {
+	getBody := func(ts *httptest.Server) map[string]any {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /healthz: %d", resp.StatusCode)
+		}
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	// Controller-less fleet: no control keys at all.
+	plain := newFleet(t, 1, fleet.Options{})
+	defer plain.Close()
+	ts := httptest.NewServer(mustServer(t, plain.Service(), httpapi.ServerOptions{}))
+	defer ts.Close()
+	body := getBody(ts)
+	if _, ok := body["control_mode"]; ok {
+		t.Errorf("controller-less healthz leaks control_mode: %v", body)
+	}
+	if _, ok := body["max_queue_depth"]; ok {
+		t.Errorf("idle healthz leaks max_queue_depth: %v", body)
+	}
+
+	// Controlled fleet, escalated via the latency signal (any observed
+	// admission latency clears a 1ns bar, so one submit plus one tick
+	// reaches heuristic_only deterministically).
+	ctl := control.New(control.Config{HighLatency: 1, EnterTicks: 1})
+	f := newFleet(t, 1, fleet.Options{Control: ctl})
+	defer f.Close()
+	tsc := httptest.NewServer(mustServer(t, f.Service(), httpapi.ServerOptions{}))
+	defer tsc.Close()
+
+	body = getBody(tsc)
+	if got := body["control_mode"]; got != "normal" {
+		t.Errorf("controlled healthz mode = %v, want normal", got)
+	}
+	if _, err := f.Service().Submit(context.Background(), api.SubmitRequest{
+		Device: 0, At: 0, App: "lambda1", Deadline: 9,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctl.Tick(1)
+	body = getBody(tsc)
+	if got := body["control_mode"]; got != "heuristic_only" {
+		t.Errorf("degraded healthz mode = %v, want heuristic_only", got)
 	}
 }
 

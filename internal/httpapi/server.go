@@ -581,13 +581,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
-// healthResult is the /healthz body: liveness plus the two facts a
-// probe acts on — whether the fleet answers (devices) and for how long
-// the daemon has been up.
+// healthResult is the /healthz body: liveness plus the facts a probe
+// acts on — whether the fleet answers (devices), for how long the
+// daemon has been up, and, when a degradation controller is attached,
+// its current mode and the deepest shard-mailbox backlog (a probe can
+// pull a shedding backend out of rotation before requests bounce).
 type healthResult struct {
-	Status  string  `json:"status"`
-	Devices int     `json:"devices"`
-	UptimeS float64 `json:"uptime_s"`
+	Status        string  `json:"status"`
+	Devices       int     `json:"devices"`
+	UptimeS       float64 `json:"uptime_s"`
+	ControlMode   string  `json:"control_mode,omitempty"`
+	MaxQueueDepth int     `json:"max_queue_depth,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -597,8 +601,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			healthResult{Status: "degraded", UptimeS: s.now().Sub(s.start).Seconds()})
 		return
 	}
-	writeJSON(w, http.StatusOK,
-		healthResult{Status: "ok", Devices: res.Devices, UptimeS: s.now().Sub(s.start).Seconds()})
+	h := healthResult{Status: "ok", Devices: res.Devices,
+		UptimeS: s.now().Sub(s.start).Seconds(), ControlMode: res.ControlMode}
+	// Current depth, not the lifetime high-water mark: a probe wants
+	// the backlog now.
+	if qd, ok := s.svc.(interface{ QueueDepths() []int }); ok {
+		for _, d := range qd.QueueDepths() {
+			if d > h.MaxQueueDepth {
+				h.MaxQueueDepth = d
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 // validateTenants rejects tenant lists with empty or duplicate tokens —

@@ -32,6 +32,13 @@ const (
 	// carries the full new schedule in Payload and replay re-applies it
 	// verbatim.
 	EventScheduleSwapped EventType = "schedule_swapped"
+	// EventModeChanged: the degradation controller switched the
+	// device's operating mode (SetMode). Payload carries the new mode's
+	// wire name (control.Mode.String); like EventScheduleSwapped the
+	// decision came from outside the deterministic operation stream, so
+	// replay re-applies the logged payload verbatim (ReplayMode) instead
+	// of re-deriving it.
+	EventModeChanged EventType = "mode_changed"
 	// EventClockAdvanced: an explicit AdvanceTo moved the device clock;
 	// At carries the new time. Interior advances (the one a Submit or
 	// SubmitBatch performs before deciding) emit no clock event — the

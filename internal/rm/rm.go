@@ -18,6 +18,7 @@ import (
 	"sort"
 	"time"
 
+	"adaptrm/internal/control"
 	"adaptrm/internal/job"
 	"adaptrm/internal/opset"
 	"adaptrm/internal/platform"
@@ -85,6 +86,15 @@ type Options struct {
 	// horizon, so this is optional polish; it never invalidates
 	// admitted jobs because the previous schedule is kept on failure.
 	RescheduleOnFinish bool
+	// Fallback, when non-nil, is the cheap heuristic scheduler used in
+	// place of the configured one while the manager's degradation mode
+	// is ModeHeuristicOnly or higher (SetMode) — typically the plain
+	// MMKP-MDF solver without cache wrapping, so degraded admission
+	// costs exactly one pure heuristic solve. Like Scheduler it must
+	// not be shared across devices unless stateless and goroutine-safe.
+	// Mode changes travel the event log, so replay picks the same
+	// scheduler at every point and stays byte-identical.
+	Fallback sched.Scheduler
 }
 
 // Manager is the online runtime manager.
@@ -100,6 +110,9 @@ type Manager struct {
 	current  *schedule.Schedule
 	executed []schedule.Segment
 	stats    Stats
+	// mode is the degradation tier (see mode.go); from
+	// ModeHeuristicOnly up, schedule() prefers opt.Fallback.
+	mode control.Mode
 
 	// Advance-accounting scratch, reused across AdvanceTo calls so the
 	// activation hot path stays free of bookkeeping allocations (the
@@ -511,20 +524,26 @@ func (m *Manager) OnCompletion() {
 	}
 }
 
-// schedule invokes the pluggable scheduler with stats accounting.
+// schedule invokes the pluggable scheduler with stats accounting. In a
+// degraded mode (ModeHeuristicOnly and up) the fallback heuristic, when
+// configured, takes the activation instead of the configured scheduler.
 // Schedulers declaring sched.SelfValidating skip the re-validation —
 // their results are already checked against (jobs, plat, t).
 func (m *Manager) schedule(jobs job.Set, t float64) (*schedule.Schedule, error) {
+	s := m.scheduler
+	if m.mode != control.ModeNormal && m.opt.Fallback != nil {
+		s = m.opt.Fallback
+	}
 	m.stats.Activations++
 	start := time.Now()
-	k, err := m.scheduler.Schedule(jobs, m.plat, t)
+	k, err := s.Schedule(jobs, m.plat, t)
 	m.stats.SchedulingTime += time.Since(start)
 	if err != nil {
 		return nil, err
 	}
-	if sv, ok := m.scheduler.(sched.SelfValidating); !ok || !sv.ValidatesOutput() {
+	if sv, ok := s.(sched.SelfValidating); !ok || !sv.ValidatesOutput() {
 		if verr := k.Validate(m.plat, jobs, t); verr != nil {
-			return nil, fmt.Errorf("rm: scheduler %s produced invalid schedule: %w", m.scheduler.Name(), verr)
+			return nil, fmt.Errorf("rm: scheduler %s produced invalid schedule: %w", s.Name(), verr)
 		}
 	}
 	return k, nil

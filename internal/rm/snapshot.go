@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"adaptrm/internal/control"
 	"adaptrm/internal/job"
 	"adaptrm/internal/schedule"
 )
@@ -47,6 +48,10 @@ type Snapshot struct {
 	// snapshots of swap-free managers byte-identical to pre-refinement
 	// builds (and their files loadable by them).
 	Swapped int `json:"swapped,omitempty"`
+	// Mode is the degradation tier's wire name when not ModeNormal.
+	// omitempty keeps snapshots of never-degraded managers
+	// byte-identical to pre-control builds.
+	Mode string `json:"mode,omitempty"`
 
 	// Active are the unfinished admitted jobs in admission order.
 	Active []SnapshotJob `json:"active,omitempty"`
@@ -106,6 +111,9 @@ func (m *Manager) Snapshot() *Snapshot {
 		SchedulingTimeNs: int64(m.stats.SchedulingTime),
 		Swapped:          m.stats.Swapped,
 	}
+	if m.mode != control.ModeNormal {
+		s.Mode = m.mode.String()
+	}
 	for _, j := range m.active {
 		s.Active = append(s.Active, SnapshotJob{
 			ID:        j.ID,
@@ -134,8 +142,15 @@ func (m *Manager) Restore(s *Snapshot) error {
 	if s == nil {
 		return fmt.Errorf("%w: nil", ErrRestore)
 	}
-	if m.now != 0 || m.nextID != 1 || len(m.active) != 0 || m.stats != (Stats{}) {
+	if m.now != 0 || m.nextID != 1 || len(m.active) != 0 || m.stats != (Stats{}) || m.mode != control.ModeNormal {
 		return fmt.Errorf("%w: manager not fresh", ErrRestore)
+	}
+	mode := control.ModeNormal
+	if s.Mode != "" {
+		var err error
+		if mode, err = control.ParseMode(s.Mode); err != nil {
+			return fmt.Errorf("%w: %w", ErrRestore, err)
+		}
 	}
 	if s.NextID < 1 {
 		return fmt.Errorf("%w: next id %d", ErrRestore, s.NextID)
@@ -165,6 +180,7 @@ func (m *Manager) Restore(s *Snapshot) error {
 	m.now = s.Now
 	m.nextID = s.NextID
 	m.eventSeq = s.EventSeq
+	m.mode = mode
 	m.active = active
 	m.current = &schedule.Schedule{Segments: segmentsFromWire(s.Current)}
 	m.executed = segmentsFromWire(s.Executed)

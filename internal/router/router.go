@@ -38,6 +38,7 @@ import (
 	"sync"
 
 	"adaptrm/internal/api"
+	"adaptrm/internal/control"
 	"adaptrm/internal/placement"
 )
 
@@ -236,6 +237,21 @@ func mergeStats(in []api.StatsResult) api.StatsResult {
 		out.WatchDropped += s.WatchDropped
 		out.QuotaBudgetRefusals += s.QuotaBudgetRefusals
 		out.QuotaRateRefusals += s.QuotaRateRefusals
+		out.Shed += s.Shed
+		out.ControlTicks += s.ControlTicks
+		out.ControlModeChanges += s.ControlModeChanges
+		// The routed mode is the worst tier over the backends that report
+		// one: a probe acting on the merged view must see a single
+		// shedding node.
+		if s.ControlMode != "" {
+			m, err := control.ParseMode(s.ControlMode)
+			if err == nil {
+				cur, curErr := control.ParseMode(out.ControlMode)
+				if out.ControlMode == "" || curErr == nil && m > cur {
+					out.ControlMode = m.String()
+				}
+			}
+		}
 	}
 	return out
 }

@@ -638,3 +638,79 @@ func TestRouterMetricsExport(t *testing.T) {
 		}
 	}
 }
+
+// statsService is a healthy stub that only answers Stats, with a canned
+// snapshot — the merge inputs of a routed fleet.
+type statsService struct{ res api.StatsResult }
+
+func (s statsService) Submit(context.Context, api.SubmitRequest) (api.SubmitResult, error) {
+	return api.SubmitResult{}, nil
+}
+func (s statsService) Advance(context.Context, api.AdvanceRequest) (api.AdvanceResult, error) {
+	return api.AdvanceResult{}, nil
+}
+func (s statsService) Cancel(context.Context, api.CancelRequest) (api.CancelResult, error) {
+	return api.CancelResult{}, nil
+}
+func (s statsService) Stats(context.Context, api.StatsRequest) (api.StatsResult, error) {
+	return s.res, nil
+}
+
+// TestRouterSheddingBackend pins the routed face of graceful
+// degradation: a backend in shedding mode answers ErrOverloaded, which
+// must cross the router (and a real HTTP hop) as the taxonomy verdict
+// it is — not be rewritten into a transport 502/unavailable — and the
+// per-peer error metrics must count it under its own class.
+func TestRouterSheddingBackend(t *testing.T) {
+	shedding := errService{err: api.Errf(api.ErrOverloaded, "device 0: shedding load")}
+	rt := mustRouter(t, []router.Backend{
+		{Name: "shed-node", Service: overHTTP(t, shedding)},
+	}, placement.Modulo(1))
+
+	_, err := rt.Submit(bg, api.SubmitRequest{Device: 0, At: 0, App: "lambda1", Deadline: 9})
+	if !errors.Is(err, api.ErrOverloaded) {
+		t.Fatalf("submit via shedding backend: %v, want ErrOverloaded", err)
+	}
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeOverloaded {
+		t.Fatalf("error lost its taxonomy code: %v", err)
+	}
+	if errors.Is(err, api.ErrUnavailable) {
+		t.Fatal("overloaded verdict rewritten as unavailable")
+	}
+
+	var sb strings.Builder
+	if err := rt.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `adaptrm_router_errors_total{peer="shed-node",code="overloaded"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("router metrics missing %q in:\n%s", want, sb.String())
+	}
+}
+
+// TestRouterMergesControlMode: the fleet-wide stats merge sums shed and
+// controller counters and reports the worst degradation tier across the
+// backends, so a probe on the merged view sees a single shedding node.
+func TestRouterMergesControlMode(t *testing.T) {
+	rt := mustRouter(t, []router.Backend{
+		{Name: "calm", Service: statsService{res: api.StatsResult{
+			Devices: 2, ControlMode: "normal", ControlTicks: 10,
+		}}},
+		{Name: "hot", Service: statsService{res: api.StatsResult{
+			Devices: 2, ControlMode: "shedding", Shed: 7, ControlTicks: 9, ControlModeChanges: 2,
+		}}},
+	}, placement.Modulo(2))
+
+	res, err := rt.Stats(bg, api.StatsRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ControlMode != "shedding" {
+		t.Errorf("merged mode = %q, want the worst tier (shedding)", res.ControlMode)
+	}
+	if res.Shed != 7 || res.ControlTicks != 19 || res.ControlModeChanges != 2 {
+		t.Errorf("merged control counters: shed %d ticks %d changes %d, want 7/19/2",
+			res.Shed, res.ControlTicks, res.ControlModeChanges)
+	}
+}

@@ -21,7 +21,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN=${ALLOC_BENCH_PATTERN:-'Fig4SearchTimeMDF|AblationPackEDF|WatchFanout|MetricsRecord|WALAppend|SharedTierLookup'}
+PATTERN=${ALLOC_BENCH_PATTERN:-'Fig4SearchTimeMDF|AblationPackEDF|WatchFanout|MetricsRecord|WALAppend|SharedTierLookup|ControlTick'}
 TIME=${ALLOC_BENCH_TIME:-100x}
 BASELINE=benchmarks/allocs-baseline.txt
 
@@ -33,9 +33,11 @@ fi
 # The gated set spans the root package (scheduler hot path), the fleet
 # package (watch fan-out publish path), the metrics package (the HTTP
 # instrumentation's per-request recording path), the durable package
-# (the WAL frame-encode + segment-write append path) and the schedcache
-# package (the shared-tier probe on the admission hot path).
-out=$(go test -run '^$' -bench "$PATTERN" -benchtime "$TIME" -benchmem -timeout 30m . ./internal/fleet ./internal/metrics ./internal/durable ./internal/schedcache)
+# (the WAL frame-encode + segment-write append path), the schedcache
+# package (the shared-tier probe on the admission hot path) and the
+# control package (the degradation controller's per-tick decision and
+# per-pickup Limits read).
+out=$(go test -run '^$' -bench "$PATTERN" -benchtime "$TIME" -benchmem -timeout 30m . ./internal/fleet ./internal/metrics ./internal/durable ./internal/schedcache ./internal/control)
 printf '%s\n' "$out"
 
 printf '%s\n' "$out" | awk -v baseline="$BASELINE" '

@@ -108,4 +108,55 @@ echo "smoke-soak: warm+refine daemon at $addr, ${RPS} ops/s for ${DURATION}"
 kill -INT "$server_pid"
 wait "$server_pid" || true
 server_pid=""
+
+# Third pass: the overload stage. The daemon runs the degradation
+# controller with a latency threshold any real admission clears, so
+# within a few ticks the controller walks to shedding — a deterministic
+# stand-in for "offered rate far above sustainable" that does not
+# depend on the CI host being slow. The client drives ~5x the base rate
+# in bursts; -strict asserts zero transport errors and that the
+# server's shed counter reconciles with the client's observed
+# overloaded refusals, and -max-p99 bounds the latency of the submits
+# that were admitted (shedding must keep the served path fast, not
+# collapse it).
+OVERLOAD_RPS=$((${RPS} * 5))
+"$workdir/rmserve" -listen 127.0.0.1:0 -devices "$DEVICES" \
+	-control -control-interval 20ms -control-high-latency 1ns \
+	>"$workdir/rmserve-overload.log" 2>&1 &
+server_pid=$!
+
+addr=""
+for _ in $(seq 1 50); do
+	addr=$(sed -n 's/^listening: \([^ ]*\).*/\1/p' "$workdir/rmserve-overload.log")
+	[[ -n $addr ]] && break
+	if ! kill -0 "$server_pid" 2>/dev/null; then
+		echo "overload rmserve died before listening:" >&2
+		cat "$workdir/rmserve-overload.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+if [[ -z $addr ]]; then
+	echo "overload rmserve never printed its address" >&2
+	cat "$workdir/rmserve-overload.log" >&2
+	exit 1
+fi
+echo "smoke-soak: overload daemon at $addr, ${OVERLOAD_RPS} ops/s for ${DURATION}"
+
+"$workdir/rmsoak" -addr "http://$addr" -rps "$OVERLOAD_RPS" -duration "$DURATION" \
+	-devices "$DEVICES" -burst 4 -strict -max-p99 500ms \
+	| tee "$workdir/rmsoak-overload.out"
+
+# The stage must actually have exercised the shed path: the controller
+# escalates within a few ticks, so a soak that saw no overloaded
+# refusals means the control loop never engaged.
+grep -q '^shedding:  server shed' "$workdir/rmsoak-overload.out" || {
+	echo "overload stage never shed — controller did not engage" >&2
+	cat "$workdir/rmserve-overload.log" >&2
+	exit 1
+}
+
+kill -INT "$server_pid"
+wait "$server_pid" || true
+server_pid=""
 echo "smoke-soak: ok"
